@@ -1,0 +1,36 @@
+//! # sioscope-analysis
+//!
+//! The data-analysis toolkit that turns sioscope traces into the
+//! paper's tables and figures: cumulative distribution functions of
+//! request sizes and transferred data (Figures 2 and 7), timeline
+//! scatters of request sizes and durations (Figures 3–5, 8–9),
+//! percentage-of-I/O-time tables (Tables 2 and 5),
+//! percentage-of-execution-time tables (Table 3), and ASCII renderings
+//! of all of them.
+
+pub mod bandwidth;
+pub mod histogram;
+pub mod interarrival;
+pub mod phases;
+pub mod cdf;
+pub mod classify;
+pub mod compare;
+pub mod modes;
+pub mod parallelism;
+pub mod plot;
+pub mod stats;
+pub mod table;
+pub mod timeline;
+
+pub use bandwidth::BandwidthSeries;
+pub use histogram::LogHistogram;
+pub use interarrival::Interarrival;
+pub use phases::{detect as detect_phases, PhaseKind, PhaseSpan};
+pub use cdf::Cdf;
+pub use classify::{classify_all, classify_file, FileClass, IoClass};
+pub use compare::{Evolution, OpDelta};
+pub use modes::{ModeStats, ModeUsage};
+pub use parallelism::{ConcurrencyProfile, NodeBalance};
+pub use stats::Summary;
+pub use table::{ExecTimeTable, IoTimeTable};
+pub use timeline::Timeline;

@@ -1,0 +1,153 @@
+//! Offline trace characterization — the Pablo post-processing toolkit
+//! as a command-line tool.
+//!
+//! ```text
+//! # Simulate and export a trace:
+//! cargo run -p sioscope-bench --bin characterize --release -- --demo trace.siot
+//! # Characterize any exported trace (binary .siot or .json):
+//! cargo run -p sioscope-bench --bin characterize --release -- trace.siot
+//! ```
+//!
+//! Prints the full §6 characterization: request-size distribution
+//! (histogram + CDF landmarks), I/O parallelism (concurrency, node
+//! balance), access-mode usage, Miller–Katz classification, detected
+//! phases, and windowed bandwidth/burstiness.
+
+use sioscope_analysis::classify::class_totals;
+use sioscope_analysis::{
+    classify_all, detect_phases, phases, BandwidthSeries, Cdf, ConcurrencyProfile,
+    LogHistogram, ModeUsage, NodeBalance,
+};
+use sioscope_pfs::OpKind;
+use sioscope_sim::{Pid, Time};
+use sioscope_trace::TraceRecorder;
+use std::path::Path;
+use std::process::exit;
+
+fn load(path: &Path) -> TraceRecorder {
+    let result = if path.extension().and_then(|e| e.to_str()) == Some("json") {
+        sioscope_trace::export::read_file(path)
+    } else {
+        sioscope_trace::binary::read_file(path)
+    };
+    match result {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace {}: {e}", path.display());
+            exit(1);
+        }
+    }
+}
+
+fn write_demo(path: &Path) {
+    use sioscope::simulator::{run, SimOptions};
+    use sioscope_pfs::PfsConfig;
+    use sioscope_workloads::{EscatConfig, EscatVersion};
+    let w = EscatConfig::tiny(EscatVersion::B).build();
+    let cfg = PfsConfig::caltech(w.nodes, w.os);
+    let r = run(&w, cfg, SimOptions::default()).expect("demo runs");
+    sioscope_trace::binary::write_file(&r.trace, path).expect("write demo trace");
+    println!(
+        "wrote demo trace ({} events from {}) to {}",
+        r.trace.len(),
+        r.name,
+        path.display()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: characterize [--demo] <trace.siot|trace.json>");
+        exit(2);
+    }
+    let (demo, path) = if args[0] == "--demo" {
+        match args.get(1) {
+            Some(p) => (true, Path::new(p).to_path_buf()),
+            None => {
+                eprintln!("--demo requires an output path");
+                exit(2);
+            }
+        }
+    } else {
+        (false, Path::new(&args[0]).to_path_buf())
+    };
+    if demo {
+        write_demo(&path);
+    }
+    let trace = load(&path);
+    let events = trace.events();
+    println!(
+        "trace: {} events, {} total I/O time, last completion {}\n",
+        trace.len(),
+        trace.total_io_time(),
+        trace.last_completion()
+    );
+
+    // Request sizes.
+    let reads = Cdf::from_samples(trace.sizes_of(OpKind::Read));
+    let writes = Cdf::from_samples(trace.sizes_of(OpKind::Write));
+    println!(
+        "reads : {} requests, median {} B, p95 {} B, <=2 KB {:.1}%",
+        reads.n(),
+        reads.quantile(0.5).unwrap_or(0),
+        reads.quantile(0.95).unwrap_or(0),
+        100.0 * reads.fraction_leq(2048),
+    );
+    println!(
+        "writes: {} requests, median {} B, p95 {} B",
+        writes.n(),
+        writes.quantile(0.5).unwrap_or(0),
+        writes.quantile(0.95).unwrap_or(0),
+    );
+    let hist = LogHistogram::from_samples(trace.sizes_of(OpKind::Read));
+    println!("\n{}", hist.render("read-size histogram (log2 bins):", 40));
+
+    // Parallelism.
+    let conc = ConcurrencyProfile::build(events);
+    let bal = NodeBalance::build(events);
+    println!(
+        "parallelism: peak {} concurrent calls, {:.1} mean while active; gini {:.2}, node-0 share {:.0}%",
+        conc.peak,
+        conc.mean_active,
+        bal.gini(),
+        100.0 * bal.share(Pid(0)),
+    );
+
+    // Modes.
+    let modes = ModeUsage::build(events);
+    println!("\n{}", modes.render("access-mode usage:"));
+
+    // Classification.
+    let classes = classify_all(events, Time::from_secs(30));
+    println!("Miller-Katz classes:");
+    for (label, (bytes, time)) in class_totals(&classes) {
+        println!("  {label:<22} {:>10.1} MB {:>10.2}s", bytes as f64 / 1e6, time.as_secs_f64());
+    }
+
+    // Phases.
+    let detected = detect_phases(events, Time::from_secs(30));
+    println!("\ndetected phases (30 s gap threshold):");
+    print!("{}", phases::render(&detected));
+
+    // Interarrival regularity (per-node median CV).
+    let ias = sioscope_analysis::interarrival::per_process(events);
+    if !ias.is_empty() {
+        let mut cvs: Vec<f64> = ias.values().map(|ia| ia.cv).collect();
+        cvs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median_cv = cvs[cvs.len() / 2];
+        println!(
+            "\ninterarrival: median per-node CV {median_cv:.2} ({} nodes; 0=clockwork, 1=Poisson, >1=bursty)",
+            ias.len()
+        );
+    }
+
+    // Temporality.
+    let bw = BandwidthSeries::build(events, Time::from_secs(10));
+    println!(
+        "\ntemporality: burstiness {:.1} (peak/mean), duty cycle {:.0}%, peak {:.2} MB/s",
+        bw.burstiness(),
+        100.0 * bw.duty_cycle(),
+        bw.peak_bps() / 1e6,
+    );
+}

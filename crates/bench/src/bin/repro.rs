@@ -1,0 +1,123 @@
+//! Regenerate every table and figure of Smirni et al. (HPDC 1996).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p sioscope-bench --bin repro --release                # everything
+//! cargo run -p sioscope-bench --bin repro --release escat-table2  # one artifact
+//! cargo run -p sioscope-bench --bin repro --release -- --out out/ # also write files
+//! SIOSCOPE_SCALE=smoke cargo run -p sioscope-bench --bin repro    # fast smoke run
+//! ```
+//!
+//! With `--out DIR`, each artifact is written to `DIR/<id>.txt` and a
+//! machine-readable summary of the shape checks to `DIR/checks.json`.
+//! `--sweeps` appends the machine-configuration sweeps of the paper's
+//! future-work agenda (§7).
+
+use sioscope::experiments::run_experiment;
+use sioscope::report;
+use sioscope_bench::{experiments_from_args, scale_from_env};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let want_sweeps = args.iter().any(|a| a == "--sweeps");
+    let filtered: Vec<String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--out" {
+                    skip_next = true;
+                    return false;
+                }
+                *a != "--sweeps"
+            })
+            .cloned()
+            .collect()
+    };
+    let scale = scale_from_env();
+    let experiments = experiments_from_args(&filtered);
+    if experiments.is_empty() {
+        eprintln!("no matching experiments; known ids:");
+        for e in sioscope::experiments::Experiment::all() {
+            eprintln!("  {}", e.id());
+        }
+        std::process::exit(2);
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+
+    println!("{}", report::render_paper_reference());
+
+    let mut failures = 0usize;
+    let mut check_rows = Vec::new();
+    for e in experiments {
+        let out = run_experiment(e, scale);
+        let rendered = report::render_output(&out);
+        print!("{rendered}");
+        if let Some(dir) = &out_dir {
+            std::fs::write(dir.join(format!("{}.txt", e.id())), &rendered)
+                .expect("write artifact");
+        }
+        for c in &out.checks {
+            check_rows.push(serde_json::json!({
+                "experiment": e.id(),
+                "check": c.name,
+                "pass": c.pass,
+                "detail": c.detail,
+            }));
+        }
+        failures += out.failures().len();
+    }
+    if want_sweeps {
+        use sioscope::sweeps;
+        use sioscope_workloads::{EscatConfig, EscatVersion, PrismConfig, PrismVersion};
+        let escat_b = match scale_from_env() {
+            sioscope::experiments::Scale::Smoke => EscatConfig::tiny(EscatVersion::B).build(),
+            _ => EscatConfig::ethylene(EscatVersion::B).build(),
+        };
+        let prism_a = match scale_from_env() {
+            sioscope::experiments::Scale::Smoke => PrismConfig::tiny(PrismVersion::A).build(),
+            _ => PrismConfig::test_problem(PrismVersion::A).build(),
+        };
+        println!("================================================================");
+        println!("Machine-configuration sweeps (the paper's §7 future work)");
+        println!("================================================================");
+        for sweep in [
+            sweeps::io_node_sweep(&escat_b, &[2, 4, 8, 16, 32]),
+            sweeps::stripe_sweep(&escat_b, &[16 << 10, 64 << 10, 256 << 10]),
+            sweeps::disk_bandwidth_sweep(&prism_a, &[2, 8, 32]),
+            sweeps::degraded_array_sweep(&prism_a, &[0, 4, 8]),
+        ] {
+            println!("{}", sweep.render());
+            if let Some(dir) = &out_dir {
+                std::fs::write(
+                    dir.join(format!("sweep-{}.txt", sweep.parameter)),
+                    sweep.render(),
+                )
+                .expect("write sweep");
+            }
+        }
+    }
+    if let Some(dir) = &out_dir {
+        let json = serde_json::to_string_pretty(&check_rows).expect("serialize checks");
+        std::fs::write(dir.join("checks.json"), json).expect("write checks.json");
+        println!("
+artifacts written to {}", dir.display());
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} shape check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("\nall shape checks passed");
+}

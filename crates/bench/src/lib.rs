@@ -1,0 +1,49 @@
+//! # sioscope-bench
+//!
+//! Benchmark harness for the sioscope reproduction:
+//!
+//! * the `repro` binary regenerates **every table and figure** of the
+//!   paper (run `cargo run -p sioscope-bench --bin repro --release`),
+//!   printing each artifact with its shape checks against the paper's
+//!   published values;
+//! * the Criterion benches (`cargo bench`) time the simulator on each
+//!   experiment and on the PFS fast paths.
+
+use sioscope::experiments::{Scale, Experiment};
+
+/// Resolve the scale requested via the `SIOSCOPE_SCALE` environment
+/// variable (`full` default, `smoke` for quick runs).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("SIOSCOPE_SCALE").as_deref() {
+        Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
+        _ => Scale::Full,
+    }
+}
+
+/// Parse experiment filters from CLI arguments; empty = all.
+pub fn experiments_from_args(args: &[String]) -> Vec<Experiment> {
+    let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if filters.is_empty() {
+        Experiment::all()
+    } else {
+        filters
+            .iter()
+            .filter_map(|f| Experiment::from_id(f))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_filtering() {
+        let all = experiments_from_args(&[]);
+        assert_eq!(all.len(), Experiment::all().len());
+        let one = experiments_from_args(&["escat-table2".to_string()]);
+        assert_eq!(one, vec![Experiment::EscatTable2]);
+        let none = experiments_from_args(&["bogus".to_string()]);
+        assert!(none.is_empty());
+    }
+}

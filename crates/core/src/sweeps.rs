@@ -1,0 +1,244 @@
+//! Machine-configuration sweeps — the paper's stated future work.
+//!
+//! §7: *"we plan to examine the effects of different machine
+//! configurations (e.g., number of I/O nodes) and different
+//! architectures on I/O performance."* These sweeps re-run a paper
+//! workload while varying one machine parameter at a time, reporting
+//! execution time and total client-observed I/O time per point.
+
+use crate::simulator::{run, RunResult, SimOptions};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use sioscope_pfs::PfsConfig;
+use sioscope_sim::Time;
+use sioscope_workloads::Workload;
+use std::fmt::Write as _;
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Varied-parameter label (e.g. `"io_nodes=8"`).
+    pub label: String,
+    /// Parameter value (numeric, for plotting).
+    pub value: u64,
+    /// Wall-clock execution time of the run.
+    pub exec_time: Time,
+    /// Total client-observed I/O time.
+    pub io_time: Time,
+    /// Events processed (simulation cost indicator).
+    pub events: u64,
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sweep {
+    /// What was varied.
+    pub parameter: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// The points, in parameter order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Speedup of total I/O time from the first to the best point.
+    pub fn best_io_speedup(&self) -> f64 {
+        let first = self.points.first().map(|p| p.io_time.as_secs_f64());
+        let best = self
+            .points
+            .iter()
+            .map(|p| p.io_time.as_secs_f64())
+            .fold(f64::INFINITY, f64::min);
+        match first {
+            Some(f) if best > 0.0 => f / best,
+            _ => 1.0,
+        }
+    }
+
+    /// Is I/O time non-increasing along the sweep (more resources
+    /// never hurt)?
+    pub fn io_time_monotone_nonincreasing(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].io_time <= w[0].io_time.scale(1.02))
+    }
+
+    /// Render as a fixed-width table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Sweep of {} over {} ({} points)",
+            self.parameter,
+            self.workload,
+            self.points.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<18}{:>14}{:>14}{:>12}",
+            self.parameter, "exec time", "total I/O", "events"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(58));
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:<18}{:>13.1}s{:>13.1}s{:>12}",
+                p.label,
+                p.exec_time.as_secs_f64(),
+                p.io_time.as_secs_f64(),
+                p.events
+            );
+        }
+        out
+    }
+}
+
+fn run_point(workload: &Workload, cfg: PfsConfig, label: String, value: u64) -> SweepPoint {
+    let r: RunResult = run(workload, cfg, SimOptions::default())
+        .unwrap_or_else(|e| panic!("sweep point {label}: {e}"));
+    SweepPoint {
+        label,
+        value,
+        exec_time: r.exec_time,
+        io_time: r.total_io_time(),
+        events: r.events,
+    }
+}
+
+/// Vary the number of I/O nodes (the paper's headline example of a
+/// configuration study). Each point re-runs `workload` with the same
+/// compute partition but `n` I/O nodes/disk arrays.
+pub fn io_node_sweep(workload: &Workload, io_nodes: &[u32]) -> Sweep {
+    let mut points: Vec<SweepPoint> = io_nodes
+        .par_iter()
+        .map(|&n| {
+            let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            cfg.machine.io_nodes = n;
+            run_point(workload, cfg, format!("io_nodes={n}"), u64::from(n))
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "io_nodes",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+/// Vary the PFS stripe unit. Request sizes that were tuned to the
+/// 64 KB default (ESCAT's 128 KB M_RECORD reads) stop being
+/// stripe-multiples at other units — quantifying how tightly the
+/// paper's applications were coupled to one file-system constant
+/// (§6.2: "optimizations are closely tied to the idiosyncrasies of
+/// the parallel I/O system").
+pub fn stripe_sweep(workload: &Workload, units: &[u64]) -> Sweep {
+    let mut points: Vec<SweepPoint> = units
+        .par_iter()
+        .map(|&u| {
+            let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            cfg.stripe_unit = u;
+            run_point(workload, cfg, format!("stripe={}K", u >> 10), u)
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "stripe_unit",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+/// Vary the disk array bandwidth (architecture generations).
+pub fn disk_bandwidth_sweep(workload: &Workload, bandwidths_mbps: &[u32]) -> Sweep {
+    let mut points: Vec<SweepPoint> = bandwidths_mbps
+        .par_iter()
+        .map(|&mbps| {
+            let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            cfg.machine.disk.bandwidth_bps = f64::from(mbps) * 1e6;
+            run_point(workload, cfg, format!("{mbps}MB/s"), u64::from(mbps))
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "disk_bandwidth",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+/// Vary the number of degraded (single-spindle-failure) RAID-3
+/// arrays — failure injection at the device level. Degraded arrays
+/// reconstruct from parity on every access.
+pub fn degraded_array_sweep(workload: &Workload, degraded_counts: &[u32]) -> Sweep {
+    let mut points: Vec<SweepPoint> = degraded_counts
+        .par_iter()
+        .map(|&k| {
+            let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            cfg.machine.degraded_ions = (0..k.min(cfg.machine.io_nodes)).collect();
+            run_point(workload, cfg, format!("degraded={k}"), u64::from(k))
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "degraded_arrays",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sioscope_workloads::{EscatConfig, EscatVersion, PrismConfig, PrismVersion};
+
+    #[test]
+    fn io_node_sweep_runs_and_orders_points() {
+        let w = EscatConfig::tiny(EscatVersion::C).build();
+        let sweep = io_node_sweep(&w, &[2, 8, 4]);
+        assert_eq!(sweep.points.len(), 3);
+        assert_eq!(sweep.points[0].value, 2);
+        assert_eq!(sweep.points[2].value, 8);
+        let text = sweep.render();
+        assert!(text.contains("io_nodes=4"));
+    }
+
+    #[test]
+    fn more_io_nodes_never_hurt_a_staging_workload() {
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let sweep = io_node_sweep(&w, &[1, 2, 4, 8, 16]);
+        assert!(
+            sweep.io_time_monotone_nonincreasing(),
+            "{}",
+            sweep.render()
+        );
+        assert!(sweep.best_io_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn stripe_sweep_runs() {
+        let w = PrismConfig::tiny(PrismVersion::B).build();
+        let sweep = stripe_sweep(&w, &[16 << 10, 64 << 10, 256 << 10]);
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.points.iter().all(|p| p.io_time > Time::ZERO));
+    }
+
+    #[test]
+    fn degraded_arrays_increase_io_time() {
+        let w = PrismConfig::tiny(PrismVersion::B).build();
+        let sweep = degraded_array_sweep(&w, &[0, 1, 2]);
+        let healthy = sweep.points.first().expect("points").io_time;
+        let worst = sweep.points.last().expect("points").io_time;
+        assert!(worst > healthy, "{}", sweep.render());
+        // Bounded: degradation is a constant factor, not a collapse.
+        assert!(worst < healthy.scale(3.0), "{}", sweep.render());
+    }
+
+    #[test]
+    fn faster_disks_reduce_io_time() {
+        let w = PrismConfig::tiny(PrismVersion::A).build();
+        let sweep = disk_bandwidth_sweep(&w, &[2, 8, 32]);
+        let first = sweep.points.first().expect("points").io_time;
+        let last = sweep.points.last().expect("points").io_time;
+        assert!(last <= first, "{}", sweep.render());
+    }
+}

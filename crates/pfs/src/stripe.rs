@@ -1,0 +1,189 @@
+//! File striping across I/O nodes.
+//!
+//! PFS declusters every file across the machine's I/O nodes in
+//! fixed-size stripe units (64 KB by default on the Caltech machine).
+//! A request touching byte range `[offset, offset+len)` is decomposed
+//! into per-I/O-node segments; the segments transfer in parallel, so a
+//! stripe-aligned 128 KB request on a 16-array system keeps two arrays
+//! busy with one full stripe unit each, while a 200-byte request costs
+//! a full positioning delay on one array.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous piece of a request that lands on one I/O node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Index of the I/O node serving this piece.
+    pub ion: u32,
+    /// Byte offset within the file where the piece begins.
+    pub offset: u64,
+    /// Piece length in bytes.
+    pub len: u64,
+}
+
+/// Round-robin stripe layout.
+///
+/// ```
+/// use sioscope_pfs::StripeLayout;
+///
+/// let layout = StripeLayout::paragon_default(); // 64 KB over 16 I/O nodes
+/// // A 128 KB request starting at zero spans exactly two I/O nodes —
+/// // the configuration ESCAT's developers tuned their reads to.
+/// assert_eq!(layout.fanout(0, 128 * 1024), 2);
+/// assert!(layout.aligned(0, 128 * 1024));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLayout {
+    /// Stripe unit in bytes (PFS default: 64 KB).
+    pub unit: u64,
+    /// Number of I/O nodes the file is striped across.
+    pub io_nodes: u32,
+}
+
+impl StripeLayout {
+    /// The Caltech default: 64 KB units over 16 I/O nodes.
+    pub fn paragon_default() -> Self {
+        StripeLayout {
+            unit: 64 * 1024,
+            io_nodes: 16,
+        }
+    }
+
+    /// Construct a layout.
+    ///
+    /// # Panics
+    /// Panics if `unit` or `io_nodes` is zero.
+    pub fn new(unit: u64, io_nodes: u32) -> Self {
+        assert!(unit > 0, "stripe unit must be positive");
+        assert!(io_nodes > 0, "need at least one I/O node");
+        StripeLayout { unit, io_nodes }
+    }
+
+    /// The I/O node holding the stripe unit that contains `offset`.
+    pub fn ion_of(&self, offset: u64) -> u32 {
+        ((offset / self.unit) % u64::from(self.io_nodes)) as u32
+    }
+
+    /// Decompose `[offset, offset+len)` into per-I/O-node segments, in
+    /// file order. Adjacent stripe units on the same I/O node are *not*
+    /// merged: each unit is a separate disk request, matching how the
+    /// stripe directory dispatched transfers.
+    pub fn segments(&self, offset: u64, len: u64) -> Vec<Segment> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let unit_end = (cur / self.unit + 1) * self.unit;
+            let seg_end = unit_end.min(end);
+            out.push(Segment {
+                ion: self.ion_of(cur),
+                offset: cur,
+                len: seg_end - cur,
+            });
+            cur = seg_end;
+        }
+        out
+    }
+
+    /// Number of *distinct* I/O nodes touched by a request — the
+    /// request's effective parallelism.
+    pub fn fanout(&self, offset: u64, len: u64) -> u32 {
+        let mut seen = vec![false; self.io_nodes as usize];
+        let mut n = 0;
+        for seg in self.segments(offset, len) {
+            if !seen[seg.ion as usize] {
+                seen[seg.ion as usize] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// `true` iff a request of `len` bytes starting at `offset` is
+    /// stripe-aligned (starts on a unit boundary and is a whole number
+    /// of units) — the condition §4.2 says M_RECORD wants for good
+    /// performance.
+    pub fn aligned(&self, offset: u64, len: u64) -> bool {
+        offset.is_multiple_of(self.unit) && len.is_multiple_of(self.unit) && len > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_request_stays_on_one_ion() {
+        let l = StripeLayout::paragon_default();
+        let segs = l.segments(0, 2048);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].ion, 0);
+        assert_eq!(segs[0].len, 2048);
+        assert_eq!(l.fanout(0, 2048), 1);
+    }
+
+    #[test]
+    fn two_stripe_request_spans_two_ions() {
+        let l = StripeLayout::paragon_default();
+        let segs = l.segments(0, 128 * 1024);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].ion, 0);
+        assert_eq!(segs[1].ion, 1);
+        assert_eq!(l.fanout(0, 128 * 1024), 2);
+        assert!(l.aligned(0, 128 * 1024));
+    }
+
+    #[test]
+    fn unaligned_request_splits_at_boundaries() {
+        let l = StripeLayout::new(100, 4);
+        let segs = l.segments(50, 200);
+        // [50,100) on ion0, [100,200) on ion1, [200,250) on ion2.
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], Segment { ion: 0, offset: 50, len: 50 });
+        assert_eq!(segs[1], Segment { ion: 1, offset: 100, len: 100 });
+        assert_eq!(segs[2], Segment { ion: 2, offset: 200, len: 50 });
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let l = StripeLayout::new(10, 3);
+        assert_eq!(l.ion_of(0), 0);
+        assert_eq!(l.ion_of(10), 1);
+        assert_eq!(l.ion_of(20), 2);
+        assert_eq!(l.ion_of(30), 0);
+    }
+
+    #[test]
+    fn segments_conserve_bytes() {
+        let l = StripeLayout::new(64 * 1024, 16);
+        for (off, len) in [(0u64, 1u64), (63, 131072), (65536, 40), (1, 1_000_000)] {
+            let total: u64 = l.segments(off, len).iter().map(|s| s.len).sum();
+            assert_eq!(total, len, "offset {off} len {len}");
+        }
+    }
+
+    #[test]
+    fn zero_length_request_is_empty() {
+        let l = StripeLayout::paragon_default();
+        assert!(l.segments(123, 0).is_empty());
+        assert_eq!(l.fanout(123, 0), 0);
+        assert!(!l.aligned(0, 0));
+    }
+
+    #[test]
+    fn alignment_requires_boundary_and_multiple() {
+        let l = StripeLayout::paragon_default();
+        assert!(l.aligned(65536, 65536));
+        assert!(!l.aligned(1, 65536));
+        assert!(!l.aligned(0, 65537));
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe unit")]
+    fn zero_unit_panics() {
+        StripeLayout::new(0, 4);
+    }
+}
