@@ -46,13 +46,6 @@ fn main() {
     };
     let scale = scale_from_env();
     let experiments = experiments_from_args(&filtered);
-    if experiments.is_empty() {
-        eprintln!("no matching experiments; known ids:");
-        for e in sioscope::experiments::Experiment::all() {
-            eprintln!("  {}", e.id());
-        }
-        std::process::exit(2);
-    }
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
@@ -98,6 +91,7 @@ fn main() {
             sweeps::stripe_sweep(&escat_b, &[16 << 10, 64 << 10, 256 << 10]),
             sweeps::disk_bandwidth_sweep(&prism_a, &[2, 8, 32]),
             sweeps::degraded_array_sweep(&prism_a, &[0, 4, 8]),
+            sweeps::fault_intensity_sweep(&prism_a, &[0, 2, 4, 8], 0xF417),
         ] {
             println!("{}", sweep.render());
             if let Some(dir) = &out_dir {

@@ -9,7 +9,7 @@
 //! * the Criterion benches (`cargo bench`) time the simulator on each
 //!   experiment and on the PFS fast paths.
 
-use sioscope::experiments::{Scale, Experiment};
+use sioscope::experiments::{Experiment, Scale};
 
 /// Resolve the scale requested via the `SIOSCOPE_SCALE` environment
 /// variable (`full` default, `smoke` for quick runs).
@@ -21,15 +21,46 @@ pub fn scale_from_env() -> Scale {
 }
 
 /// Parse experiment filters from CLI arguments; empty = all.
-pub fn experiments_from_args(args: &[String]) -> Vec<Experiment> {
+///
+/// Unknown identifiers are an error, not a no-op: `Err` carries every
+/// unrecognized ID so the caller can report all of them at once.
+pub fn try_experiments_from_args(args: &[String]) -> Result<Vec<Experiment>, Vec<String>> {
     let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
     if filters.is_empty() {
-        Experiment::all()
+        return Ok(Experiment::all());
+    }
+    let mut selected = Vec::new();
+    let mut unknown = Vec::new();
+    for f in filters {
+        match Experiment::from_id(f) {
+            Some(e) => selected.push(e),
+            None => unknown.push(f.clone()),
+        }
+    }
+    if unknown.is_empty() {
+        Ok(selected)
     } else {
-        filters
-            .iter()
-            .filter_map(|f| Experiment::from_id(f))
-            .collect()
+        Err(unknown)
+    }
+}
+
+/// Parse experiment filters from CLI arguments; empty = all.
+///
+/// Exits with status 2 after printing the unknown IDs and the valid
+/// set to stderr — a typo must not silently shrink the run to nothing.
+pub fn experiments_from_args(args: &[String]) -> Vec<Experiment> {
+    match try_experiments_from_args(args) {
+        Ok(experiments) => experiments,
+        Err(unknown) => {
+            for id in &unknown {
+                eprintln!("error: unknown experiment id `{id}`");
+            }
+            eprintln!("valid experiment ids:");
+            for e in Experiment::all() {
+                eprintln!("  {}", e.id());
+            }
+            std::process::exit(2);
+        }
     }
 }
 
@@ -39,11 +70,39 @@ mod tests {
 
     #[test]
     fn args_filtering() {
-        let all = experiments_from_args(&[]);
+        let all = try_experiments_from_args(&[]).unwrap();
         assert_eq!(all.len(), Experiment::all().len());
-        let one = experiments_from_args(&["escat-table2".to_string()]);
+        let one = try_experiments_from_args(&["escat-table2".to_string()]).unwrap();
         assert_eq!(one, vec![Experiment::EscatTable2]);
-        let none = experiments_from_args(&["bogus".to_string()]);
-        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_are_an_error_listing_every_offender() {
+        let err = try_experiments_from_args(&[
+            "bogus".to_string(),
+            "escat-table2".to_string(),
+            "also-bogus".to_string(),
+        ])
+        .unwrap_err();
+        assert_eq!(err, vec!["bogus".to_string(), "also-bogus".to_string()]);
+    }
+
+    #[test]
+    fn flags_are_ignored_by_the_filter() {
+        let got = try_experiments_from_args(&["--sweeps".to_string()]).unwrap();
+        assert_eq!(got.len(), Experiment::all().len());
+    }
+
+    #[test]
+    fn resilience_experiments_are_selectable() {
+        let got = try_experiments_from_args(&[
+            "resilience-escat".to_string(),
+            "resilience-prism".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![Experiment::ResilienceEscat, Experiment::ResiliencePrism]
+        );
     }
 }

@@ -23,11 +23,14 @@
 //! | [`Experiment::AblationCaching`] | §5.4 — client buffering on/off |
 //! | [`Experiment::AblationAdaptive`] | §5.4 — adaptive (PPFS-style) policy selection |
 //! | [`Experiment::AblationNoRestructuring`] | §4.4/§7 — the central counterfactual: FS policies instead of code restructuring |
+//! | [`Experiment::ResilienceEscat`] | Fault injection — ESCAT under each fault class |
+//! | [`Experiment::ResiliencePrism`] | Fault injection — PRISM under each fault class |
 
 pub mod ablation;
 pub mod comparison;
 pub mod escat;
 pub mod prism;
+pub mod resilience;
 pub mod shape;
 
 use serde::{Deserialize, Serialize};
@@ -59,6 +62,8 @@ pub enum Experiment {
     AblationAdaptive,
     AblationNoRestructuring,
     Section6Comparison,
+    ResilienceEscat,
+    ResiliencePrism,
 }
 
 impl Experiment {
@@ -87,6 +92,8 @@ impl Experiment {
             AblationAdaptive,
             AblationNoRestructuring,
             Section6Comparison,
+            ResilienceEscat,
+            ResiliencePrism,
         ]
     }
 
@@ -115,6 +122,8 @@ impl Experiment {
             AblationAdaptive => "ablation-adaptive",
             AblationNoRestructuring => "ablation-no-restructuring",
             Section6Comparison => "section6-comparison",
+            ResilienceEscat => "resilience-escat",
+            ResiliencePrism => "resilience-prism",
         }
     }
 
@@ -148,6 +157,8 @@ impl Experiment {
             AblationAdaptive => "Ablation (§5.4): adaptive (PPFS-style) policy selection",
             AblationNoRestructuring => "Counterfactual (§4.4/§7): file-system policies instead of code restructuring",
             Section6Comparison => "Section 6: application comparison across the three I/O dimensions",
+            ResilienceEscat => "Resilience: ESCAT C under each fault class",
+            ResiliencePrism => "Resilience: PRISM B under each fault class",
         }
     }
 }
@@ -218,6 +229,8 @@ pub fn run_experiment(experiment: Experiment, scale: Scale) -> ExperimentOutput 
         AblationAdaptive => ablation::adaptive(scale),
         AblationNoRestructuring => ablation::no_restructuring(scale),
         Section6Comparison => comparison::section6(scale),
+        ResilienceEscat => resilience::escat(scale),
+        ResiliencePrism => resilience::prism(scale),
     }
 }
 
@@ -237,8 +250,8 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
         // 5 tables + 9 figures + 6 ablations/counterfactuals + the
-        // §6 comparison.
-        assert_eq!(ids.len(), 21);
+        // §6 comparison + 2 resilience experiments.
+        assert_eq!(ids.len(), 23);
         for artifact in [
             "escat-table1",
             "escat-table2",

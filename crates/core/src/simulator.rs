@@ -7,7 +7,7 @@
 //! size, offset, node and operation kind.
 
 use sioscope_machine::MeshModel;
-use sioscope_pfs::{Outcome, Pfs, PfsConfig, PfsError};
+use sioscope_pfs::{Outcome, Pfs, PfsConfig, PfsError, ResilienceStats};
 use sioscope_sim::{
     EventQueue, FileId, Pid, RendezvousOutcome, RendezvousTable, Time,
 };
@@ -99,8 +99,14 @@ pub struct RunResult {
     pub node_finish: Vec<Time>,
     /// The captured I/O trace (sorted by start time).
     pub trace: TraceRecorder,
-    /// Total simulation events processed.
+    /// Total simulation events processed (including fault-calendar
+    /// transitions when a fault schedule engages).
     pub events: u64,
+    /// Resilience actions the PFS took (all zero on fault-free runs).
+    pub resilience: ResilienceStats,
+    /// Fault-calendar transitions processed (fault windows opening or
+    /// closing); zero when no fault schedule engages.
+    pub fault_transitions: u64,
 }
 
 impl RunResult {
@@ -134,9 +140,16 @@ impl RunResult {
     }
 }
 
-/// Event payload: resume one process.
+/// Event payload.
 #[derive(Debug, Clone, Copy)]
-struct Resume(Pid);
+enum Ev {
+    /// Resume one process.
+    Resume(Pid),
+    /// A fault window opens or closes. No process state changes, but
+    /// the boundary lands in the event calendar so the fault timeline
+    /// is interleaved with (and visible in) the run's event stream.
+    FaultTransition,
+}
 
 struct NodeState {
     pc: usize,
@@ -180,13 +193,24 @@ pub fn run(
             finish_time: Time::ZERO,
         })
         .collect();
-    let mut queue: EventQueue<Resume> = EventQueue::new();
+    let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut collectives = RendezvousTable::new();
     let mut trace = TraceRecorder::new();
 
+    // Interleave the fault calendar with the event calendar: one
+    // event per fault-window boundary. A schedule that does not
+    // engage contributes nothing, so fault-free runs keep identical
+    // event counts.
+    let mut fault_transitions = 0u64;
+    if let Some(state) = pfs.fault_state() {
+        for &t in state.transitions() {
+            queue.schedule(t, Ev::FaultTransition);
+        }
+    }
+
     // Kick every node off at t = 0.
     for pid in 0..n {
-        queue.schedule(Time::ZERO, Resume(Pid(pid as u32)));
+        queue.schedule(Time::ZERO, Ev::Resume(Pid(pid as u32)));
     }
 
     while let Some(ev) = queue.pop() {
@@ -194,7 +218,13 @@ pub fn run(
             return Err(SimError::EventBudgetExceeded(queue.popped()));
         }
         let now = ev.time;
-        let Resume(pid) = ev.payload;
+        let pid = match ev.payload {
+            Ev::Resume(pid) => pid,
+            Ev::FaultTransition => {
+                fault_transitions += 1;
+                continue;
+            }
+        };
         let state = &mut nodes[pid.index()];
         debug_assert!(!state.finished, "{pid} resumed after finishing");
         let program = &workload.programs[pid.index()];
@@ -209,7 +239,7 @@ pub fn run(
 
         match &program[stmt_idx] {
             Stmt::Compute(d) => {
-                queue.schedule(now + *d, Resume(pid));
+                queue.schedule(now + *d, Ev::Resume(pid));
             }
             Stmt::Io { file, op } => {
                 let fid = FileId(*file);
@@ -228,7 +258,7 @@ pub fn run(
                                 offset: c.offset,
                                 mode: c.mode,
                             });
-                            queue.schedule(c.finish.max(now), Resume(c.pid));
+                            queue.schedule(c.finish.max(now), Ev::Resume(c.pid));
                         }
                     }
                     Ok(Outcome::Blocked) => {
@@ -256,14 +286,14 @@ pub fn run(
                         match collective {
                             Stmt::Barrier => {
                                 for (p, _) in arrivals {
-                                    queue.schedule(base.max(now), Resume(p));
+                                    queue.schedule(base.max(now), Ev::Resume(p));
                                 }
                             }
                             Stmt::Broadcast { bytes, .. } => {
                                 let t =
                                     base + mesh.broadcast_time(workload.nodes, *bytes);
                                 for (p, _) in arrivals {
-                                    queue.schedule(t.max(now), Resume(p));
+                                    queue.schedule(t.max(now), Ev::Resume(p));
                                 }
                             }
                             Stmt::Gather {
@@ -288,7 +318,7 @@ pub fn run(
                                             mesh.diameter() / 2,
                                         )
                                     };
-                                    queue.schedule(t.max(now), Resume(p));
+                                    queue.schedule(t.max(now), Ev::Resume(p));
                                 }
                             }
                             _ => unreachable!(),
@@ -323,6 +353,8 @@ pub fn run(
         node_finish,
         trace,
         events: queue.popped(),
+        resilience: pfs.resilience_stats(),
+        fault_transitions,
     })
 }
 
@@ -415,6 +447,29 @@ mod tests {
             assert!(r.exec_time > Time::ZERO);
             assert!(!r.trace.is_empty());
         }
+    }
+
+    #[test]
+    fn fault_schedule_inflates_exec_time_and_counts_transitions() {
+        use sioscope_faults::FaultKind;
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let clean = run(&w, tiny_pfs(w.nodes), SimOptions::default()).unwrap();
+        assert_eq!(clean.fault_transitions, 0);
+        assert!(clean.resilience.is_quiet());
+
+        let mut cfg = tiny_pfs(w.nodes);
+        cfg.faults.push(
+            Time::ZERO,
+            FaultKind::IonCrash {
+                ion: 0,
+                restart: clean.exec_time,
+            },
+        );
+        let faulty = run(&w, cfg, SimOptions::default()).unwrap();
+        assert!(faulty.exec_time > clean.exec_time);
+        assert_eq!(faulty.fault_transitions, 2, "window start + end");
+        assert!(faulty.resilience.timeouts > 0);
+        assert!(faulty.resilience.retries > 0);
     }
 
     #[test]

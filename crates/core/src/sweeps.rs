@@ -9,6 +9,7 @@
 use crate::simulator::{run, RunResult, SimOptions};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use sioscope_faults::{FaultGen, FaultSchedule};
 use sioscope_pfs::PfsConfig;
 use sioscope_sim::Time;
 use sioscope_workloads::Workload;
@@ -61,6 +62,15 @@ impl Sweep {
         self.points
             .windows(2)
             .all(|w| w[1].io_time <= w[0].io_time.scale(1.02))
+    }
+
+    /// Is execution time non-decreasing along the sweep (more faults
+    /// never help)? Allows 2% slack for re-routing that incidentally
+    /// rebalances load.
+    pub fn exec_time_monotone_nondecreasing(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].exec_time >= w[0].exec_time.scale(0.98))
     }
 
     /// Render as a fixed-width table.
@@ -167,20 +177,54 @@ pub fn disk_bandwidth_sweep(workload: &Workload, bandwidths_mbps: &[u32]) -> Swe
 }
 
 /// Vary the number of degraded (single-spindle-failure) RAID-3
-/// arrays — failure injection at the device level. Degraded arrays
-/// reconstruct from parity on every access.
+/// arrays — failure injection at the device level. Each point is a
+/// fault schedule of permanent spindle failures at time zero, so this
+/// sweep is now a client of the `sioscope-faults` subsystem rather
+/// than a special-cased machine flag.
 pub fn degraded_array_sweep(workload: &Workload, degraded_counts: &[u32]) -> Sweep {
     let mut points: Vec<SweepPoint> = degraded_counts
         .par_iter()
         .map(|&k| {
             let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
-            cfg.machine.degraded_ions = (0..k.min(cfg.machine.io_nodes)).collect();
+            let ions: Vec<u32> = (0..k.min(cfg.machine.io_nodes)).collect();
+            cfg.faults = FaultSchedule::degraded_from_start(&ions);
             run_point(workload, cfg, format!("degraded={k}"), u64::from(k))
         })
         .collect();
     points.sort_by_key(|p| p.value);
     Sweep {
         parameter: "degraded_arrays",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+/// Vary the fault intensity: point `k` runs under the first `k`
+/// events of the seeded fault stream. Because the stream is drawn
+/// sequentially, intensity `k`'s scenario is a strict prefix of
+/// `k + 1`'s — each point adds faults to the previous scenario
+/// instead of rolling an unrelated one, so execution-time inflation
+/// accumulates along the axis. Fault instants and window lengths are
+/// placed as fractions of the healthy run's execution time.
+pub fn fault_intensity_sweep(workload: &Workload, intensities: &[usize], seed: u64) -> Sweep {
+    let base_cfg = PfsConfig::caltech(workload.nodes, workload.os);
+    let horizon = run(workload, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("fault sweep baseline: {e}"))
+        .exec_time;
+    let io_nodes = base_cfg.machine.io_nodes;
+    let mut points: Vec<SweepPoint> = intensities
+        .par_iter()
+        .map(|&k| {
+            let mut cfg = base_cfg.clone();
+            cfg.faults = FaultGen::new(seed, horizon, io_nodes)
+                .with_events(k)
+                .schedule();
+            run_point(workload, cfg, format!("faults={k}"), k as u64)
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "fault_intensity",
         workload: workload.name.clone(),
         points,
     }
@@ -231,6 +275,31 @@ mod tests {
         assert!(worst > healthy, "{}", sweep.render());
         // Bounded: degradation is a constant factor, not a collapse.
         assert!(worst < healthy.scale(3.0), "{}", sweep.render());
+    }
+
+    #[test]
+    fn fault_intensity_zero_matches_healthy_and_inflation_accumulates() {
+        let w = PrismConfig::tiny(PrismVersion::B).build();
+        let sweep = fault_intensity_sweep(&w, &[0, 3, 8], 0xF417);
+        assert_eq!(sweep.points.len(), 3);
+        let healthy = run(
+            &w,
+            PfsConfig::caltech(w.nodes, w.os),
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            sweep.points[0].exec_time, healthy.exec_time,
+            "intensity 0 is the fault-free run"
+        );
+        let first = sweep.points.first().expect("points").exec_time;
+        let last = sweep.points.last().expect("points").exec_time;
+        assert!(last > first, "{}", sweep.render());
+        assert!(
+            sweep.exec_time_monotone_nondecreasing(),
+            "{}",
+            sweep.render()
+        );
     }
 
     #[test]

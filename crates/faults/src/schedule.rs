@@ -1,0 +1,320 @@
+//! Declarative fault schedules.
+//!
+//! A schedule is plain data: a list of `(instant, fault)` pairs. It
+//! carries no behaviour beyond validation; the runtime interpretation
+//! (windows, timelines, transition instants) lives in
+//! [`crate::state::FaultState`], and the policy reaction (retry,
+//! re-route, degrade) lives in the PFS layer.
+
+use serde::{Deserialize, Serialize};
+use sioscope_sim::Time;
+
+/// One injectable fault class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A latent sector error on one array: for the window's duration
+    /// every request to the array pays the drive's internal
+    /// retry/remap penalty on top of normal service.
+    LatentSector {
+        /// Afflicted I/O node.
+        ion: u32,
+        /// How long the bad region keeps being hit.
+        duration: Time,
+        /// Extra service time per request while the window is open.
+        penalty: Time,
+    },
+    /// A RAID-3 spindle failure: the array runs degraded (parity
+    /// reconstruction on every access) from the fault instant until
+    /// the rebuild completes — or forever when `rebuild` is `None`,
+    /// which reproduces the old statically-degraded-array model.
+    SpindleFailure {
+        /// Afflicted I/O node.
+        ion: u32,
+        /// Rebuild duration; `None` = never rebuilt.
+        rebuild: Option<Time>,
+    },
+    /// An I/O-node crash: the node serves nothing until it restarts.
+    /// In-flight and newly arriving requests time out and the PFS
+    /// resilience policy decides whether to retry, re-route, or wait.
+    IonCrash {
+        /// Afflicted I/O node.
+        ion: u32,
+        /// Time from crash to the node accepting requests again.
+        restart: Time,
+    },
+    /// An I/O-node slowdown window: every request served during the
+    /// window takes `factor`× its normal service time (daemon CPU
+    /// starvation, firmware retries, thermal throttling).
+    IonSlowdown {
+        /// Afflicted I/O node.
+        ion: u32,
+        /// Window length.
+        duration: Time,
+        /// Service-time multiplier, `> 1.0` to slow down.
+        factor: f64,
+    },
+    /// A mesh-wide congestion burst: wire transfer time is scaled by
+    /// `factor` for the window (contending traffic from another
+    /// partition; the Paragon ran space-shared).
+    LinkCongestion {
+        /// Window length.
+        duration: Time,
+        /// Wire-time multiplier, `> 1.0` to slow down.
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// The I/O node this fault pins down, if it is node-scoped.
+    pub fn ion(&self) -> Option<u32> {
+        match *self {
+            FaultKind::LatentSector { ion, .. }
+            | FaultKind::SpindleFailure { ion, .. }
+            | FaultKind::IonCrash { ion, .. }
+            | FaultKind::IonSlowdown { ion, .. } => Some(ion),
+            FaultKind::LinkCongestion { .. } => None,
+        }
+    }
+
+    /// Short stable label for reports and sweep axes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LatentSector { .. } => "latent-sector",
+            FaultKind::SpindleFailure { .. } => "spindle-failure",
+            FaultKind::IonCrash { .. } => "ion-crash",
+            FaultKind::IonSlowdown { .. } => "ion-slowdown",
+            FaultKind::LinkCongestion { .. } => "link-congestion",
+        }
+    }
+}
+
+/// A fault scheduled at an instant of simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: Time,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A complete fault scenario for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// The timed fault events, in no particular order.
+    pub events: Vec<FaultEvent>,
+    /// Route the run through the fault machinery even with no events.
+    /// The determinism regression tests use this to prove the hooks
+    /// themselves are bit-neutral; ordinary empty schedules leave it
+    /// `false` so fault-free runs skip the hooks entirely.
+    #[serde(default)]
+    pub engage_when_empty: bool,
+}
+
+impl FaultSchedule {
+    /// The fault-free schedule: no events, hooks disengaged.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// No events, but the fault machinery stays in the loop. Exists so
+    /// tests can assert the hooks are bit-neutral; see
+    /// [`FaultSchedule::engage_when_empty`].
+    pub fn engaged_empty() -> Self {
+        FaultSchedule {
+            events: Vec::new(),
+            engage_when_empty: true,
+        }
+    }
+
+    /// The legacy statically-degraded-array scenario: each listed I/O
+    /// node suffers a never-rebuilt spindle failure at time zero.
+    pub fn degraded_from_start(ions: &[u32]) -> Self {
+        FaultSchedule {
+            events: ions
+                .iter()
+                .map(|&ion| FaultEvent {
+                    at: Time::ZERO,
+                    kind: FaultKind::SpindleFailure { ion, rebuild: None },
+                })
+                .collect(),
+            engage_when_empty: false,
+        }
+    }
+
+    /// Append one fault.
+    pub fn push(&mut self, at: Time, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+
+    /// `true` iff the schedule holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `true` iff the run must route through the fault machinery.
+    pub fn engages(&self) -> bool {
+        !self.events.is_empty() || self.engage_when_empty
+    }
+
+    /// Structural problems, one message each; empty = valid. `io_nodes`
+    /// bounds node-scoped faults.
+    pub fn validate(&self, io_nodes: u32) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            if let Some(ion) = ev.kind.ion() {
+                if ion >= io_nodes {
+                    problems.push(format!(
+                        "event {i}: {} targets I/O node {ion}, machine has {io_nodes}",
+                        ev.kind.label()
+                    ));
+                }
+            }
+            match ev.kind {
+                FaultKind::LatentSector { duration, penalty, .. } => {
+                    if duration.is_zero() {
+                        problems.push(format!("event {i}: latent-sector window is empty"));
+                    }
+                    if penalty.is_zero() {
+                        problems.push(format!("event {i}: latent-sector penalty is zero"));
+                    }
+                }
+                FaultKind::SpindleFailure { rebuild, .. } => {
+                    if rebuild.is_some_and(|r| r.is_zero()) {
+                        problems.push(format!(
+                            "event {i}: spindle rebuild of zero duration (use None for 'never')"
+                        ));
+                    }
+                }
+                FaultKind::IonCrash { restart, .. } => {
+                    if restart.is_zero() {
+                        problems.push(format!("event {i}: crash with zero restart time"));
+                    }
+                }
+                FaultKind::IonSlowdown { duration, factor, .. } => {
+                    if duration.is_zero() {
+                        problems.push(format!("event {i}: slowdown window is empty"));
+                    }
+                    if !factor.is_finite() || factor <= 1.0 {
+                        problems.push(format!("event {i}: slowdown factor {factor} is not > 1"));
+                    }
+                }
+                FaultKind::LinkCongestion { duration, factor } => {
+                    if duration.is_zero() {
+                        problems.push(format!("event {i}: congestion window is empty"));
+                    }
+                    if !factor.is_finite() || factor <= 1.0 {
+                        problems.push(format!("event {i}: congestion factor {factor} is not > 1"));
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_does_not_engage_but_engaged_empty_does() {
+        assert!(!FaultSchedule::empty().engages());
+        assert!(FaultSchedule::empty().is_empty());
+        assert!(FaultSchedule::engaged_empty().engages());
+        assert!(FaultSchedule::engaged_empty().is_empty());
+        assert!(!FaultSchedule::default().engages());
+    }
+
+    #[test]
+    fn degraded_from_start_is_permanent_spindle_failures() {
+        let s = FaultSchedule::degraded_from_start(&[0, 3]);
+        assert!(s.engages());
+        assert_eq!(s.events.len(), 2);
+        for ev in &s.events {
+            assert_eq!(ev.at, Time::ZERO);
+            assert!(matches!(
+                ev.kind,
+                FaultKind::SpindleFailure { rebuild: None, .. }
+            ));
+        }
+        assert!(s.validate(4).is_empty());
+    }
+
+    #[test]
+    fn validate_catches_bad_events() {
+        let mut s = FaultSchedule::empty();
+        s.push(
+            Time::ZERO,
+            FaultKind::IonCrash {
+                ion: 9,
+                restart: Time::ZERO,
+            },
+        );
+        s.push(
+            Time::from_secs(1),
+            FaultKind::IonSlowdown {
+                ion: 0,
+                duration: Time::from_secs(1),
+                factor: 0.5,
+            },
+        );
+        let problems = s.validate(2);
+        assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn schedules_round_trip_through_serde() {
+        let mut s = FaultSchedule::empty();
+        s.push(
+            Time::from_millis(250),
+            FaultKind::LatentSector {
+                ion: 1,
+                duration: Time::from_secs(2),
+                penalty: Time::from_millis(300),
+            },
+        );
+        s.push(
+            Time::from_secs(1),
+            FaultKind::LinkCongestion {
+                duration: Time::from_secs(3),
+                factor: 2.5,
+            },
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let kinds = [
+            FaultKind::LatentSector {
+                ion: 0,
+                duration: Time::from_secs(1),
+                penalty: Time::from_millis(1),
+            },
+            FaultKind::SpindleFailure {
+                ion: 0,
+                rebuild: Some(Time::from_secs(1)),
+            },
+            FaultKind::IonCrash {
+                ion: 0,
+                restart: Time::from_secs(1),
+            },
+            FaultKind::IonSlowdown {
+                ion: 0,
+                duration: Time::from_secs(1),
+                factor: 2.0,
+            },
+            FaultKind::LinkCongestion {
+                duration: Time::from_secs(1),
+                factor: 2.0,
+            },
+        ];
+        let labels: std::collections::HashSet<&str> =
+            kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+        assert_eq!(kinds[4].ion(), None);
+        assert_eq!(kinds[0].ion(), Some(0));
+    }
+}

@@ -1,0 +1,353 @@
+//! Compiled runtime fault state.
+//!
+//! [`FaultState`] is the query-optimised form of a [`FaultSchedule`]:
+//! per-I/O-node window sets plus a global link timeline, built once
+//! before the run starts. Everything is precomputed from declarative
+//! data — no RNG draws happen at query time — so two runs over the
+//! same schedule see byte-identical disturbances regardless of what
+//! else the simulation does.
+
+use crate::schedule::{FaultKind, FaultSchedule};
+use sioscope_machine::DiskDisturbance;
+use sioscope_sim::{PiecewiseFactor, Time};
+
+/// Per-node and global fault windows, ready for instant queries.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    io_nodes: u32,
+    /// Per-ion crash windows `[start, end)` — the node serves nothing.
+    down: Vec<Vec<(Time, Time)>>,
+    /// Per-ion degraded-array windows (`Time::MAX` end = never rebuilt).
+    degraded: Vec<Vec<(Time, Time)>>,
+    /// Per-ion latent-sector windows with their per-request penalty.
+    latent: Vec<Vec<(Time, Time, Time)>>,
+    /// Per-ion service-time slowdown timelines.
+    slow: Vec<PiecewiseFactor>,
+    /// Global wire-time congestion timeline.
+    link: PiecewiseFactor,
+    /// Sorted, deduplicated instants at which any window opens or
+    /// closes — the fault calendar the simulator interleaves with its
+    /// event calendar.
+    transitions: Vec<Time>,
+}
+
+impl FaultState {
+    /// Compile a schedule against a machine with `io_nodes` I/O nodes.
+    /// Events targeting out-of-range nodes are dropped (callers are
+    /// expected to have run [`FaultSchedule::validate`] first).
+    pub fn new(schedule: &FaultSchedule, io_nodes: u32) -> Self {
+        let n = io_nodes as usize;
+        let mut state = FaultState {
+            io_nodes,
+            down: vec![Vec::new(); n],
+            degraded: vec![Vec::new(); n],
+            latent: vec![Vec::new(); n],
+            slow: vec![PiecewiseFactor::identity(); n],
+            link: PiecewiseFactor::identity(),
+            transitions: Vec::new(),
+        };
+        for ev in &schedule.events {
+            if ev.kind.ion().is_some_and(|ion| ion >= io_nodes) {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::LatentSector {
+                    ion,
+                    duration,
+                    penalty,
+                } => {
+                    let end = ev.at.saturating_add(duration);
+                    state.latent[ion as usize].push((ev.at, end, penalty));
+                }
+                FaultKind::SpindleFailure { ion, rebuild } => {
+                    let end = match rebuild {
+                        Some(r) => ev.at.saturating_add(r),
+                        None => Time::MAX,
+                    };
+                    state.degraded[ion as usize].push((ev.at, end));
+                }
+                FaultKind::IonCrash { ion, restart } => {
+                    let end = ev.at.saturating_add(restart);
+                    state.down[ion as usize].push((ev.at, end));
+                }
+                FaultKind::IonSlowdown {
+                    ion,
+                    duration,
+                    factor,
+                } => {
+                    state.slow[ion as usize].push_window(
+                        ev.at,
+                        ev.at.saturating_add(duration),
+                        factor,
+                    );
+                }
+                FaultKind::LinkCongestion { duration, factor } => {
+                    state
+                        .link
+                        .push_window(ev.at, ev.at.saturating_add(duration), factor);
+                }
+            }
+        }
+        state.collect_transitions();
+        state
+    }
+
+    fn collect_transitions(&mut self) {
+        let mut ts = Vec::new();
+        let mut push = |t: Time| {
+            if t != Time::MAX {
+                ts.push(t);
+            }
+        };
+        for windows in self.down.iter().chain(self.degraded.iter()) {
+            for &(start, end) in windows {
+                push(start);
+                push(end);
+            }
+        }
+        for windows in &self.latent {
+            for &(start, end, _) in windows {
+                push(start);
+                push(end);
+            }
+        }
+        for tl in &self.slow {
+            for t in tl.transitions() {
+                push(t);
+            }
+        }
+        for t in self.link.transitions() {
+            push(t);
+        }
+        ts.sort_unstable();
+        ts.dedup();
+        self.transitions = ts;
+    }
+
+    /// Number of I/O nodes this state was compiled for.
+    pub fn io_nodes(&self) -> u32 {
+        self.io_nodes
+    }
+
+    /// The disk-model disturbance in force on `ion` at instant `t`.
+    pub fn disk_disturbance(&self, ion: u32, t: Time) -> DiskDisturbance {
+        let Some(i) = self.index(ion) else {
+            return DiskDisturbance::NONE;
+        };
+        let degraded = self.degraded[i].iter().any(|&(s, e)| t >= s && t < e);
+        let latent_penalty = self.latent[i]
+            .iter()
+            .filter(|&&(s, e, _)| t >= s && t < e)
+            .fold(Time::ZERO, |acc, &(_, _, p)| acc.saturating_add(p));
+        DiskDisturbance {
+            degraded,
+            slow_factor: self.slow[i].at(t),
+            latent_penalty,
+        }
+    }
+
+    /// `true` iff `ion` is crashed at instant `t`.
+    pub fn is_down(&self, ion: u32, t: Time) -> bool {
+        self.down_until(ion, t).is_some()
+    }
+
+    /// If `ion` is crashed at `t`, the instant it comes back up
+    /// (latest end among covering crash windows).
+    pub fn down_until(&self, ion: u32, t: Time) -> Option<Time> {
+        let i = self.index(ion)?;
+        self.down[i]
+            .iter()
+            .filter(|&&(s, e)| t >= s && t < e)
+            .map(|&(_, e)| e)
+            .max()
+    }
+
+    /// The wire-time congestion factor at instant `t`.
+    pub fn link_factor(&self, t: Time) -> f64 {
+        self.link.at(t)
+    }
+
+    /// The lowest-numbered I/O node that is up at `t` and differs from
+    /// `not` — the deterministic re-route target for requests fleeing
+    /// a crashed node. `None` when every other node is also down.
+    pub fn first_healthy_ion(&self, t: Time, not: u32) -> Option<u32> {
+        (0..self.io_nodes).find(|&ion| ion != not && !self.is_down(ion, t))
+    }
+
+    /// Instants at which any fault window opens or closes, sorted and
+    /// deduplicated.
+    pub fn transitions(&self) -> &[Time] {
+        &self.transitions
+    }
+
+    fn index(&self, ion: u32) -> Option<usize> {
+        (ion < self.io_nodes).then_some(ion as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultEvent;
+
+    fn sec(s: u64) -> Time {
+        Time::from_secs(s)
+    }
+
+    fn state(events: Vec<FaultEvent>) -> FaultState {
+        FaultState::new(
+            &FaultSchedule {
+                events,
+                engage_when_empty: false,
+            },
+            4,
+        )
+    }
+
+    #[test]
+    fn empty_schedule_disturbs_nothing() {
+        let s = state(vec![]);
+        for ion in 0..4 {
+            assert!(s.disk_disturbance(ion, sec(5)).is_none());
+            assert!(!s.is_down(ion, sec(5)));
+        }
+        assert_eq!(s.link_factor(sec(5)), 1.0);
+        assert!(s.transitions().is_empty());
+        assert_eq!(s.io_nodes(), 4);
+    }
+
+    #[test]
+    fn crash_window_reports_restart_instant() {
+        let s = state(vec![FaultEvent {
+            at: sec(10),
+            kind: FaultKind::IonCrash {
+                ion: 2,
+                restart: sec(5),
+            },
+        }]);
+        assert!(!s.is_down(2, sec(9)));
+        assert_eq!(s.down_until(2, sec(10)), Some(sec(15)));
+        assert_eq!(s.down_until(2, sec(14)), Some(sec(15)));
+        assert!(!s.is_down(2, sec(15)));
+        assert!(!s.is_down(1, sec(12)));
+        assert_eq!(s.first_healthy_ion(sec(12), 2), Some(0));
+        assert_eq!(s.transitions(), &[sec(10), sec(15)]);
+    }
+
+    #[test]
+    fn permanent_spindle_failure_never_ends() {
+        let s = state(vec![FaultEvent {
+            at: Time::ZERO,
+            kind: FaultKind::SpindleFailure {
+                ion: 0,
+                rebuild: None,
+            },
+        }]);
+        assert!(s.disk_disturbance(0, Time::ZERO).degraded);
+        assert!(s.disk_disturbance(0, Time::from_secs(1_000_000)).degraded);
+        assert!(!s.disk_disturbance(1, sec(1)).degraded);
+        // MAX never shows up as a transition instant.
+        assert_eq!(s.transitions(), &[Time::ZERO]);
+    }
+
+    #[test]
+    fn rebuild_restores_the_array() {
+        let s = state(vec![FaultEvent {
+            at: sec(2),
+            kind: FaultKind::SpindleFailure {
+                ion: 1,
+                rebuild: Some(sec(6)),
+            },
+        }]);
+        assert!(!s.disk_disturbance(1, sec(1)).degraded);
+        assert!(s.disk_disturbance(1, sec(4)).degraded);
+        assert!(!s.disk_disturbance(1, sec(8)).degraded);
+    }
+
+    #[test]
+    fn latent_penalties_accumulate_and_slowdowns_compose() {
+        let s = state(vec![
+            FaultEvent {
+                at: sec(0),
+                kind: FaultKind::LatentSector {
+                    ion: 3,
+                    duration: sec(10),
+                    penalty: Time::from_millis(200),
+                },
+            },
+            FaultEvent {
+                at: sec(5),
+                kind: FaultKind::LatentSector {
+                    ion: 3,
+                    duration: sec(10),
+                    penalty: Time::from_millis(300),
+                },
+            },
+            FaultEvent {
+                at: sec(0),
+                kind: FaultKind::IonSlowdown {
+                    ion: 3,
+                    duration: sec(20),
+                    factor: 2.0,
+                },
+            },
+        ]);
+        let early = s.disk_disturbance(3, sec(2));
+        assert_eq!(early.latent_penalty, Time::from_millis(200));
+        assert_eq!(early.slow_factor, 2.0);
+        let overlap = s.disk_disturbance(3, sec(7));
+        assert_eq!(overlap.latent_penalty, Time::from_millis(500));
+        let late = s.disk_disturbance(3, sec(16));
+        assert_eq!(late.latent_penalty, Time::ZERO);
+        assert_eq!(late.slow_factor, 2.0);
+    }
+
+    #[test]
+    fn link_congestion_is_global() {
+        let s = state(vec![FaultEvent {
+            at: sec(1),
+            kind: FaultKind::LinkCongestion {
+                duration: sec(2),
+                factor: 3.0,
+            },
+        }]);
+        assert_eq!(s.link_factor(sec(0)), 1.0);
+        assert_eq!(s.link_factor(sec(2)), 3.0);
+        assert_eq!(s.link_factor(sec(3)), 1.0);
+    }
+
+    #[test]
+    fn all_nodes_down_means_no_reroute_target() {
+        let s = FaultState::new(
+            &FaultSchedule {
+                events: (0..2)
+                    .map(|ion| FaultEvent {
+                        at: Time::ZERO,
+                        kind: FaultKind::IonCrash {
+                            ion,
+                            restart: sec(10),
+                        },
+                    })
+                    .collect(),
+                engage_when_empty: false,
+            },
+            2,
+        );
+        assert_eq!(s.first_healthy_ion(sec(5), 0), None);
+        assert_eq!(s.first_healthy_ion(sec(11), 0), Some(1));
+    }
+
+    #[test]
+    fn out_of_range_targets_are_dropped() {
+        let s = state(vec![FaultEvent {
+            at: sec(1),
+            kind: FaultKind::IonCrash {
+                ion: 99,
+                restart: sec(5),
+            },
+        }]);
+        assert!(s.transitions().is_empty());
+        assert!(!s.is_down(99, sec(2)));
+        assert!(s.disk_disturbance(99, sec(2)).is_none());
+    }
+}

@@ -21,9 +21,6 @@ pub struct MachineConfig {
     pub io_nodes: u32,
     /// Disk array characteristics (identical across I/O nodes).
     pub disk: DiskParams,
-    /// I/O nodes whose arrays run degraded (one failed spindle,
-    /// parity reconstruction on every access). Empty = all healthy.
-    pub degraded_ions: Vec<u32>,
 }
 
 impl MachineConfig {
@@ -37,7 +34,6 @@ impl MachineConfig {
             compute_nodes,
             io_nodes: 16,
             disk: DiskParams::raid3_4_8gb(),
-            degraded_ions: Vec::new(),
         }
     }
 
@@ -57,7 +53,6 @@ impl MachineConfig {
             compute_nodes,
             io_nodes: 8,
             disk,
-            degraded_ions: Vec::new(),
         }
     }
 
@@ -77,7 +72,6 @@ impl MachineConfig {
             compute_nodes,
             io_nodes: 4,
             disk,
-            degraded_ions: Vec::new(),
         }
     }
 
@@ -89,7 +83,6 @@ impl MachineConfig {
             compute_nodes: 4,
             io_nodes: 2,
             disk: DiskParams::raid3_4_8gb(),
-            degraded_ions: Vec::new(),
         }
     }
 

@@ -60,6 +60,46 @@ impl DiskParams {
     }
 }
 
+/// A transient disturbance applied to one array's service model at a
+/// particular instant. Produced by the fault-injection layer; the
+/// neutral value ([`DiskDisturbance::NONE`]) must leave
+/// [`DiskModel::service_time_disturbed`] bit-identical to
+/// [`DiskModel::service_time`], which is what keeps fault-free runs
+/// reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskDisturbance {
+    /// The array runs degraded (one failed spindle; parity
+    /// reconstruction on every access, costed by
+    /// [`DiskParams::degraded_factor`]).
+    pub degraded: bool,
+    /// Multiplier on the whole service time (I/O-node daemon starved
+    /// of CPU, controller firmware retrying, etc.). `1.0` = none.
+    pub slow_factor: f64,
+    /// Additive penalty for a latent sector error: the drive's
+    /// internal retry/remap cycle before the request completes.
+    pub latent_penalty: Time,
+}
+
+impl DiskDisturbance {
+    /// No disturbance: the healthy, undisturbed service model.
+    pub const NONE: DiskDisturbance = DiskDisturbance {
+        degraded: false,
+        slow_factor: 1.0,
+        latent_penalty: Time::ZERO,
+    };
+
+    /// `true` iff this disturbance is exactly the neutral value.
+    pub fn is_none(&self) -> bool {
+        *self == Self::NONE
+    }
+}
+
+impl Default for DiskDisturbance {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
 /// Analytic service-time model for one array.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DiskModel {
@@ -97,6 +137,25 @@ impl DiskModel {
         } else {
             healthy
         }
+    }
+
+    /// Service time under a fault-injection disturbance. With
+    /// [`DiskDisturbance::NONE`] this takes exactly the same code path
+    /// as [`DiskModel::service_time`] (no float is multiplied by 1.0),
+    /// so undisturbed requests stay bit-identical.
+    pub fn service_time_disturbed(
+        &self,
+        bytes: u64,
+        sequential: bool,
+        disturbance: &DiskDisturbance,
+    ) -> Time {
+        let base = self.service_time_in(bytes, sequential, disturbance.degraded);
+        let slowed = if disturbance.slow_factor == 1.0 {
+            base
+        } else {
+            base.scale(disturbance.slow_factor)
+        };
+        slowed + disturbance.latent_penalty
     }
 
     /// Effective bandwidth (bytes/s) delivered for back-to-back random
@@ -151,6 +210,47 @@ mod tests {
         assert!(degraded > healthy);
         assert!(degraded < healthy * 3, "degradation is bounded");
         assert_eq!(m.service_time(65536, false), healthy);
+    }
+
+    #[test]
+    fn neutral_disturbance_is_bit_identical() {
+        let m = model();
+        for sz in [0u64, 512, 65536, 1 << 20] {
+            for seq in [false, true] {
+                assert_eq!(
+                    m.service_time_disturbed(sz, seq, &DiskDisturbance::NONE),
+                    m.service_time(sz, seq)
+                );
+            }
+        }
+        assert!(DiskDisturbance::default().is_none());
+    }
+
+    #[test]
+    fn disturbances_compose_and_slow_the_disk() {
+        let m = model();
+        let healthy = m.service_time(65536, false);
+        let slow = DiskDisturbance {
+            slow_factor: 2.0,
+            ..DiskDisturbance::NONE
+        };
+        assert!(m.service_time_disturbed(65536, false, &slow) > healthy);
+        let latent = DiskDisturbance {
+            latent_penalty: Time::from_millis(300),
+            ..DiskDisturbance::NONE
+        };
+        assert_eq!(
+            m.service_time_disturbed(65536, false, &latent),
+            healthy + Time::from_millis(300)
+        );
+        let degraded = DiskDisturbance {
+            degraded: true,
+            ..DiskDisturbance::NONE
+        };
+        assert_eq!(
+            m.service_time_disturbed(65536, false, &degraded),
+            m.service_time_in(65536, false, true)
+        );
     }
 
     #[test]

@@ -17,5 +17,5 @@ pub mod disk;
 pub mod mesh;
 
 pub use config::MachineConfig;
-pub use disk::DiskModel;
+pub use disk::{DiskDisturbance, DiskModel};
 pub use mesh::MeshModel;

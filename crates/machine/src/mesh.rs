@@ -84,6 +84,19 @@ impl MeshModel {
         self.message_time_hops(bytes, self.hops(from, to))
     }
 
+    /// One-way latency across `hops` hops under link congestion. A
+    /// congestion factor of `c` means the payload streams at `1/c` of
+    /// the link bandwidth (contending wormhole traffic); the setup and
+    /// per-hop header terms are unaffected. `c == 1.0` takes exactly
+    /// the uncongested path so fault-free runs stay bit-identical.
+    pub fn message_time_hops_congested(&self, bytes: u64, hops: u32, congestion: f64) -> Time {
+        if congestion == 1.0 {
+            return self.message_time_hops(bytes, hops);
+        }
+        let wire = Time::from_secs_f64(bytes as f64 * congestion / self.params.bandwidth_bps);
+        self.params.sw_setup + self.params.per_hop * u64::from(hops) + wire
+    }
+
     /// Time for a binomial-tree broadcast of `bytes` from one root to
     /// `members` processes. Each of the `ceil(log2(members))` stages
     /// forwards the full payload one average-distance hop span away.
@@ -94,6 +107,20 @@ impl MeshModel {
         let stages = 32 - (members - 1).leading_zeros(); // ceil(log2(members))
         let avg_hops = (self.params.rows + self.params.cols) / 4;
         self.message_time_hops(bytes, avg_hops.max(1)) * u64::from(stages)
+    }
+
+    /// [`MeshModel::broadcast_time`] under link congestion; see
+    /// [`MeshModel::message_time_hops_congested`] for the convention.
+    pub fn broadcast_time_congested(&self, members: u32, bytes: u64, congestion: f64) -> Time {
+        if congestion == 1.0 {
+            return self.broadcast_time(members, bytes);
+        }
+        if members <= 1 {
+            return Time::ZERO;
+        }
+        let stages = 32 - (members - 1).leading_zeros();
+        let avg_hops = (self.params.rows + self.params.cols) / 4;
+        self.message_time_hops_congested(bytes, avg_hops.max(1), congestion) * u64::from(stages)
     }
 
     /// Diameter of the mesh in hops.
@@ -159,6 +186,36 @@ mod tests {
         // 128 members -> 7 stages, 2 members -> 1 stage.
         assert_eq!(b128.as_nanos(), b2.as_nanos() * 7);
         assert_eq!(b256.as_nanos(), b2.as_nanos() * 8);
+    }
+
+    #[test]
+    fn congestion_factor_one_is_bit_identical() {
+        let m = model();
+        for bytes in [0u64, 64, 1 << 20] {
+            assert_eq!(
+                m.message_time_hops_congested(bytes, 7, 1.0),
+                m.message_time_hops(bytes, 7)
+            );
+            assert_eq!(
+                m.broadcast_time_congested(128, bytes, 1.0),
+                m.broadcast_time(128, bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_stretches_wire_time_only() {
+        let m = model();
+        // Header-only message: congestion doesn't touch setup/per-hop.
+        assert_eq!(
+            m.message_time_hops_congested(0, 7, 4.0),
+            m.message_time_hops(0, 7)
+        );
+        // Payload-heavy message: congestion dominates.
+        let clean = m.message_time_hops(1 << 20, 7);
+        let jammed = m.message_time_hops_congested(1 << 20, 7, 4.0);
+        assert!(jammed > clean);
+        assert!(m.broadcast_time_congested(128, 1 << 20, 4.0) > m.broadcast_time(128, 1 << 20));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod ioncache;
 pub mod mode;
 pub mod op;
 pub mod policy;
+pub mod resilience;
 pub mod server;
 pub mod stripe;
 
@@ -46,5 +47,6 @@ pub use error::PfsError;
 pub use mode::IoMode;
 pub use op::{Completion, IoOp, OpKind, Outcome};
 pub use policy::PolicyConfig;
+pub use resilience::{ResilienceConfig, ResilienceStats};
 pub use server::{Pfs, PfsConfig};
 pub use stripe::StripeLayout;

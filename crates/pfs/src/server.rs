@@ -23,7 +23,9 @@ use crate::ioncache::IonCache;
 use crate::mode::{IoMode, OsRelease};
 use crate::op::{Completion, IoOp, OpKind, Outcome};
 use crate::policy::PolicyConfig;
+use crate::resilience::{ResilienceConfig, ResilienceStats};
 use crate::stripe::StripeLayout;
+use sioscope_faults::{FaultSchedule, FaultState};
 use sioscope_machine::{DiskModel, MachineConfig, MeshModel};
 use sioscope_sim::{Calendar, CalendarPool, FileId, NodeId, Pid, RendezvousOutcome, RendezvousTable, Time};
 use std::collections::HashMap;
@@ -41,6 +43,12 @@ pub struct PfsConfig {
     pub stripe_unit: u64,
     /// Client-side policy switches (all off = the measured PFS).
     pub policy: PolicyConfig,
+    /// Injected fault scenario. An empty, disengaged schedule (the
+    /// default) keeps every computation bit-identical to a build
+    /// without the fault machinery.
+    pub faults: FaultSchedule,
+    /// How clients react to faults (timeouts, retries, re-routing).
+    pub resilience: ResilienceConfig,
 }
 
 impl PfsConfig {
@@ -52,6 +60,8 @@ impl PfsConfig {
             os,
             stripe_unit: 64 * 1024,
             policy: PolicyConfig::measured_pfs(),
+            faults: FaultSchedule::empty(),
+            resilience: ResilienceConfig::standard(),
         }
     }
 
@@ -63,6 +73,8 @@ impl PfsConfig {
             os: OsRelease::Osf13,
             stripe_unit: 64 * 1024,
             policy: PolicyConfig::measured_pfs(),
+            faults: FaultSchedule::empty(),
+            resilience: ResilienceConfig::standard(),
         }
     }
 }
@@ -104,6 +116,11 @@ pub struct Pfs {
     /// Per-rendezvous-round context: each member's request size.
     pending_sizes: HashMap<u64, Vec<(Pid, u64)>>,
     clients: HashMap<(Pid, FileId), ClientFileState>,
+    /// Compiled fault state; `None` iff the schedule does not engage,
+    /// which is the guarantee that fault-free runs skip every hook.
+    faults: Option<FaultState>,
+    /// Resilience actions taken so far.
+    res_stats: ResilienceStats,
 }
 
 impl Pfs {
@@ -112,6 +129,10 @@ impl Pfs {
         let mesh = MeshModel::new(cfg.machine.mesh.clone());
         let disk = DiskModel::new(cfg.machine.disk.clone());
         let n_ions = cfg.machine.io_nodes as usize;
+        let faults = cfg
+            .faults
+            .engages()
+            .then(|| FaultState::new(&cfg.faults, cfg.machine.io_nodes));
         Pfs {
             mesh,
             disk,
@@ -125,6 +146,8 @@ impl Pfs {
             rdv: RendezvousTable::new(),
             pending_sizes: HashMap::new(),
             clients: HashMap::new(),
+            faults,
+            res_stats: ResilienceStats::default(),
             cfg,
         }
     }
@@ -200,6 +223,16 @@ impl Pfs {
     /// Busy time of the metadata server (open/gopen/setiomode storms).
     pub fn metadata_busy_time(&self) -> Time {
         self.metadata.busy_time()
+    }
+
+    /// Resilience actions taken so far (all zero on fault-free runs).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.res_stats
+    }
+
+    /// The compiled fault state, when the schedule engages.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// Total busy time across the I/O-node mesh injection links.
@@ -704,17 +737,34 @@ impl Pfs {
         let mut end = start;
         for seg in layout.segments(offset, len) {
             let ion = seg.ion as usize;
+            // Background traffic has no client to time out: a prefetch
+            // aimed at a crashed node simply waits for the restart.
+            let seg_start = match &self.faults {
+                Some(s) => s.down_until(seg.ion, start).unwrap_or(start).max(start),
+                None => start,
+            };
+            let disturb = self
+                .faults
+                .as_ref()
+                .map(|s| s.disk_disturbance(seg.ion, seg_start));
             let block = seg.offset / layout.unit;
-            let service = if self.ion_caches[ion].probe(fid, block) {
+            let cache_hit = self.ion_caches[ion].probe(fid, block);
+            let service = if cache_hit {
                 costs.ion_cache_overhead
                     + Time::from_secs_f64(seg.len as f64 / costs.ion_cache_bw)
             } else {
                 let sequential = self.ion_last[ion] == Some((fid, seg.offset));
-                let degraded = self.cfg.machine.degraded_ions.contains(&seg.ion);
-                self.disk.service_time_in(seg.len, sequential, degraded)
+                match &disturb {
+                    Some(d) => self.disk.service_time_disturbed(seg.len, sequential, d),
+                    None => self.disk.service_time(seg.len, sequential),
+                }
+            };
+            let service = match &disturb {
+                Some(d) if cache_hit && d.slow_factor != 1.0 => service.scale(d.slow_factor),
+                _ => service,
             };
             self.ion_caches[ion].insert(fid, block);
-            let begin = start.max(self.ions.get(ion).map(|c| c.free_at()).unwrap_or(start));
+            let begin = seg_start.max(self.ions.get(ion).map(|c| c.free_at()).unwrap_or(seg_start));
             end = end.max(begin + service);
         }
         end
@@ -944,6 +994,55 @@ impl Pfs {
         self.net_arrival(data_end, pid, fid, offset, len)
     }
 
+    /// Resolve a segment's I/O node under the resilience policy: if
+    /// the node is crashed at `start`, the client times out, walks the
+    /// retry ladder with exponential backoff, and finally re-routes to
+    /// a healthy node (reads may short-circuit via the reduced-stripe
+    /// reconstruction path) or stalls until restart. Returns the
+    /// serving node, the instant service can begin, and a service-time
+    /// factor (> 1 when the serving node must reconstruct from
+    /// parity). The no-fault path returns the inputs untouched.
+    fn engage_ion(&mut self, ion: u32, start: Time, write: bool) -> (u32, Time, f64) {
+        let Some(state) = &self.faults else {
+            return (ion, start, 1.0);
+        };
+        let Some(back_up) = state.down_until(ion, start) else {
+            return (ion, start, 1.0);
+        };
+        let r = self.cfg.resilience;
+        self.res_stats.timeouts += 1;
+        let mut t = start.saturating_add(r.request_timeout);
+        // Reads can be reconstructed from the surviving stripes +
+        // parity; one probing retry, then fall back at reduced width.
+        if !write && r.reduced_stripe_reads && r.reroute {
+            if let Some(alt) = state.first_healthy_ion(t, ion) {
+                self.res_stats.retries += 1;
+                self.res_stats.degraded_reads += 1;
+                self.res_stats.reroutes += 1;
+                return (alt, t.saturating_add(r.backoff_base), r.reroute_penalty);
+            }
+        }
+        let mut backoff = r.backoff_base;
+        for _ in 0..r.max_retries {
+            self.res_stats.retries += 1;
+            t = t.saturating_add(backoff);
+            backoff = backoff.scale(r.backoff_multiplier);
+            if !state.is_down(ion, t) {
+                // The node restarted while the client was backing off.
+                return (ion, t, 1.0);
+            }
+        }
+        if r.reroute {
+            if let Some(alt) = state.first_healthy_ion(t, ion) {
+                self.res_stats.reroutes += 1;
+                return (alt, t, r.reroute_penalty);
+            }
+        }
+        // Nowhere to go: stall until the node comes back.
+        self.res_stats.aborts += 1;
+        (ion, t.max(back_up), 1.0)
+    }
+
     /// Raw striped transfer: reserve every segment on its I/O node's
     /// calendar starting no earlier than `start`; returns the latest
     /// segment finish. Reads pay disk positioning (sequential detection
@@ -956,23 +1055,46 @@ impl Pfs {
         let costs = self.cfg.costs.clone();
         let mut end = start;
         for seg in layout.segments(offset, len) {
-            let ion = seg.ion as usize;
+            let (serving, seg_start, route_factor) = self.engage_ion(seg.ion, start, write);
+            let ion = serving as usize;
+            let disturb = self
+                .faults
+                .as_ref()
+                .map(|s| s.disk_disturbance(serving, seg_start));
             let block = seg.offset / layout.unit;
+            let cache_hit = !write && self.ion_caches[ion].probe(fid, block);
             let service = if write {
                 costs.ion_write_overhead
                     + Time::from_secs_f64(seg.len as f64 / costs.ion_write_bw)
-            } else if self.ion_caches[ion].probe(fid, block) {
+            } else if cache_hit {
                 // Served from I/O-node memory: no disk positioning.
                 costs.ion_cache_overhead
                     + Time::from_secs_f64(seg.len as f64 / costs.ion_cache_bw)
             } else {
                 let sequential = self.ion_last[ion] == Some((fid, seg.offset));
-                let degraded = self.cfg.machine.degraded_ions.contains(&seg.ion);
-                self.disk.service_time_in(seg.len, sequential, degraded)
+                match &disturb {
+                    Some(d) => self.disk.service_time_disturbed(seg.len, sequential, d),
+                    None => self.disk.service_time(seg.len, sequential),
+                }
+            };
+            // Node-level slowdowns hit the cache and write paths too —
+            // the I/O-node daemon itself is starved, not just the disk
+            // (the disk branch already applied the factor inside
+            // `service_time_disturbed`).
+            let service = match &disturb {
+                Some(d) if (write || cache_hit) && d.slow_factor != 1.0 => {
+                    service.scale(d.slow_factor)
+                }
+                _ => service,
+            };
+            let service = if route_factor == 1.0 {
+                service
+            } else {
+                service.scale(route_factor)
             };
             // Reads bring the block in; writes deposit it.
             self.ion_caches[ion].insert(fid, block);
-            let res = self.ions.reserve(ion, start, service);
+            let res = self.ions.reserve(ion, seg_start, service);
             self.ion_last[ion] = Some((fid, seg.offset + seg.len));
             end = end.max(res.finish);
         }
@@ -999,12 +1121,20 @@ impl Pfs {
         if len == 0 {
             return data_ready + params.sw_setup;
         }
+        let congestion = self
+            .faults
+            .as_ref()
+            .map_or(1.0, |s| s.link_factor(data_ready));
         // Each stripe segment streams out of its own I/O node's link;
         // the client receives when the last segment lands.
         let mut last = data_ready;
         let mut max_hops = 0;
         for seg in layout.segments(offset, len) {
-            let wire = Time::from_secs_f64(seg.len as f64 / params.bandwidth_bps);
+            let wire = if congestion == 1.0 {
+                Time::from_secs_f64(seg.len as f64 / params.bandwidth_bps)
+            } else {
+                Time::from_secs_f64(seg.len as f64 * congestion / params.bandwidth_bps)
+            };
             let res = self.ion_links.reserve(seg.ion as usize, data_ready, wire);
             last = last.max(res.finish);
             let from = self.cfg.machine.io_position(seg.ion);
@@ -1027,10 +1157,18 @@ impl Pfs {
         let layout = self.files[fid.index()].layout;
         let to = self.cfg.machine.compute_position(NodeId(pid.0));
         let params = self.mesh.params();
+        let congestion = self
+            .faults
+            .as_ref()
+            .map_or(1.0, |s| s.link_factor(data_ready));
         let mut last = data_ready;
         let mut max_hops = 0;
         for seg in layout.segments(offset, len) {
-            let wire = Time::from_secs_f64(seg.len as f64 / params.bandwidth_bps);
+            let wire = if congestion == 1.0 {
+                Time::from_secs_f64(seg.len as f64 / params.bandwidth_bps)
+            } else {
+                Time::from_secs_f64(seg.len as f64 * congestion / params.bandwidth_bps)
+            };
             let begin = data_ready.max(
                 self.ion_links
                     .get(seg.ion as usize)
@@ -1107,7 +1245,14 @@ impl Pfs {
                 let extra = if write {
                     Time::ZERO
                 } else {
-                    self.mesh.broadcast_time(members.len() as u32, size)
+                    match &self.faults {
+                        Some(s) => self.mesh.broadcast_time_congested(
+                            members.len() as u32,
+                            size,
+                            s.link_factor(data_end),
+                        ),
+                        None => self.mesh.broadcast_time(members.len() as u32, size),
+                    }
                 };
                 let finish = data_end + extra + overhead;
                 members
@@ -1930,7 +2075,7 @@ mod tests {
         let run_read = |degraded: bool| -> Time {
             let mut cfg = PfsConfig::tiny();
             if degraded {
-                cfg.machine.degraded_ions = vec![0, 1];
+                cfg.faults = FaultSchedule::degraded_from_start(&[0, 1]);
             }
             let mut p = Pfs::new(cfg);
             let f = p.create_file_with_size("d", 4 << 20);
@@ -1952,6 +2097,97 @@ mod tests {
         let degraded = run_read(true);
         assert!(degraded > healthy, "degraded {degraded} vs healthy {healthy}");
         assert!(degraded < healthy * 3, "degradation bounded");
+    }
+
+    /// Drive one pid through open + a string of reads and return the
+    /// final completion time plus the server itself.
+    fn read_mb(cfg: PfsConfig) -> (Time, Pfs) {
+        let mut p = Pfs::new(cfg);
+        let f = p.create_file_with_size("r", 8 << 20);
+        let c = only(p.submit(Time::ZERO, Pid(0), f, &IoOp::Open).unwrap());
+        let mut t = c.finish;
+        for _ in 0..16 {
+            let r = only(p.submit(t, Pid(0), f, &IoOp::Read { size: 128 << 10 }).unwrap());
+            t = r.finish;
+        }
+        (t, p)
+    }
+
+    #[test]
+    fn engaged_empty_schedule_is_bit_identical() {
+        let (plain, p1) = read_mb(PfsConfig::tiny());
+        let mut cfg = PfsConfig::tiny();
+        cfg.faults = FaultSchedule::engaged_empty();
+        let (hooked, p2) = read_mb(cfg);
+        assert!(p2.fault_state().is_some(), "hooks are in the loop");
+        assert_eq!(plain, hooked, "empty schedule must not move a single ns");
+        assert_eq!(p1.ion_busy_time(), p2.ion_busy_time());
+        assert_eq!(p1.ion_cache_stats(), p2.ion_cache_stats());
+        assert!(p2.resilience_stats().is_quiet());
+    }
+
+    #[test]
+    fn crashed_ion_triggers_timeout_and_reroute() {
+        use sioscope_faults::FaultKind;
+        let mut cfg = PfsConfig::tiny();
+        cfg.faults.push(
+            Time::ZERO,
+            FaultKind::IonCrash {
+                ion: 0,
+                restart: Time::from_secs(30),
+            },
+        );
+        let (faulty, p) = read_mb(cfg);
+        let (healthy, _) = read_mb(PfsConfig::tiny());
+        let stats = p.resilience_stats();
+        assert!(stats.timeouts > 0, "{stats:?}");
+        assert!(stats.retries > 0, "{stats:?}");
+        assert!(stats.reroutes > 0, "{stats:?}");
+        assert!(stats.degraded_reads > 0, "reads use the reduced-stripe path");
+        assert_eq!(stats.aborts, 0, "a healthy node was available");
+        assert!(faulty > healthy, "faults cost time: {faulty} vs {healthy}");
+    }
+
+    #[test]
+    fn crash_of_every_ion_stalls_until_restart() {
+        use sioscope_faults::FaultKind;
+        let mut cfg = PfsConfig::tiny();
+        for ion in 0..cfg.machine.io_nodes {
+            cfg.faults.push(
+                Time::ZERO,
+                FaultKind::IonCrash {
+                    ion,
+                    restart: Time::from_secs(5),
+                },
+            );
+        }
+        let (faulty, p) = read_mb(cfg);
+        let stats = p.resilience_stats();
+        assert!(stats.aborts > 0, "{stats:?}");
+        assert!(
+            faulty > Time::from_secs(5),
+            "run waited out the restart: {faulty}"
+        );
+    }
+
+    #[test]
+    fn link_congestion_inflates_transfers() {
+        use sioscope_faults::FaultKind;
+        let mut cfg = PfsConfig::tiny();
+        cfg.faults.push(
+            Time::ZERO,
+            FaultKind::LinkCongestion {
+                duration: Time::from_secs(1_000),
+                factor: 4.0,
+            },
+        );
+        let (jammed, p) = read_mb(cfg);
+        let (healthy, _) = read_mb(PfsConfig::tiny());
+        assert!(jammed > healthy, "{jammed} vs {healthy}");
+        assert!(
+            p.resilience_stats().is_quiet(),
+            "congestion needs no recovery actions"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod ids;
 pub mod rendezvous;
 pub mod rng;
 pub mod time;
+pub mod timeline;
 
 pub use calendar::{Calendar, CalendarPool, Reservation};
 pub use event::{EventQueue, ScheduledEvent};
@@ -35,3 +36,4 @@ pub use ids::{FileId, NodeId, Pid};
 pub use rendezvous::{RendezvousOutcome, RendezvousTable};
 pub use rng::DetRng;
 pub use time::Time;
+pub use timeline::PiecewiseFactor;

@@ -1,0 +1,104 @@
+//! Determinism guarantees of the fault-injection subsystem.
+//!
+//! Two invariants protect the reproduction results:
+//!
+//! 1. an *empty* fault schedule must be invisible — even when it is
+//!    forced to engage the fault hooks, every run artifact must be
+//!    byte-identical to a plain run;
+//! 2. a *non-empty* schedule must replay exactly: the same seed and
+//!    intensity produce identical execution times, traces and
+//!    resilience counters on every run.
+
+use proptest::prelude::*;
+use sioscope::simulator::{run, RunResult, SimOptions};
+use sioscope_faults::{FaultGen, FaultSchedule};
+use sioscope_pfs::PfsConfig;
+use sioscope_sim::Time;
+use sioscope_workloads::{EscatConfig, EscatVersion, PrismConfig, PrismVersion, Workload};
+
+fn run_with(workload: &Workload, faults: FaultSchedule) -> RunResult {
+    let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+    cfg.faults = faults;
+    run(workload, cfg, SimOptions::default()).expect("runs")
+}
+
+fn assert_bit_identical(plain: &RunResult, engaged: &RunResult) {
+    assert_eq!(plain.exec_time, engaged.exec_time, "{}", plain.name);
+    assert_eq!(plain.node_finish, engaged.node_finish, "{}", plain.name);
+    assert_eq!(plain.events, engaged.events, "{}", plain.name);
+    assert_eq!(
+        plain.trace.events(),
+        engaged.trace.events(),
+        "{}",
+        plain.name
+    );
+    assert_eq!(engaged.fault_transitions, 0, "{}", plain.name);
+    assert!(
+        engaged.resilience.is_quiet(),
+        "{}: {:?}",
+        plain.name,
+        engaged.resilience
+    );
+}
+
+#[test]
+fn engaged_empty_schedule_is_invisible_for_escat() {
+    for v in [EscatVersion::A, EscatVersion::B, EscatVersion::C] {
+        let w = EscatConfig::tiny(v).build();
+        let plain = run_with(&w, FaultSchedule::empty());
+        let engaged = run_with(&w, FaultSchedule::engaged_empty());
+        assert_bit_identical(&plain, &engaged);
+    }
+}
+
+#[test]
+fn engaged_empty_schedule_is_invisible_for_prism() {
+    for v in [PrismVersion::A, PrismVersion::B, PrismVersion::C] {
+        let w = PrismConfig::tiny(v).build();
+        let plain = run_with(&w, FaultSchedule::empty());
+        let engaged = run_with(&w, FaultSchedule::engaged_empty());
+        assert_bit_identical(&plain, &engaged);
+    }
+}
+
+#[test]
+fn faulty_runs_replay_exactly() {
+    let w = PrismConfig::tiny(PrismVersion::B).build();
+    let cfg = PfsConfig::caltech(w.nodes, w.os);
+    let faults = FaultGen::new(0xD0_0DAD, Time::from_secs(30), cfg.machine.io_nodes)
+        .with_events(6)
+        .schedule();
+    let a = run_with(&w, faults.clone());
+    let b = run_with(&w, faults);
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.fault_transitions, b.fault_transitions);
+    assert_eq!(a.resilience, b.resilience);
+    assert_eq!(a.trace.events(), b.trace.events());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed + intensity → identical resilience counters and run
+    /// artifacts, for any generated schedule.
+    #[test]
+    fn same_seed_replay_has_identical_retry_and_abort_counters(
+        seed in any::<u64>(),
+        intensity in 0usize..8,
+    ) {
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let cfg = PfsConfig::caltech(w.nodes, w.os);
+        let faults = FaultGen::new(seed, Time::from_secs(20), cfg.machine.io_nodes)
+            .with_events(intensity)
+            .schedule();
+        let a = run_with(&w, faults.clone());
+        let b = run_with(&w, faults);
+        prop_assert_eq!(a.resilience.retries, b.resilience.retries);
+        prop_assert_eq!(a.resilience.aborts, b.resilience.aborts);
+        prop_assert_eq!(a.resilience, b.resilience);
+        prop_assert_eq!(a.exec_time, b.exec_time);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.fault_transitions, b.fault_transitions);
+    }
+}
