@@ -69,8 +69,7 @@ impl BandwidthSeries {
             return 0.0;
         }
         let total: u64 = self.bytes_per_window.iter().sum();
-        total as f64
-            / (self.window.as_secs_f64() * self.bytes_per_window.len() as f64)
+        total as f64 / (self.window.as_secs_f64() * self.bytes_per_window.len() as f64)
     }
 
     /// Peak-to-mean ratio — the classic burstiness indicator (1 =

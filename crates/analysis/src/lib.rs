@@ -9,28 +9,28 @@
 //! of all of them.
 
 pub mod bandwidth;
-pub mod histogram;
-pub mod interarrival;
-pub mod phases;
 pub mod cdf;
 pub mod classify;
 pub mod compare;
+pub mod histogram;
+pub mod interarrival;
 pub mod modes;
 pub mod parallelism;
+pub mod phases;
 pub mod plot;
 pub mod stats;
 pub mod table;
 pub mod timeline;
 
 pub use bandwidth::BandwidthSeries;
-pub use histogram::LogHistogram;
-pub use interarrival::Interarrival;
-pub use phases::{detect as detect_phases, PhaseKind, PhaseSpan};
 pub use cdf::Cdf;
 pub use classify::{classify_all, classify_file, FileClass, IoClass};
 pub use compare::{Evolution, OpDelta};
+pub use histogram::LogHistogram;
+pub use interarrival::Interarrival;
 pub use modes::{ModeStats, ModeUsage};
 pub use parallelism::{ConcurrencyProfile, NodeBalance};
+pub use phases::{detect as detect_phases, PhaseKind, PhaseSpan};
 pub use stats::Summary;
 pub use table::{ExecTimeTable, IoTimeTable};
 pub use timeline::Timeline;

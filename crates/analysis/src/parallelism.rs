@@ -135,10 +135,7 @@ impl NodeBalance {
 
     /// Number of nodes that performed any I/O.
     pub fn active_nodes(&self) -> usize {
-        self.per_node
-            .values()
-            .filter(|t| !t.is_zero())
-            .count()
+        self.per_node.values().filter(|t| !t.is_zero()).count()
     }
 
     /// Gini coefficient of per-node I/O time (0 = perfectly even,

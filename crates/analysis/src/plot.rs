@@ -36,7 +36,10 @@ fn scatter(title: &str, tl: &Timeline, width: usize, height: usize, log_y: bool)
     let max_v = tl.max_value().max(1);
     let min_v = tl.min_nonzero().unwrap_or(1);
     let (y_lo, y_hi) = if log_y {
-        ((min_v as f64).log10(), (max_v as f64).log10().max((min_v as f64).log10() + 1e-9))
+        (
+            (min_v as f64).log10(),
+            (max_v as f64).log10().max((min_v as f64).log10() + 1e-9),
+        )
     } else {
         (0.0, max_v as f64)
     };
@@ -76,12 +79,7 @@ fn scatter(title: &str, tl: &Timeline, width: usize, height: usize, log_y: bool)
         };
         let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "{}+{}",
-        " ".repeat(10),
-        "-".repeat(width)
-    );
+    let _ = writeln!(out, "{}+{}", " ".repeat(10), "-".repeat(width));
     let _ = writeln!(
         out,
         "{}0s{}{}",
@@ -98,7 +96,10 @@ pub fn cdf_plot(title: &str, cdf: &Cdf, width: usize, height: usize) -> String {
     let width = width.max(10);
     let height = height.max(4);
     let mut out = String::new();
-    let _ = writeln!(out, "{title}   ('#' = fraction of requests, 'o' = fraction of data)");
+    let _ = writeln!(
+        out,
+        "{title}   ('#' = fraction of requests, 'o' = fraction of data)"
+    );
     if cdf.is_empty() {
         let _ = writeln!(out, "  (no samples)");
         return out;

@@ -194,7 +194,11 @@ mod tests {
 
     #[test]
     fn io_table_percentages() {
-        let d = durations(&[(OpKind::Open, 500), (OpKind::Read, 300), (OpKind::Write, 200)]);
+        let d = durations(&[
+            (OpKind::Open, 500),
+            (OpKind::Read, 300),
+            (OpKind::Write, 200),
+        ]);
         let t = IoTimeTable::from_durations("A", &d);
         assert!((t.pct(OpKind::Open) - 50.0).abs() < 1e-9);
         assert!((t.pct(OpKind::Read) - 30.0).abs() < 1e-9);
@@ -222,10 +226,8 @@ mod tests {
     #[test]
     fn render_marks_absent_ops_with_dash() {
         let a = IoTimeTable::from_durations("A", &durations(&[(OpKind::Open, 10)]));
-        let b = IoTimeTable::from_durations(
-            "B",
-            &durations(&[(OpKind::Open, 5), (OpKind::Gopen, 5)]),
-        );
+        let b =
+            IoTimeTable::from_durations("B", &durations(&[(OpKind::Open, 5), (OpKind::Gopen, 5)]));
         let text = render_io_table("Table 2", &[a, b]);
         assert!(text.contains("Table 2"));
         assert!(text.contains("open"));

@@ -83,8 +83,8 @@ impl Timeline {
         let span = self.span().as_nanos().max(1);
         let mut buckets: Vec<Option<(Time, u64)>> = vec![None; max_points];
         for &(t, v) in &self.points {
-            let idx = (((t - start).as_nanos() as u128 * max_points as u128)
-                / (span as u128 + 1)) as usize;
+            let idx = (((t - start).as_nanos() as u128 * max_points as u128) / (span as u128 + 1))
+                as usize;
             let idx = idx.min(max_points - 1);
             match buckets[idx] {
                 Some((_, best)) if best >= v => {}

@@ -54,5 +54,11 @@ fn bench_rng(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_calendar, bench_rendezvous, bench_rng);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_calendar,
+    bench_rendezvous,
+    bench_rng
+);
 criterion_main!(benches);

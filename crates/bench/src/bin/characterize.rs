@@ -15,8 +15,8 @@
 
 use sioscope_analysis::classify::class_totals;
 use sioscope_analysis::{
-    classify_all, detect_phases, phases, BandwidthSeries, Cdf, ConcurrencyProfile,
-    LogHistogram, ModeUsage, NodeBalance,
+    classify_all, detect_phases, phases, BandwidthSeries, Cdf, ConcurrencyProfile, LogHistogram,
+    ModeUsage, NodeBalance,
 };
 use sioscope_pfs::OpKind;
 use sioscope_sim::{Pid, Time};
@@ -122,7 +122,11 @@ fn main() {
     let classes = classify_all(events, Time::from_secs(30));
     println!("Miller-Katz classes:");
     for (label, (bytes, time)) in class_totals(&classes) {
-        println!("  {label:<22} {:>10.1} MB {:>10.2}s", bytes as f64 / 1e6, time.as_secs_f64());
+        println!(
+            "  {label:<22} {:>10.1} MB {:>10.2}s",
+            bytes as f64 / 1e6,
+            time.as_secs_f64()
+        );
     }
 
     // Phases.

@@ -220,16 +220,23 @@ pub fn no_restructuring(scale: Scale) -> ExperimentOutput {
     // should have provided.
     let bc_manual = io(&b_measured) - io(&c_measured);
     let bc_policy = io(&b_measured) - io(&b_policies);
-    let bc_recovered = if bc_manual > 0.0 { bc_policy / bc_manual } else { 0.0 };
+    let bc_recovered = if bc_manual > 0.0 {
+        bc_policy / bc_manual
+    } else {
+        0.0
+    };
     // The A -> C rewrite also removed redundant reads and the open
     // storm - structural changes no FS policy can make.
     let ac_manual = io(&a_measured) - io(&c_measured);
     let ac_policy = io(&a_measured) - io(&a_policies);
-    let ac_recovered = if ac_manual > 0.0 { ac_policy / ac_manual } else { 0.0 };
+    let ac_recovered = if ac_manual > 0.0 {
+        ac_policy / ac_manual
+    } else {
+        0.0
+    };
 
-    let mut rendered = String::from(
-        "Counterfactual: §7 file-system policies applied to the unmodified code\n",
-    );
+    let mut rendered =
+        String::from("Counterfactual: §7 file-system policies applied to the unmodified code\n");
     let _ = writeln!(rendered, "  {:<34}{:>12}", "configuration", "total I/O");
     let _ = writeln!(rendered, "  {}", "-".repeat(46));
     for (label, v) in [

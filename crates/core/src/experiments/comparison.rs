@@ -59,9 +59,8 @@ fn render_row(out: &mut String, label: &str, d: &Dimensions) {
 
 /// Run the §6 comparison.
 pub fn section6(scale: Scale) -> ExperimentOutput {
-    let mut rendered = String::from(
-        "Section 6: application comparison across the three I/O dimensions\n",
-    );
+    let mut rendered =
+        String::from("Section 6: application comparison across the three I/O dimensions\n");
     let _ = writeln!(
         rendered,
         "{:<10}{:>14}{:>16}{:>16}{:>12}{:>8}",
@@ -83,9 +82,8 @@ pub fn section6(scale: Scale) -> ExperimentOutput {
         dims.push((format!("PRISM-{}", v.label()), d));
     }
 
-    let get = |name: &str| -> &Dimensions {
-        &dims.iter().find(|(n, _)| n == name).expect("measured").1
-    };
+    let get =
+        |name: &str| -> &Dimensions { &dims.iter().find(|(n, _)| n == name).expect("measured").1 };
     let escat_a = get("ESCAT-A");
     let escat_c = get("ESCAT-C");
     let prism_a = get("PRISM-A");
@@ -126,8 +124,7 @@ pub fn section6(scale: Scale) -> ExperimentOutput {
             // "a few large requests (greater 150KB) constitute the
             // majority of I/O data volume" (§5.2).
             "§6.2: optimized versions move data via large structured requests",
-            escat_c.large_read_data_fraction > 0.9
-                && prism_c.large_read_data_fraction > 0.55,
+            escat_c.large_read_data_fraction > 0.9 && prism_c.large_read_data_fraction > 0.55,
             format!(
                 "ESCAT-C {:.1}%, PRISM-C {:.1}%",
                 100.0 * escat_c.large_read_data_fraction,

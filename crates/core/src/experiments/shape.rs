@@ -34,13 +34,7 @@ impl ShapeCheck {
     }
 
     /// Check that `a > b` (strict ordering of two measured values).
-    pub fn greater(
-        name: impl Into<String>,
-        a_label: &str,
-        a: f64,
-        b_label: &str,
-        b: f64,
-    ) -> Self {
+    pub fn greater(name: impl Into<String>, a_label: &str, a: f64, b_label: &str, b: f64) -> Self {
         ShapeCheck {
             name: name.into(),
             pass: a > b,

@@ -244,10 +244,7 @@ mod tests {
     #[test]
     fn table_columns_sum_to_about_100() {
         for col in ESCAT_TABLE2.iter().chain(PRISM_TABLE5.iter()) {
-            let sum: f64 = OpKind::all()
-                .iter()
-                .filter_map(|&k| col.get(k))
-                .sum();
+            let sum: f64 = OpKind::all().iter().filter_map(|&k| col.get(k)).sum();
             assert!(
                 (sum - 100.0).abs() < 0.5,
                 "column {} sums to {sum}",

@@ -22,9 +22,15 @@ pub fn run_all(scale: Scale) -> Vec<ExperimentOutput> {
 /// Render one experiment output, including its shape-check verdicts.
 pub fn render_output(out: &ExperimentOutput) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "================================================================");
+    let _ = writeln!(
+        s,
+        "================================================================"
+    );
     let _ = writeln!(s, "{} [{}]", out.experiment.title(), out.experiment.id());
-    let _ = writeln!(s, "================================================================");
+    let _ = writeln!(
+        s,
+        "================================================================"
+    );
     s.push_str(&out.rendered);
     let _ = writeln!(s, "Shape checks vs. paper:");
     s.push_str(&shape::render_checks(&out.checks));
@@ -94,11 +100,7 @@ mod tests {
     fn full_report_covers_every_experiment() {
         let report = full_report(Scale::Smoke);
         for e in Experiment::all() {
-            assert!(
-                report.contains(e.id()),
-                "report missing {}",
-                e.id()
-            );
+            assert!(report.contains(e.id()), "report missing {}", e.id());
         }
     }
 

@@ -170,7 +170,9 @@ impl FaultSchedule {
                 }
             }
             match ev.kind {
-                FaultKind::LatentSector { duration, penalty, .. } => {
+                FaultKind::LatentSector {
+                    duration, penalty, ..
+                } => {
                     if duration.is_zero() {
                         problems.push(format!("event {i}: latent-sector window is empty"));
                     }
@@ -190,7 +192,9 @@ impl FaultSchedule {
                         problems.push(format!("event {i}: crash with zero restart time"));
                     }
                 }
-                FaultKind::IonSlowdown { duration, factor, .. } => {
+                FaultKind::IonSlowdown {
+                    duration, factor, ..
+                } => {
                     if duration.is_zero() {
                         problems.push(format!("event {i}: slowdown window is empty"));
                     }
@@ -311,8 +315,7 @@ mod tests {
                 factor: 2.0,
             },
         ];
-        let labels: std::collections::HashSet<&str> =
-            kinds.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
         assert_eq!(kinds[4].ion(), None);
         assert_eq!(kinds[0].ion(), Some(0));

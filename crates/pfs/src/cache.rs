@@ -202,7 +202,10 @@ mod tests {
         let mut c = ClientFileState::new();
         let t = Time::from_millis(30);
         c.install_prefetch(200, 100, t);
-        assert_eq!(c.probe_read(220, 10), ReadProbe::PrefetchHit { ready_at: t });
+        assert_eq!(
+            c.probe_read(220, 10),
+            ReadProbe::PrefetchHit { ready_at: t }
+        );
         let promoted = c.promote_prefetch().unwrap();
         assert_eq!(promoted, (200, 100));
         assert_eq!(c.probe_read(220, 10), ReadProbe::Hit);

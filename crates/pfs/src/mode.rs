@@ -93,9 +93,7 @@ impl fmt::Display for IoMode {
 
 /// The operating-system releases the study spanned (Table 1: versions
 /// A and B ran under OSF 1.2, version C under OSF 1.3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OsRelease {
     /// OSF/1 R1.2 — no M_ASYNC.
     Osf12,

@@ -89,9 +89,7 @@ impl IoOp {
 
 /// Operation categories — exactly the rows of the paper's Tables 2, 3
 /// and 5.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OpKind {
     /// Non-collective `open`.
     Open,

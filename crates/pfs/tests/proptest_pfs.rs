@@ -1,7 +1,9 @@
 //! Property-based tests of the PFS model.
 
 use proptest::prelude::*;
-use sioscope_pfs::{AccessPattern, IoMode, IoOp, Outcome, PatternDetector, Pfs, PfsConfig, StripeLayout};
+use sioscope_pfs::{
+    AccessPattern, IoMode, IoOp, Outcome, PatternDetector, Pfs, PfsConfig, StripeLayout,
+};
 use sioscope_sim::{Pid, Time};
 
 proptest! {
@@ -210,7 +212,6 @@ proptest! {
         prop_assert_eq!(pfs.file(f).unwrap().size, high);
     }
 }
-
 
 proptest! {
     /// Any strictly sequential stream of length >= confidence + 2 is

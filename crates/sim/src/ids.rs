@@ -7,9 +7,7 @@ use std::fmt;
 /// paper's workloads, so `Pid` and `NodeId` usually coincide — but the
 /// kernel keeps them distinct so multi-process-per-node configurations
 /// remain expressible).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Pid(pub u32);
 
@@ -28,9 +26,7 @@ impl fmt::Display for Pid {
 }
 
 /// A compute or I/O node of the simulated machine.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(pub u32);
 
@@ -49,9 +45,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A file managed by the simulated parallel file system.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct FileId(pub u32);
 

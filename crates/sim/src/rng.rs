@@ -83,7 +83,10 @@ mod tests {
         let mut a = DetRng::new(42);
         let mut b = DetRng::new(42);
         for _ in 0..100 {
-            assert_eq!(a.range_inclusive(0, 1_000_000), b.range_inclusive(0, 1_000_000));
+            assert_eq!(
+                a.range_inclusive(0, 1_000_000),
+                b.range_inclusive(0, 1_000_000)
+            );
         }
     }
 
@@ -91,8 +94,12 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = DetRng::new(1);
         let mut b = DetRng::new(2);
-        let va: Vec<u64> = (0..16).map(|_| a.range_inclusive(0, u64::MAX - 1)).collect();
-        let vb: Vec<u64> = (0..16).map(|_| b.range_inclusive(0, u64::MAX - 1)).collect();
+        let va: Vec<u64> = (0..16)
+            .map(|_| a.range_inclusive(0, u64::MAX - 1))
+            .collect();
+        let vb: Vec<u64> = (0..16)
+            .map(|_| b.range_inclusive(0, u64::MAX - 1))
+            .collect();
         assert_ne!(va, vb);
     }
 
@@ -102,9 +109,15 @@ mod tests {
         let mut f1 = root.fork(3);
         let mut f1b = root.fork(3);
         let mut f2 = root.fork(4);
-        let a: Vec<u64> = (0..8).map(|_| f1.range_inclusive(0, u64::MAX - 1)).collect();
-        let b: Vec<u64> = (0..8).map(|_| f1b.range_inclusive(0, u64::MAX - 1)).collect();
-        let c: Vec<u64> = (0..8).map(|_| f2.range_inclusive(0, u64::MAX - 1)).collect();
+        let a: Vec<u64> = (0..8)
+            .map(|_| f1.range_inclusive(0, u64::MAX - 1))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| f1b.range_inclusive(0, u64::MAX - 1))
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map(|_| f2.range_inclusive(0, u64::MAX - 1))
+            .collect();
         assert_eq!(a, b, "fork must be deterministic");
         assert_ne!(a, c, "different tags must produce different streams");
     }

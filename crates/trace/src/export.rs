@@ -42,7 +42,11 @@ mod tests {
             t.record(IoEvent {
                 pid: Pid(i % 3),
                 file: FileId(i % 2),
-                kind: if i % 2 == 0 { OpKind::Read } else { OpKind::Write },
+                kind: if i % 2 == 0 {
+                    OpKind::Read
+                } else {
+                    OpKind::Write
+                },
                 start: Time::from_millis(u64::from(i) * 10),
                 duration: Time::from_micros(u64::from(i) + 1),
                 bytes: u64::from(i) * 100,

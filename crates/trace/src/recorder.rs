@@ -141,7 +141,12 @@ impl TraceRecorder {
     pub fn invariant_violations(&self) -> usize {
         self.events
             .iter()
-            .filter(|e| e.start.as_nanos().checked_add(e.duration.as_nanos()).is_none())
+            .filter(|e| {
+                e.start
+                    .as_nanos()
+                    .checked_add(e.duration.as_nanos())
+                    .is_none()
+            })
             .count()
     }
 }

@@ -41,20 +41,22 @@ fn arb_event() -> impl Strategy<Value = IoEvent> {
         0u64..1_000_000,
         arb_mode(),
     )
-        .prop_map(|(pid, file, kind, start, dur, bytes, offset, mode)| IoEvent {
-            pid: Pid(pid),
-            file: FileId(file),
-            kind,
-            start: Time::from_nanos(start),
-            duration: Time::from_nanos(dur),
-            bytes: if matches!(kind, OpKind::Read | OpKind::Write) {
-                bytes
-            } else {
-                0
+        .prop_map(
+            |(pid, file, kind, start, dur, bytes, offset, mode)| IoEvent {
+                pid: Pid(pid),
+                file: FileId(file),
+                kind,
+                start: Time::from_nanos(start),
+                duration: Time::from_nanos(dur),
+                bytes: if matches!(kind, OpKind::Read | OpKind::Write) {
+                    bytes
+                } else {
+                    0
+                },
+                offset,
+                mode,
             },
-            offset,
-            mode,
-        })
+        )
 }
 
 proptest! {

@@ -165,14 +165,16 @@ mod tests {
     #[test]
     fn builder_assembles_statements() {
         let mut b = ProgramBuilder::new();
-        b.open(0)
-            .read_n(0, 3, 100)
-            .barrier()
-            .write(0, 50)
-            .close(0);
+        b.open(0).read_n(0, 3, 100).barrier().write(0, 50).close(0);
         let stmts = b.build();
         assert_eq!(stmts.len(), 7);
-        assert!(matches!(stmts[0], Stmt::Io { file: 0, op: IoOp::Open }));
+        assert!(matches!(
+            stmts[0],
+            Stmt::Io {
+                file: 0,
+                op: IoOp::Open
+            }
+        ));
         assert!(matches!(stmts[4], Stmt::Barrier));
     }
 

@@ -418,8 +418,7 @@ impl EscatConfig {
                     if is_root {
                         self.phase1_reads(&mut b);
                     }
-                    let init_total =
-                        k.input_problem_bytes + 2 * k.input_matrix_bytes;
+                    let init_total = k.input_problem_bytes + 2 * k.input_matrix_bytes;
                     let chunks = init_total.div_ceil(k.broadcast_chunk);
                     for _ in 0..chunks {
                         b.broadcast(0, k.broadcast_chunk);
@@ -480,8 +479,7 @@ impl EscatConfig {
                             b.setiomode(quad_file(c), n, IoMode::MAsync);
                         }
                     }
-                    let per_node_cycle =
-                        quad_total / (u64::from(k.cycles) * u64::from(n));
+                    let per_node_cycle = quad_total / (u64::from(k.cycles) * u64::from(n));
                     for cycle in 0..k.cycles {
                         b.compute_jittered(
                             (k.compute_stage / u64::from(k.cycles)).scale(scale),
@@ -529,8 +527,7 @@ impl EscatConfig {
                             b.open(quad_file(c));
                             let mut read = 0;
                             while read < k.quad_bytes_per_channel {
-                                let sz =
-                                    k.reload_chunk_a.min(k.quad_bytes_per_channel - read);
+                                let sz = k.reload_chunk_a.min(k.quad_bytes_per_channel - read);
                                 b.read(quad_file(c), sz);
                                 read += sz;
                             }
@@ -558,8 +555,7 @@ impl EscatConfig {
                                 record_size: Some(k.record_read),
                             },
                         );
-                        let rounds =
-                            k.quad_bytes_per_channel / (u64::from(n) * k.record_read);
+                        let rounds = k.quad_bytes_per_channel / (u64::from(n) * k.record_read);
                         for _ in 0..rounds {
                             b.read(quad_file(c), k.record_read);
                         }
@@ -712,10 +708,7 @@ mod tests {
         for v in EscatVersion::progressions() {
             let w = EscatConfig::tiny(v).build();
             let problems = w.validate();
-            assert!(
-                problems.is_empty(),
-                "version {v:?} invalid: {problems:?}"
-            );
+            assert!(problems.is_empty(), "version {v:?} invalid: {problems:?}");
         }
     }
 
@@ -806,8 +799,7 @@ mod tests {
         let cfg = EscatConfig::tiny(EscatVersion::C);
         let w = cfg.build();
         let (read, written) = w.declared_volume();
-        let quad =
-            u64::from(cfg.dataset.channels()) * cfg.knobs.quad_bytes_per_channel;
+        let quad = u64::from(cfg.dataset.channels()) * cfg.knobs.quad_bytes_per_channel;
         // Everything written in phase two is re-read in phase three.
         assert!(read >= quad, "read {read} < quadrature {quad}");
         assert!(written >= quad, "written {written} < quadrature {quad}");

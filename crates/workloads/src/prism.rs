@@ -370,9 +370,7 @@ impl PrismConfig {
                     b.set_buffering(RESTART, false);
                     b.read_n(RESTART, k.header_reads, k.header_read);
                     let slice = k.header_bytes
-                        + u64::from(pid)
-                            * u64::from(k.body_records_per_node)
-                            * k.body_record;
+                        + u64::from(pid) * u64::from(k.body_records_per_node) * k.body_record;
                     b.seek(RESTART, slice);
                     b.read_n(RESTART, k.body_records_per_node, k.body_record);
                     b.close(RESTART);
@@ -617,7 +615,15 @@ mod tests {
         // bookkeeping files, which stayed plain UNIX in all versions.
         let bare_input_opens = w.programs[1]
             .iter()
-            .filter(|s| matches!(s, Stmt::Io { file: 0..=2, op: IoOp::Open }))
+            .filter(|s| {
+                matches!(
+                    s,
+                    Stmt::Io {
+                        file: 0..=2,
+                        op: IoOp::Open
+                    }
+                )
+            })
             .count();
         assert_eq!(bare_input_opens, 0, "version C must gopen its inputs");
     }
@@ -627,7 +633,15 @@ mod tests {
         let w = PrismConfig::tiny(PrismVersion::B).build();
         let iomodes = w.programs[0]
             .iter()
-            .filter(|s| matches!(s, Stmt::Io { op: IoOp::SetIoMode { .. }, .. }))
+            .filter(|s| {
+                matches!(
+                    s,
+                    Stmt::Io {
+                        op: IoOp::SetIoMode { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(iomodes, 4, "P, R(header), R(body), C");
     }
@@ -636,9 +650,15 @@ mod tests {
     fn only_node_zero_writes_phase_two() {
         let w = PrismConfig::tiny(PrismVersion::C).build();
         for (pid, prog) in w.programs.iter().enumerate() {
-            let writes_measurement = prog
-                .iter()
-                .any(|s| matches!(s, Stmt::Io { file: 3, op: IoOp::Write { .. } }));
+            let writes_measurement = prog.iter().any(|s| {
+                matches!(
+                    s,
+                    Stmt::Io {
+                        file: 3,
+                        op: IoOp::Write { .. }
+                    }
+                )
+            });
             assert_eq!(writes_measurement, pid == 0);
         }
     }
@@ -647,16 +667,26 @@ mod tests {
     fn field_written_by_all_in_b_and_c_but_root_only_in_a() {
         let wa = PrismConfig::tiny(PrismVersion::A).build();
         for (pid, prog) in wa.programs.iter().enumerate() {
-            let writes_field = prog
-                .iter()
-                .any(|s| matches!(s, Stmt::Io { file: 7, op: IoOp::Write { .. } }));
+            let writes_field = prog.iter().any(|s| {
+                matches!(
+                    s,
+                    Stmt::Io {
+                        file: 7,
+                        op: IoOp::Write { .. }
+                    }
+                )
+            });
             assert_eq!(writes_field, pid == 0);
         }
         let wc = PrismConfig::tiny(PrismVersion::C).build();
         for prog in &wc.programs {
-            assert!(prog
-                .iter()
-                .any(|s| matches!(s, Stmt::Io { file: 7, op: IoOp::Write { .. } })));
+            assert!(prog.iter().any(|s| matches!(
+                s,
+                Stmt::Io {
+                    file: 7,
+                    op: IoOp::Write { .. }
+                }
+            )));
         }
     }
 

@@ -44,7 +44,10 @@ impl Stmt {
     /// Is this a message-passing collective (participates in the
     /// global collective-sequence numbering)?
     pub fn is_collective(&self) -> bool {
-        matches!(self, Stmt::Barrier | Stmt::Broadcast { .. } | Stmt::Gather { .. })
+        matches!(
+            self,
+            Stmt::Barrier | Stmt::Broadcast { .. } | Stmt::Gather { .. }
+        )
     }
 }
 
@@ -207,9 +210,10 @@ impl Workload {
             }
             collective_counts.push(collectives);
         }
-        if let (Some(&min), Some(&max)) =
-            (collective_counts.iter().min(), collective_counts.iter().max())
-        {
+        if let (Some(&min), Some(&max)) = (
+            collective_counts.iter().min(),
+            collective_counts.iter().max(),
+        ) {
             if min != max {
                 problems.push(format!(
                     "collective count mismatch across nodes: min {min}, max {max}"
@@ -336,10 +340,7 @@ mod tests {
                 },
             },
         );
-        assert!(w
-            .validate()
-            .iter()
-            .any(|p| p.contains("M_ASYNC")));
+        assert!(w.validate().iter().any(|p| p.contains("M_ASYNC")));
     }
 
     #[test]

@@ -140,8 +140,7 @@ pub fn from_trace(
                     },
                 },
                 OpKind::Iomode => {
-                    let group =
-                        group_sizes[&(e.file.0, e.kind as u8, e.end().as_nanos())];
+                    let group = group_sizes[&(e.file.0, e.kind as u8, e.end().as_nanos())];
                     if group <= 1 {
                         // A buffering toggle (or a degenerate
                         // single-member setiomode): not replayable as
@@ -248,7 +247,13 @@ mod tests {
         let ops: Vec<&Stmt> = w.programs[0].iter().collect();
         assert!(matches!(ops[0], Stmt::Io { op: IoOp::Open, .. }));
         assert!(matches!(ops[1], Stmt::Compute(t) if *t == Time::from_millis(10)));
-        assert!(matches!(ops[2], Stmt::Io { op: IoOp::Read { size: 4096 }, .. }));
+        assert!(matches!(
+            ops[2],
+            Stmt::Io {
+                op: IoOp::Read { size: 4096 },
+                ..
+            }
+        ));
         // Derived input size covers the read.
         assert_eq!(w.files[0].initial_size, 4096);
     }
@@ -264,7 +269,10 @@ mod tests {
         assert_eq!(w.nodes, 2);
         for prog in &w.programs {
             let gopen = prog.iter().find_map(|s| match s {
-                Stmt::Io { op: IoOp::Gopen { group, mode, .. }, .. } => Some((*group, *mode)),
+                Stmt::Io {
+                    op: IoOp::Gopen { group, mode, .. },
+                    ..
+                } => Some((*group, *mode)),
                 _ => None,
             });
             assert_eq!(gopen, Some((2, IoMode::MAsync)));
@@ -279,7 +287,10 @@ mod tests {
         ];
         let w = from_trace(&events, &BTreeMap::new()).expect("replays");
         let rec = w.programs[0].iter().find_map(|s| match s {
-            Stmt::Io { op: IoOp::Gopen { record_size, .. }, .. } => *record_size,
+            Stmt::Io {
+                op: IoOp::Gopen { record_size, .. },
+                ..
+            } => *record_size,
             _ => None,
         });
         assert_eq!(rec, Some(131072));
@@ -303,14 +314,24 @@ mod tests {
             ev(0, 0, OpKind::Read, IoMode::MUnix, 20, 5, 64, 0),
         ];
         let w = from_trace(&events, &BTreeMap::new()).expect("replays");
-        let has_iomode = w.programs[0]
-            .iter()
-            .any(|s| matches!(s, Stmt::Io { op: IoOp::SetIoMode { .. }, .. }));
+        let has_iomode = w.programs[0].iter().any(|s| {
+            matches!(
+                s,
+                Stmt::Io {
+                    op: IoOp::SetIoMode { .. },
+                    ..
+                }
+            )
+        });
         assert!(!has_iomode, "singleton iomode must be dropped");
         // The read survives.
-        assert!(w.programs[0]
-            .iter()
-            .any(|s| matches!(s, Stmt::Io { op: IoOp::Read { .. }, .. })));
+        assert!(w.programs[0].iter().any(|s| matches!(
+            s,
+            Stmt::Io {
+                op: IoOp::Read { .. },
+                ..
+            }
+        )));
     }
 
     #[test]

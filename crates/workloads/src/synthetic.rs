@@ -112,7 +112,10 @@ pub fn sequential_scan(cfg: &KernelConfig) -> Workload {
                 });
                 p.push(Stmt::Compute(cfg.think_time));
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p
         })
         .collect();
@@ -144,14 +147,20 @@ pub fn strided_read(cfg: &KernelConfig) -> Workload {
             }];
             for k in 0..reqs {
                 let offset = (k * u64::from(cfg.nodes) + u64::from(pid)) * cfg.request;
-                p.push(Stmt::Io { file: 0, op: IoOp::Seek { offset } });
+                p.push(Stmt::Io {
+                    file: 0,
+                    op: IoOp::Seek { offset },
+                });
                 p.push(Stmt::Io {
                     file: 0,
                     op: IoOp::Read { size: cfg.request },
                 });
                 p.push(Stmt::Compute(cfg.think_time));
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p
         })
         .collect();
@@ -174,7 +183,10 @@ pub fn checkpoint_burst(cfg: &KernelConfig, bursts: u32) -> Workload {
         .map(|pid| {
             let mut p = Vec::new();
             if pid == 0 {
-                p.push(Stmt::Io { file: 0, op: IoOp::Open });
+                p.push(Stmt::Io {
+                    file: 0,
+                    op: IoOp::Open,
+                });
             }
             for _ in 0..bursts {
                 p.push(Stmt::Compute(Time::from_millis(200)));
@@ -185,12 +197,18 @@ pub fn checkpoint_burst(cfg: &KernelConfig, bursts: u32) -> Workload {
                             op: IoOp::Write { size: cfg.request },
                         });
                     }
-                    p.push(Stmt::Io { file: 0, op: IoOp::Flush });
+                    p.push(Stmt::Io {
+                        file: 0,
+                        op: IoOp::Flush,
+                    });
                 }
                 p.push(Stmt::Barrier);
             }
             if pid == 0 {
-                p.push(Stmt::Io { file: 0, op: IoOp::Close });
+                p.push(Stmt::Io {
+                    file: 0,
+                    op: IoOp::Close,
+                });
             }
             p
         })
@@ -228,7 +246,10 @@ pub fn collective_reload(cfg: &KernelConfig) -> Workload {
                 });
                 p.push(Stmt::Compute(cfg.think_time));
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p
         })
         .collect();
@@ -263,7 +284,10 @@ pub fn global_init_read(cfg: &KernelConfig) -> Workload {
                     op: IoOp::Read { size: cfg.request },
                 });
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p
         })
         .collect();
@@ -301,7 +325,10 @@ pub fn log_append(cfg: &KernelConfig) -> Workload {
                     op: IoOp::Write { size: cfg.request },
                 });
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p
         })
         .collect();
@@ -342,14 +369,20 @@ pub fn random_small_io(cfg: &KernelConfig) -> Workload {
             ];
             for _ in 0..reqs {
                 let offset = rng.range_inclusive(0, extent - cfg.request);
-                p.push(Stmt::Io { file: 0, op: IoOp::Seek { offset } });
+                p.push(Stmt::Io {
+                    file: 0,
+                    op: IoOp::Seek { offset },
+                });
                 p.push(Stmt::Io {
                     file: 0,
                     op: IoOp::Read { size: cfg.request },
                 });
                 p.push(Stmt::Compute(cfg.think_time));
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p
         })
         .collect();
@@ -395,7 +428,10 @@ pub fn staging_pipeline(cfg: &KernelConfig) -> Workload {
                 });
                 p.push(Stmt::Compute(cfg.think_time));
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p.push(Stmt::Barrier);
             p.push(Stmt::Io {
                 file: 0,
@@ -411,7 +447,10 @@ pub fn staging_pipeline(cfg: &KernelConfig) -> Workload {
                     op: IoOp::Read { size: record },
                 });
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p
         })
         .collect();
@@ -450,7 +489,10 @@ pub fn msync_result_gather(cfg: &KernelConfig) -> Workload {
                     op: IoOp::Write { size: my_size },
                 });
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p
         })
         .collect();
@@ -473,7 +515,10 @@ pub fn msync_result_gather(cfg: &KernelConfig) -> Workload {
 /// Paragon workloads look irregular.
 pub fn cray_cyclical(cfg: &KernelConfig, cycles: u32) -> Workload {
     let writes_per_cycle = (cfg.requests_per_node() / u64::from(cycles.max(1))).max(1);
-    let mut p = vec![Stmt::Io { file: 0, op: IoOp::Open }];
+    let mut p = vec![Stmt::Io {
+        file: 0,
+        op: IoOp::Open,
+    }];
     for _ in 0..cycles {
         p.push(Stmt::Compute(Time::from_secs(30)));
         for _ in 0..writes_per_cycle {
@@ -483,7 +528,10 @@ pub fn cray_cyclical(cfg: &KernelConfig, cycles: u32) -> Workload {
             });
         }
     }
-    p.push(Stmt::Io { file: 0, op: IoOp::Close });
+    p.push(Stmt::Io {
+        file: 0,
+        op: IoOp::Close,
+    });
     workload(
         "cray-cyclical",
         1,
@@ -554,7 +602,10 @@ mod tests {
             w.programs[pid]
                 .iter()
                 .find_map(|s| match s {
-                    Stmt::Io { op: IoOp::Write { size }, .. } => Some(*size),
+                    Stmt::Io {
+                        op: IoOp::Write { size },
+                        ..
+                    } => Some(*size),
                     _ => None,
                 })
                 .expect("writes present")
@@ -589,9 +640,15 @@ mod tests {
         let cfg = KernelConfig::small();
         let w = checkpoint_burst(&cfg, 4);
         for (pid, prog) in w.programs.iter().enumerate() {
-            let writes = prog
-                .iter()
-                .any(|s| matches!(s, Stmt::Io { op: IoOp::Write { .. }, .. }));
+            let writes = prog.iter().any(|s| {
+                matches!(
+                    s,
+                    Stmt::Io {
+                        op: IoOp::Write { .. },
+                        ..
+                    }
+                )
+            });
             assert_eq!(writes, pid == 0);
         }
     }

@@ -33,7 +33,10 @@ fn main() {
     );
 
     println!("== Stripe-unit sensitivity (ESCAT B tuned to 64 KB stripes) ==\n");
-    let sweep = stripe_sweep(&escat, &[16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10]);
+    let sweep = stripe_sweep(
+        &escat,
+        &[16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10],
+    );
     println!("{}", sweep.render());
     println!(
         "The 128 KB M_RECORD reloads are stripe-multiples only at <=64 KB units —\n\

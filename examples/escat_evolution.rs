@@ -35,8 +35,14 @@ fn main() {
     let ra = escat::run_version(EscatVersion::A, EscatDataset::Ethylene, scale);
     let rb = escat::run_version(EscatVersion::B, EscatDataset::Ethylene, scale);
     let rc = escat::run_version(EscatVersion::C, EscatDataset::Ethylene, scale);
-    println!("{}", Evolution::between("A", &ra.trace, "B", &rb.trace).render());
-    println!("{}", Evolution::between("B", &rb.trace, "C", &rc.trace).render());
+    println!(
+        "{}",
+        Evolution::between("A", &ra.trace, "B", &rb.trace).render()
+    );
+    println!(
+        "{}",
+        Evolution::between("B", &rb.trace, "C", &rc.trace).render()
+    );
     let ab = Evolution::between("A", &ra.trace, "B", &rb.trace);
     if let Some((k, saved)) = ab.biggest_win() {
         println!("A->B biggest win: {k} (-{saved:.1}s) — the node-zero read restructuring");

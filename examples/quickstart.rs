@@ -22,13 +22,20 @@ fn main() {
     let slice = 256 * 1024u64;
     let programs = (0..nodes)
         .map(|pid| {
-            let mut p = vec![
-                Stmt::Io { file: 0, op: IoOp::Open },
-            ];
+            let mut p = vec![Stmt::Io {
+                file: 0,
+                op: IoOp::Open,
+            }];
             for _ in 0..32 {
-                p.push(Stmt::Io { file: 0, op: IoOp::Read { size: 1024 } });
+                p.push(Stmt::Io {
+                    file: 0,
+                    op: IoOp::Read { size: 1024 },
+                });
             }
-            p.push(Stmt::Io { file: 0, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 0,
+                op: IoOp::Close,
+            });
             p.push(Stmt::Compute(Time::from_secs(2)));
             p.push(Stmt::Io {
                 file: 1,
@@ -38,11 +45,22 @@ fn main() {
                     record_size: None,
                 },
             });
-            p.push(Stmt::Io { file: 1, op: IoOp::Seek { offset: u64::from(pid) * slice } });
+            p.push(Stmt::Io {
+                file: 1,
+                op: IoOp::Seek {
+                    offset: u64::from(pid) * slice,
+                },
+            });
             for _ in 0..4 {
-                p.push(Stmt::Io { file: 1, op: IoOp::Write { size: slice / 4 } });
+                p.push(Stmt::Io {
+                    file: 1,
+                    op: IoOp::Write { size: slice / 4 },
+                });
             }
-            p.push(Stmt::Io { file: 1, op: IoOp::Close });
+            p.push(Stmt::Io {
+                file: 1,
+                op: IoOp::Close,
+            });
             p
         })
         .collect();
@@ -53,8 +71,14 @@ fn main() {
         os: OsRelease::Osf13,
         nodes,
         files: vec![
-            FileSpec { name: "input".into(), initial_size: 1 << 20 },
-            FileSpec { name: "output".into(), initial_size: 0 },
+            FileSpec {
+                name: "input".into(),
+                initial_size: 1 << 20,
+            },
+            FileSpec {
+                name: "output".into(),
+                initial_size: 0,
+            },
         ],
         programs,
         phases: vec![],
@@ -70,13 +94,13 @@ fn main() {
     println!();
 
     let table = IoTimeTable::from_durations("demo", &result.trace.duration_by_kind());
-    println!("{}", render_io_table("Share of I/O time by operation:", &[table]));
+    println!(
+        "{}",
+        render_io_table("Share of I/O time by operation:", &[table])
+    );
 
     for file_idx in [0u32, 1] {
-        let summary = LifetimeSummary::build(
-            result.trace.events(),
-            sioscope_sim::FileId(file_idx),
-        );
+        let summary = LifetimeSummary::build(result.trace.events(), sioscope_sim::FileId(file_idx));
         println!(
             "file {}: {} bytes accessed, open span {:?}",
             workload.files[file_idx as usize].name,

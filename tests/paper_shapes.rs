@@ -40,8 +40,14 @@ fn escat_execution_times_match_figure_1_shape() {
     // reduction in the paper's ~20% band.
     let a = times[0];
     let c = times[5];
-    assert!(times.iter().all(|&t| t <= a + 1e-9), "A must be slowest: {times:?}");
-    assert!(times.iter().all(|&t| t >= c - 1e-9), "C must be fastest: {times:?}");
+    assert!(
+        times.iter().all(|&t| t <= a + 1e-9),
+        "A must be slowest: {times:?}"
+    );
+    assert!(
+        times.iter().all(|&t| t >= c - 1e-9),
+        "C must be fastest: {times:?}"
+    );
     let reduction = (a - c) / a;
     assert!(
         (0.10..=0.32).contains(&reduction),
@@ -64,7 +70,10 @@ fn table2_version_dominants_match_paper_narrative() {
     };
     // A: open+read era (either may edge the other out); B: the seek
     // regression; C: writes (the remaining real work).
-    assert!(matches!(dominant(EscatVersion::A), OpKind::Open | OpKind::Read));
+    assert!(matches!(
+        dominant(EscatVersion::A),
+        OpKind::Open | OpKind::Read
+    ));
     assert_eq!(dominant(EscatVersion::B), OpKind::Seek);
     assert_eq!(dominant(EscatVersion::C), OpKind::Write);
 }

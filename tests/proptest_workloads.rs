@@ -15,11 +15,15 @@ use sioscope_workloads::{FileSpec, Stmt, Workload};
 /// sequences and matching barrier placement.
 fn arb_workload() -> impl Strategy<Value = Workload> {
     (
-        2u32..6,                                    // nodes
-        0usize..3,                                  // barriers
+        2u32..6,                                               // nodes
+        0usize..3,                                             // barriers
         prop::collection::vec((0u8..4, 1u64..200_000), 1..20), // shared-phase ops
         prop::collection::vec((0u8..2, 1u64..100_000), 0..15), // private-phase ops
-        prop_oneof![Just(IoMode::MGlobal), Just(IoMode::MAsync), Just(IoMode::MUnix)],
+        prop_oneof![
+            Just(IoMode::MGlobal),
+            Just(IoMode::MAsync),
+            Just(IoMode::MUnix)
+        ],
     )
         .prop_map(|(nodes, barriers, shared_ops, private_ops, shared_mode)| {
             let mut files = vec![FileSpec {
@@ -51,7 +55,9 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
                         match (shared_mode, kind) {
                             (IoMode::MGlobal, _) => p.push(Stmt::Io {
                                 file: 0,
-                                op: IoOp::Read { size: size % 65_536 + 1 },
+                                op: IoOp::Read {
+                                    size: size % 65_536 + 1,
+                                },
                             }),
                             (_, 0) => p.push(Stmt::Io {
                                 file: 0,
@@ -70,20 +76,35 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
                             _ => p.push(Stmt::Compute(Time::from_millis(size % 50 + 1))),
                         }
                     }
-                    p.push(Stmt::Io { file: 0, op: IoOp::Close });
+                    p.push(Stmt::Io {
+                        file: 0,
+                        op: IoOp::Close,
+                    });
                     for _ in 0..barriers {
                         p.push(Stmt::Barrier);
                     }
                     // Private file: unconstrained ops.
                     let f = 1 + pid;
-                    p.push(Stmt::Io { file: f, op: IoOp::Open });
+                    p.push(Stmt::Io {
+                        file: f,
+                        op: IoOp::Open,
+                    });
                     for &(kind, size) in &private_ops {
                         match kind {
-                            0 => p.push(Stmt::Io { file: f, op: IoOp::Read { size } }),
-                            _ => p.push(Stmt::Io { file: f, op: IoOp::Write { size } }),
+                            0 => p.push(Stmt::Io {
+                                file: f,
+                                op: IoOp::Read { size },
+                            }),
+                            _ => p.push(Stmt::Io {
+                                file: f,
+                                op: IoOp::Write { size },
+                            }),
                         }
                     }
-                    p.push(Stmt::Io { file: f, op: IoOp::Close });
+                    p.push(Stmt::Io {
+                        file: f,
+                        op: IoOp::Close,
+                    });
                     p
                 })
                 .collect();

@@ -2,10 +2,10 @@
 //! reproduce the original request stream exactly and land in the same
 //! timing ballpark.
 
-use std::collections::BTreeMap;
 use sioscope::simulator::{run, SimOptions};
 use sioscope_pfs::{OpKind, PfsConfig};
 use sioscope_workloads::{replay, EscatConfig, EscatVersion, Workload};
+use std::collections::BTreeMap;
 
 fn run_workload(w: &Workload) -> sioscope::simulator::RunResult {
     let cfg = PfsConfig::caltech(w.nodes, w.os);

@@ -68,7 +68,10 @@ fn conservation_of_bytes_between_workload_and_trace() {
         let (declared_read, declared_written) = w.declared_volume();
         let b = r.trace.bytes_by_kind();
         assert_eq!(b.get(&OpKind::Read).copied().unwrap_or(0), declared_read);
-        assert_eq!(b.get(&OpKind::Write).copied().unwrap_or(0), declared_written);
+        assert_eq!(
+            b.get(&OpKind::Write).copied().unwrap_or(0),
+            declared_written
+        );
     }
 }
 
@@ -85,7 +88,11 @@ fn summaries_are_consistent_with_raw_trace() {
     assert_eq!(total_reads, r.trace.of_kind(OpKind::Read).count() as u64);
 
     // A window covering everything equals the whole trace.
-    let w = TimeWindowSummary::build(r.trace.events(), Time::ZERO, r.exec_time + Time::from_secs(1));
+    let w = TimeWindowSummary::build(
+        r.trace.events(),
+        Time::ZERO,
+        r.exec_time + Time::from_secs(1),
+    );
     let total: u64 = w.per_kind.values().map(|s| s.count).sum();
     assert_eq!(total, r.trace.len() as u64);
 
@@ -165,7 +172,6 @@ fn escat_version_c_has_no_expensive_seeks() {
     );
 }
 
-
 #[test]
 fn miller_katz_classification_matches_the_papers_phase_taxonomy() {
     // §4: ESCAT's quadrature files are data staging, its inputs are
@@ -227,7 +233,6 @@ fn miller_katz_classification_matches_the_papers_phase_taxonomy() {
     );
 }
 
-
 #[test]
 fn workloads_serialize_and_round_trip() {
     // Workload definitions are plain data: they serialize, so
@@ -245,7 +250,6 @@ fn workloads_serialize_and_round_trip() {
     assert_eq!(r1.exec_time, r2.exec_time);
     assert_eq!(r1.trace.events(), r2.trace.events());
 }
-
 
 #[test]
 fn phase_detection_recovers_prism_structure() {
@@ -290,7 +294,6 @@ fn log_histogram_matches_cdf_on_real_trace() {
     assert!(median >= mode_lo / 2 && median < mode_lo * 4);
 }
 
-
 #[test]
 fn interarrival_structure_distinguishes_node_roles() {
     // PRISM node zero writes measurement records on a fixed step
@@ -305,8 +308,8 @@ fn interarrival_structure_distinguishes_node_roles() {
         .filter(|e| e.kind == OpKind::Write && e.file.0 == 3)
         .map(|e| e.start)
         .collect();
-    let ia = sioscope_analysis::interarrival::of_starts(&node0_writes)
-        .expect("many measurement writes");
+    let ia =
+        sioscope_analysis::interarrival::of_starts(&node0_writes).expect("many measurement writes");
     // Jittered 5-step cadence: low coefficient of variation.
     assert!(ia.cv < 0.5, "measurement stream CV {}", ia.cv);
     // The whole-trace request sizes span orders of magnitude (the
