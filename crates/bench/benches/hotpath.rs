@@ -1,0 +1,109 @@
+//! Hot-path microbenchmarks guarding the optimization trajectory
+//! recorded in `BENCH_*.json` (see EXPERIMENTS.md § Benchmarks).
+//!
+//! Four benches, chosen to cover each layer the optimization pass
+//! touches:
+//!
+//! * `calendar_push_pop` — the event queue alone: interleaved
+//!   schedule/pop of a large synthetic event population, the inner
+//!   loop of every simulation.
+//! * `escat_c_single_run` — one cold ESCAT version-C run end-to-end
+//!   (workload build + simulate), the PFS server hot path.
+//! * `full_registry_cold` — all 23 registry experiments with the run
+//!   memoization caches cleared every iteration; this is the headline
+//!   number the ≥1.5× acceptance bar is measured on.
+//! * `fault_engaged_run` — a PRISM run under an injected fault
+//!   schedule, exercising the resilience ladder and timeline scaling.
+//!
+//! Capture results into a numbered baseline with
+//! `scripts/capture_bench.sh` after running
+//! `cargo bench -p sioscope-bench --bench hotpath`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sioscope::experiments::{clear_run_caches, run_experiment, Experiment, Scale};
+use sioscope::simulator::{run, SimOptions};
+use sioscope_faults::FaultGen;
+use sioscope_pfs::PfsConfig;
+use sioscope_sim::{DetRng, EventQueue, Time};
+use std::hint::black_box;
+
+/// Interleaved schedule/pop against a queue preloaded with `n` events:
+/// repeatedly pop the earliest event and schedule a replacement at a
+/// pseudorandom (deterministic) future time, like a simulation step.
+fn calendar_churn(n: usize, steps: usize) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = DetRng::new(0xC0FFEE);
+    for i in 0..n {
+        q.schedule(Time::from_nanos(rng.range_inclusive(0, 999_999)), i as u64);
+    }
+    let mut acc = 0u64;
+    for _ in 0..steps {
+        let ev = q.pop().expect("queue never drains");
+        acc = acc.wrapping_add(ev.payload);
+        let dt = Time::from_nanos(rng.range_inclusive(1, 9_999));
+        q.schedule_after(dt, ev.payload);
+    }
+    acc
+}
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.bench_function("calendar_push_pop", |b| {
+        b.iter(|| black_box(calendar_churn(black_box(4096), black_box(100_000))))
+    });
+    group.finish();
+}
+
+fn bench_escat_c(c: &mut Criterion) {
+    use sioscope_workloads::{EscatConfig, EscatVersion};
+    let workload = EscatConfig::tiny(EscatVersion::C).build();
+    let mut group = c.benchmark_group("hotpath");
+    group.bench_function("escat_c_single_run", |b| {
+        b.iter(|| {
+            let cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            black_box(run(&workload, cfg, SimOptions::default()).expect("runs"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(10);
+    group.bench_function("full_registry_cold", |b| {
+        b.iter(|| {
+            clear_run_caches();
+            for e in Experiment::all() {
+                black_box(run_experiment(black_box(e), Scale::Smoke));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_fault_engaged(c: &mut Criterion) {
+    use sioscope_workloads::{PrismConfig, PrismVersion};
+    let workload = PrismConfig::tiny(PrismVersion::B).build();
+    let healthy_cfg = PfsConfig::caltech(workload.nodes, workload.os);
+    let horizon = run(&workload, healthy_cfg.clone(), SimOptions::default())
+        .expect("healthy run")
+        .exec_time;
+    let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+    cfg.faults = FaultGen::new(0xF417, horizon, cfg.machine.io_nodes)
+        .with_events(8)
+        .schedule();
+    let mut group = c.benchmark_group("hotpath");
+    group.bench_function("fault_engaged_run", |b| {
+        b.iter(|| black_box(run(&workload, cfg.clone(), SimOptions::default()).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_calendar,
+    bench_escat_c,
+    bench_full_registry,
+    bench_fault_engaged
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Collate a Criterion run into a numbered `BENCH_<n>.json` baseline,
+//! or compare two baselines.
+//!
+//! Usage (from the repository root, after `cargo bench -p
+//! sioscope-bench --bench hotpath`):
+//!
+//! ```text
+//! cargo run -p sioscope-bench --bin bench_baseline                   # print
+//! cargo run -p sioscope-bench --bin bench_baseline -- --out BENCH_1.json
+//! cargo run -p sioscope-bench --bin bench_baseline -- \
+//!     --compare BENCH_0.json --bench full_registry_cold --min-speedup 1.5
+//! ```
+//!
+//! `--compare OLD` prints the speedup of every bench present in both
+//! baselines (current run vs. `OLD`); with `--bench NAME
+//! --min-speedup X` the process exits 1 if that bench's speedup is
+//! below `X`, making the perf bar enforceable in CI.
+
+use sioscope_bench::{baseline_speedup, baseline_value, collect_estimates};
+use std::path::PathBuf;
+use std::process::exit;
+
+const GROUP: &str = "hotpath";
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let criterion_dir = PathBuf::from(
+        arg_value(&args, "--criterion-dir").unwrap_or_else(|| "target/criterion".to_string()),
+    );
+    let estimates = match collect_estimates(&criterion_dir, GROUP) {
+        Ok(e) if !e.is_empty() => e,
+        Ok(_) => {
+            eprintln!(
+                "error: no estimates under {}/{GROUP}; run `cargo bench -p sioscope-bench \
+                 --bench {GROUP}` first",
+                criterion_dir.display()
+            );
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!(
+                "error: cannot read {}/{GROUP}: {e}; run `cargo bench -p sioscope-bench \
+                 --bench {GROUP}` first",
+                criterion_dir.display()
+            );
+            exit(1);
+        }
+    };
+    let current = baseline_value(GROUP, &estimates);
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&current).expect("serialize baseline")
+    );
+
+    if let Some(old_path) = arg_value(&args, "--compare") {
+        let old_text =
+            std::fs::read_to_string(&old_path).unwrap_or_else(|e| panic!("read {old_path}: {e}"));
+        let old: serde_json::Value =
+            serde_json::from_str(&old_text).unwrap_or_else(|e| panic!("parse {old_path}: {e}"));
+        println!("speedup vs {old_path} (old mean / new mean):");
+        for name in estimates.keys() {
+            match baseline_speedup(&old, &current, name) {
+                Some(s) => println!("  {name:<24} {s:.2}x"),
+                None => println!("  {name:<24} (not in old baseline)"),
+            }
+        }
+        let gate = arg_value(&args, "--bench");
+        let min: Option<f64> =
+            arg_value(&args, "--min-speedup").map(|v| v.parse().expect("--min-speedup number"));
+        if let (Some(bench), Some(min)) = (gate, min) {
+            match baseline_speedup(&old, &current, &bench) {
+                Some(s) if s >= min => {
+                    println!("PASS: {bench} speedup {s:.2}x >= {min:.2}x");
+                }
+                Some(s) => {
+                    eprintln!("FAIL: {bench} speedup {s:.2}x < {min:.2}x");
+                    exit(1);
+                }
+                None => {
+                    eprintln!("FAIL: {bench} missing from one of the baselines");
+                    exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    match arg_value(&args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, rendered).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("baseline written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}

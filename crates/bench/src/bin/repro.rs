@@ -12,11 +12,14 @@
 //! With `--out DIR`, each artifact is written to `DIR/<id>.txt` and a
 //! machine-readable summary of the shape checks to `DIR/checks.json`.
 //! `--sweeps` appends the machine-configuration sweeps of the paper's
-//! future-work agenda (§7).
+//! future-work agenda (§7); `--sweeps=io_nodes,stripe_unit` selects a
+//! subset by id, and an unknown id exits with status 2 and the valid
+//! set — the same contract as experiment ids.
 
 use sioscope::experiments::run_experiment;
 use sioscope::report;
-use sioscope_bench::{experiments_from_args, scale_from_env};
+use sioscope::sweeps::SweepId;
+use sioscope_bench::{experiments_from_args, scale_from_env, sweeps_from_args};
 use std::path::PathBuf;
 
 fn main() {
@@ -26,7 +29,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
-    let want_sweeps = args.iter().any(|a| a == "--sweeps");
+    let sweep_selection = sweeps_from_args(&args);
     let filtered: Vec<String> = {
         let mut skip_next = false;
         args.iter()
@@ -39,7 +42,7 @@ fn main() {
                     skip_next = true;
                     return false;
                 }
-                *a != "--sweeps"
+                *a != "--sweeps" && !a.starts_with("--sweeps=")
             })
             .cloned()
             .collect()
@@ -59,8 +62,7 @@ fn main() {
         let rendered = report::render_output(&out);
         print!("{rendered}");
         if let Some(dir) = &out_dir {
-            std::fs::write(dir.join(format!("{}.txt", e.id())), &rendered)
-                .expect("write artifact");
+            std::fs::write(dir.join(format!("{}.txt", e.id())), &rendered).expect("write artifact");
         }
         for c in &out.checks {
             check_rows.push(serde_json::json!({
@@ -72,7 +74,7 @@ fn main() {
         }
         failures += out.failures().len();
     }
-    if want_sweeps {
+    if let Some(selection) = sweep_selection {
         use sioscope::sweeps;
         use sioscope_workloads::{EscatConfig, EscatVersion, PrismConfig, PrismVersion};
         let escat_b = match scale_from_env() {
@@ -86,13 +88,18 @@ fn main() {
         println!("================================================================");
         println!("Machine-configuration sweeps (the paper's §7 future work)");
         println!("================================================================");
-        for sweep in [
-            sweeps::io_node_sweep(&escat_b, &[2, 4, 8, 16, 32]),
-            sweeps::stripe_sweep(&escat_b, &[16 << 10, 64 << 10, 256 << 10]),
-            sweeps::disk_bandwidth_sweep(&prism_a, &[2, 8, 32]),
-            sweeps::degraded_array_sweep(&prism_a, &[0, 4, 8]),
-            sweeps::fault_intensity_sweep(&prism_a, &[0, 2, 4, 8], 0xF417),
-        ] {
+        for id in selection {
+            let sweep = match id {
+                SweepId::IoNodes => sweeps::io_node_sweep(&escat_b, &[2, 4, 8, 16, 32]),
+                SweepId::StripeUnit => {
+                    sweeps::stripe_sweep(&escat_b, &[16 << 10, 64 << 10, 256 << 10])
+                }
+                SweepId::DiskBandwidth => sweeps::disk_bandwidth_sweep(&prism_a, &[2, 8, 32]),
+                SweepId::DegradedArrays => sweeps::degraded_array_sweep(&prism_a, &[0, 4, 8]),
+                SweepId::FaultIntensity => {
+                    sweeps::fault_intensity_sweep(&prism_a, &[0, 2, 4, 8], 0xF417)
+                }
+            };
             println!("{}", sweep.render());
             if let Some(dir) = &out_dir {
                 std::fs::write(
@@ -106,8 +113,11 @@ fn main() {
     if let Some(dir) = &out_dir {
         let json = serde_json::to_string_pretty(&check_rows).expect("serialize checks");
         std::fs::write(dir.join("checks.json"), json).expect("write checks.json");
-        println!("
-artifacts written to {}", dir.display());
+        println!(
+            "
+artifacts written to {}",
+            dir.display()
+        );
     }
     if failures > 0 {
         eprintln!("\n{failures} shape check(s) FAILED");

@@ -10,6 +10,9 @@
 //!   experiment and on the PFS fast paths.
 
 use sioscope::experiments::{Experiment, Scale};
+use sioscope::sweeps::SweepId;
+use std::collections::BTreeMap;
+use std::path::Path;
 
 /// Resolve the scale requested via the `SIOSCOPE_SCALE` environment
 /// variable (`full` default, `smoke` for quick runs).
@@ -64,6 +67,142 @@ pub fn experiments_from_args(args: &[String]) -> Vec<Experiment> {
     }
 }
 
+/// Parse the `--sweeps[=id,id,...]` flag.
+///
+/// * No flag → `Ok(None)` (no sweeps requested).
+/// * Bare `--sweeps` → every sweep.
+/// * `--sweeps=a,b` → exactly those, in registry order.
+///
+/// Unknown ids are an error, not a no-op — `Err` carries every
+/// unrecognized id so a typo cannot silently shrink the sweep set
+/// (the bug this replaces: `--sweeps` ignored its argument entirely).
+pub fn try_sweeps_from_args(args: &[String]) -> Result<Option<Vec<SweepId>>, Vec<String>> {
+    let mut requested: Option<Vec<&str>> = None;
+    for a in args {
+        if a == "--sweeps" {
+            requested.get_or_insert_with(Vec::new);
+        } else if let Some(list) = a.strip_prefix("--sweeps=") {
+            requested
+                .get_or_insert_with(Vec::new)
+                .extend(list.split(',').filter(|s| !s.is_empty()));
+        }
+    }
+    let Some(filters) = requested else {
+        return Ok(None);
+    };
+    if filters.is_empty() {
+        return Ok(Some(SweepId::all()));
+    }
+    let mut unknown: Vec<String> = Vec::new();
+    let mut wanted = Vec::new();
+    for f in &filters {
+        match SweepId::from_id(f) {
+            Some(s) => wanted.push(s),
+            None => unknown.push((*f).to_string()),
+        }
+    }
+    if !unknown.is_empty() {
+        return Err(unknown);
+    }
+    // Registry order, deduplicated.
+    Ok(Some(
+        SweepId::all()
+            .into_iter()
+            .filter(|s| wanted.contains(s))
+            .collect(),
+    ))
+}
+
+/// Parse the `--sweeps[=id,id,...]` flag; exits with status 2 after
+/// printing the unknown ids and the valid set to stderr.
+pub fn sweeps_from_args(args: &[String]) -> Option<Vec<SweepId>> {
+    match try_sweeps_from_args(args) {
+        Ok(selection) => selection,
+        Err(unknown) => {
+            for id in &unknown {
+                eprintln!("error: unknown sweep id `{id}`");
+            }
+            eprintln!("valid sweep ids:");
+            for s in SweepId::all() {
+                eprintln!("  {}", s.id());
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Mean and median point estimates of one Criterion bench, in
+/// nanoseconds.
+pub type BenchEstimate = (f64, f64);
+
+/// Collect Criterion's point estimates for every bench in `group` from
+/// `criterion_dir` (normally `target/criterion`). Reads each
+/// `<group>/<bench>/new/estimates.json` written by a `cargo bench` run.
+pub fn collect_estimates(
+    criterion_dir: &Path,
+    group: &str,
+) -> std::io::Result<BTreeMap<String, BenchEstimate>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(criterion_dir.join(group))? {
+        let path = entry?.path();
+        let estimates = path.join("new").join("estimates.json");
+        if !estimates.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&estimates)?;
+        let v: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let point = |stat: &str| v[stat]["point_estimate"].as_f64();
+        if let (Some(mean), Some(median)) = (point("mean"), point("median")) {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            out.insert(name, (mean, median));
+        }
+    }
+    Ok(out)
+}
+
+/// Assemble a `BENCH_<n>.json` baseline document from collected
+/// estimates.
+pub fn baseline_value(
+    group: &str,
+    estimates: &BTreeMap<String, BenchEstimate>,
+) -> serde_json::Value {
+    let benches: serde_json::Map<String, serde_json::Value> = estimates
+        .iter()
+        .map(|(name, (mean, median))| {
+            (
+                name.clone(),
+                serde_json::json!({ "mean_ns": mean, "median_ns": median }),
+            )
+        })
+        .collect();
+    serde_json::json!({
+        "schema": "sioscope-bench-baseline/1",
+        "group": group,
+        "command": format!("cargo bench -p sioscope-bench --bench {group}"),
+        "benches": benches,
+    })
+}
+
+/// Speedup of `bench` going from the `old` baseline to the `new` one
+/// (mean-over-mean; > 1.0 means `new` is faster). `None` when either
+/// baseline lacks the bench or a captured mean.
+pub fn baseline_speedup(
+    old: &serde_json::Value,
+    new: &serde_json::Value,
+    bench: &str,
+) -> Option<f64> {
+    let mean = |v: &serde_json::Value| v["benches"][bench]["mean_ns"].as_f64();
+    match (mean(old), mean(new)) {
+        (Some(o), Some(n)) if n > 0.0 => Some(o / n),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +230,53 @@ mod tests {
     fn flags_are_ignored_by_the_filter() {
         let got = try_experiments_from_args(&["--sweeps".to_string()]).unwrap();
         assert_eq!(got.len(), Experiment::all().len());
+    }
+
+    #[test]
+    fn sweeps_flag_absent_bare_and_selective() {
+        assert_eq!(try_sweeps_from_args(&[]).unwrap(), None);
+        assert_eq!(
+            try_sweeps_from_args(&["--sweeps".to_string()]).unwrap(),
+            Some(SweepId::all())
+        );
+        let got = try_sweeps_from_args(&["--sweeps=stripe_unit,io_nodes".to_string()]).unwrap();
+        // Selection is reported in registry order regardless of the
+        // order the ids were given in.
+        assert_eq!(got, Some(vec![SweepId::IoNodes, SweepId::StripeUnit]));
+    }
+
+    #[test]
+    fn unknown_sweep_ids_are_an_error_listing_every_offender() {
+        let err =
+            try_sweeps_from_args(&["--sweeps=io_nodes,bogus,also-bogus".to_string()]).unwrap_err();
+        assert_eq!(err, vec!["bogus".to_string(), "also-bogus".to_string()]);
+    }
+
+    #[test]
+    fn baseline_collation_and_speedup() {
+        let dir = std::env::temp_dir().join(format!("sioscope-bench-{}", std::process::id()));
+        let bench_dir = dir.join("hotpath").join("full_registry_cold").join("new");
+        std::fs::create_dir_all(&bench_dir).unwrap();
+        std::fs::write(
+            bench_dir.join("estimates.json"),
+            r#"{"mean":{"point_estimate":3000.0},"median":{"point_estimate":2900.0}}"#,
+        )
+        .unwrap();
+        // A "report" directory (criterion writes one) must be skipped.
+        std::fs::create_dir_all(dir.join("hotpath").join("report")).unwrap();
+        let estimates = collect_estimates(&dir, "hotpath").unwrap();
+        assert_eq!(estimates.get("full_registry_cold"), Some(&(3000.0, 2900.0)));
+        let old = baseline_value("hotpath", &estimates);
+        assert_eq!(old["benches"]["full_registry_cold"]["mean_ns"], 3000.0);
+        let mut faster = estimates.clone();
+        faster.insert("full_registry_cold".to_string(), (1500.0, 1400.0));
+        let new = baseline_value("hotpath", &faster);
+        assert_eq!(
+            baseline_speedup(&old, &new, "full_registry_cold"),
+            Some(2.0)
+        );
+        assert_eq!(baseline_speedup(&old, &new, "missing"), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

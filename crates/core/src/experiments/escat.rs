@@ -3,6 +3,7 @@
 use crate::experiments::{ExperimentOutput, Scale, ShapeCheck};
 use crate::paper;
 use crate::simulator::{run, RunResult, SimOptions};
+use parking_lot::Mutex;
 use sioscope_analysis::plot;
 use sioscope_analysis::table::{render_exec_table, render_io_table, ExecTimeTable, IoTimeTable};
 use sioscope_analysis::{Cdf, Timeline};
@@ -11,7 +12,6 @@ use sioscope_pfs::{OpKind, PfsConfig};
 use sioscope_sim::Time;
 use sioscope_workloads::{EscatConfig, EscatDataset, EscatVersion, Workload};
 use std::collections::HashMap;
-use parking_lot::Mutex;
 use std::sync::{Arc, OnceLock};
 
 use super::Experiment;
@@ -37,16 +37,14 @@ fn run_cache() -> &'static Mutex<HashMap<RunKey, Arc<RunResult>>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Drop every memoized ESCAT run (benchmarks use this to time cold runs).
+pub fn clear_cache() {
+    run_cache().lock().clear();
+}
+
 /// Run (and memoize) one ESCAT version at a given scale.
-pub fn run_version(
-    version: EscatVersion,
-    dataset: EscatDataset,
-    scale: Scale,
-) -> Arc<RunResult> {
-    if let Some(hit) = run_cache()
-        .lock()
-        .get(&(version, dataset, scale))
-    {
+pub fn run_version(version: EscatVersion, dataset: EscatDataset, scale: Scale) -> Arc<RunResult> {
+    if let Some(hit) = run_cache().lock().get(&(version, dataset, scale)) {
         return Arc::clone(hit);
     }
     let cfg = config(version, dataset, scale);
@@ -192,7 +190,11 @@ pub fn table2(scale: Scale) -> ExperimentOutput {
     checks.push(ShapeCheck::new(
         "B: seek is the dominant operation (paper: 63.2%)",
         b.dominant() == Some(OpKind::Seek),
-        format!("dominant = {:?} ({:.1}%)", b.dominant(), b.pct(OpKind::Seek)),
+        format!(
+            "dominant = {:?} ({:.1}%)",
+            b.dominant(),
+            b.pct(OpKind::Seek)
+        ),
     ));
     checks.push(ShapeCheck::in_range(
         "B: write share substantial (paper: 28.8%)",
@@ -206,7 +208,11 @@ pub fn table2(scale: Scale) -> ExperimentOutput {
     checks.push(ShapeCheck::new(
         "C: write is the dominant operation (paper: 55.6%)",
         c.dominant() == Some(OpKind::Write),
-        format!("dominant = {:?} ({:.1}%)", c.dominant(), c.pct(OpKind::Write)),
+        format!(
+            "dominant = {:?} ({:.1}%)",
+            c.dominant(),
+            c.pct(OpKind::Write)
+        ),
     ));
     checks.push(ShapeCheck::greater(
         "C: M_ASYNC eliminates seek cost (paper: 63.2% -> 1.75%)",
@@ -235,8 +241,7 @@ pub fn read_stats(r: &RunResult) -> ReadSizeStats {
     let cdf = Cdf::from_samples(r.trace.sizes_of(OpKind::Read));
     ReadSizeStats {
         small_request_fraction: cdf.fraction_leq(paper::SMALL_REQUEST_BYTES),
-        large_data_fraction: 1.0
-            - cdf.weight_fraction_leq(paper::ESCAT_LARGE_READ_BYTES - 1),
+        large_data_fraction: 1.0 - cdf.weight_fraction_leq(paper::ESCAT_LARGE_READ_BYTES - 1),
     }
 }
 
@@ -250,10 +255,30 @@ pub fn fig2(scale: Scale) -> ExperimentOutput {
     let cdf_write_c = Cdf::from_samples(rc.trace.sizes_of(OpKind::Write));
 
     let mut rendered = String::new();
-    rendered.push_str(&plot::cdf_plot("Figure 2a: ESCAT read sizes, version A", &cdf_read_a, 60, 12));
-    rendered.push_str(&plot::cdf_plot("Figure 2a: ESCAT read sizes, versions B/C", &cdf_read_c, 60, 12));
-    rendered.push_str(&plot::cdf_plot("Figure 2b: ESCAT write sizes, version A", &cdf_write_a, 60, 12));
-    rendered.push_str(&plot::cdf_plot("Figure 2b: ESCAT write sizes, versions B/C", &cdf_write_c, 60, 12));
+    rendered.push_str(&plot::cdf_plot(
+        "Figure 2a: ESCAT read sizes, version A",
+        &cdf_read_a,
+        60,
+        12,
+    ));
+    rendered.push_str(&plot::cdf_plot(
+        "Figure 2a: ESCAT read sizes, versions B/C",
+        &cdf_read_c,
+        60,
+        12,
+    ));
+    rendered.push_str(&plot::cdf_plot(
+        "Figure 2b: ESCAT write sizes, version A",
+        &cdf_write_a,
+        60,
+        12,
+    ));
+    rendered.push_str(&plot::cdf_plot(
+        "Figure 2b: ESCAT write sizes, versions B/C",
+        &cdf_write_c,
+        60,
+        12,
+    ));
 
     let sa = read_stats(&ra);
     let sc = read_stats(&rc);
@@ -455,7 +480,12 @@ pub fn fig5(scale: Scale) -> ExperimentOutput {
     ));
     let max_b = tl_b.max_value() as f64 / 1e9;
     let max_c = tl_c.max_value() as f64 / 1e9;
-    let sum = |tl: &Timeline| tl.points().iter().map(|&(_, v)| v as f64 / 1e9).sum::<f64>();
+    let sum = |tl: &Timeline| {
+        tl.points()
+            .iter()
+            .map(|&(_, v)| v as f64 / 1e9)
+            .sum::<f64>()
+    };
     let checks = vec![
         ShapeCheck::greater(
             "M_ASYNC nearly eliminates seek durations (paper: ~9 s vs ~0.45 s max)",

@@ -155,8 +155,12 @@ impl Experiment {
             AblationWriteBehind => "Ablation (§7): write-behind",
             AblationCaching => "Ablation (§5.4): client buffering on/off",
             AblationAdaptive => "Ablation (§5.4): adaptive (PPFS-style) policy selection",
-            AblationNoRestructuring => "Counterfactual (§4.4/§7): file-system policies instead of code restructuring",
-            Section6Comparison => "Section 6: application comparison across the three I/O dimensions",
+            AblationNoRestructuring => {
+                "Counterfactual (§4.4/§7): file-system policies instead of code restructuring"
+            }
+            Section6Comparison => {
+                "Section 6: application comparison across the three I/O dimensions"
+            }
             ResilienceEscat => "Resilience: ESCAT C under each fault class",
             ResiliencePrism => "Resilience: PRISM B under each fault class",
         }
@@ -202,6 +206,18 @@ impl ExperimentOutput {
     pub fn failures(&self) -> Vec<&ShapeCheck> {
         self.checks.iter().filter(|c| !c.pass).collect()
     }
+}
+
+/// Drop every memoized workload run.
+///
+/// Experiments share simulated runs through per-application memoization
+/// caches so that, say, the four ESCAT figures do not re-simulate the
+/// same six progressions. Benchmarks that want to time a *cold* pass of
+/// the registry call this between iterations; ordinary callers never
+/// need it.
+pub fn clear_run_caches() {
+    escat::clear_cache();
+    prism::clear_cache();
 }
 
 /// Run one experiment at the given scale.

@@ -3,6 +3,7 @@
 use crate::experiments::{Experiment, ExperimentOutput, Scale, ShapeCheck};
 use crate::paper;
 use crate::simulator::{run, RunResult, SimOptions};
+use parking_lot::Mutex;
 use sioscope_analysis::plot;
 use sioscope_analysis::table::{render_io_table, IoTimeTable};
 use sioscope_analysis::{Cdf, Timeline};
@@ -11,7 +12,6 @@ use sioscope_pfs::{OpKind, PfsConfig};
 use sioscope_sim::Time;
 use sioscope_workloads::{PrismConfig, PrismVersion, Workload};
 use std::collections::HashMap;
-use parking_lot::Mutex;
 use std::sync::{Arc, OnceLock};
 
 /// The PFS configuration PRISM experiments run against.
@@ -31,6 +31,11 @@ type RunKey = (PrismVersion, Scale);
 fn run_cache() -> &'static Mutex<HashMap<RunKey, Arc<RunResult>>> {
     static CACHE: OnceLock<Mutex<HashMap<RunKey, Arc<RunResult>>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Drop every memoized PRISM run (benchmarks use this to time cold runs).
+pub fn clear_cache() {
+    run_cache().lock().clear();
 }
 
 /// Run (and memoize) one PRISM version at a given scale.
@@ -79,10 +84,11 @@ pub fn table4() -> ExperimentOutput {
     let checks = vec![
         ShapeCheck::new(
             "A uses M_UNIX everywhere",
-            workloads[0]
-                .phases
-                .iter()
-                .all(|p| p.modes.iter().all(|(_, m)| *m == sioscope_pfs::IoMode::MUnix)),
+            workloads[0].phases.iter().all(|p| {
+                p.modes
+                    .iter()
+                    .all(|(_, m)| *m == sioscope_pfs::IoMode::MUnix)
+            }),
             "all phases M_UNIX",
         ),
         ShapeCheck::new(
@@ -168,12 +174,20 @@ pub fn table5(scale: Scale) -> ExperimentOutput {
         ShapeCheck::new(
             "A: open dominates I/O (paper: 75.4%)",
             a.dominant() == Some(OpKind::Open),
-            format!("dominant = {:?} ({:.1}%)", a.dominant(), a.pct(OpKind::Open)),
+            format!(
+                "dominant = {:?} ({:.1}%)",
+                a.dominant(),
+                a.pct(OpKind::Open)
+            ),
         ),
         ShapeCheck::new(
             "B: open still dominates (paper: 57.4%)",
             b.dominant() == Some(OpKind::Open),
-            format!("dominant = {:?} ({:.1}%)", b.dominant(), b.pct(OpKind::Open)),
+            format!(
+                "dominant = {:?} ({:.1}%)",
+                b.dominant(),
+                b.pct(OpKind::Open)
+            ),
         ),
         ShapeCheck::in_range(
             "B: setiomode becomes visible (paper: 17.75%)",
@@ -184,7 +198,11 @@ pub fn table5(scale: Scale) -> ExperimentOutput {
         ShapeCheck::new(
             "C: read dominates after gopen removes open cost (paper: 83.9%)",
             c.dominant() == Some(OpKind::Read),
-            format!("dominant = {:?} ({:.1}%)", c.dominant(), c.pct(OpKind::Read)),
+            format!(
+                "dominant = {:?} ({:.1}%)",
+                c.dominant(),
+                c.pct(OpKind::Read)
+            ),
         ),
         ShapeCheck::greater(
             "open share collapses B -> C (paper: 57.4% -> 3.4%)",
@@ -216,9 +234,24 @@ pub fn fig7(scale: Scale) -> ExperimentOutput {
     let read_c = Cdf::from_samples(rc.trace.sizes_of(OpKind::Read));
     let write_c = Cdf::from_samples(rc.trace.sizes_of(OpKind::Write));
     let mut rendered = String::new();
-    rendered.push_str(&plot::cdf_plot("Figure 7a: PRISM read sizes, versions A/B", &read_a, 60, 12));
-    rendered.push_str(&plot::cdf_plot("Figure 7a: PRISM read sizes, version C", &read_c, 60, 12));
-    rendered.push_str(&plot::cdf_plot("Figure 7b: PRISM write sizes (all versions)", &write_c, 60, 12));
+    rendered.push_str(&plot::cdf_plot(
+        "Figure 7a: PRISM read sizes, versions A/B",
+        &read_a,
+        60,
+        12,
+    ));
+    rendered.push_str(&plot::cdf_plot(
+        "Figure 7a: PRISM read sizes, version C",
+        &read_c,
+        60,
+        12,
+    ));
+    rendered.push_str(&plot::cdf_plot(
+        "Figure 7b: PRISM write sizes (all versions)",
+        &write_c,
+        60,
+        12,
+    ));
 
     let tiny_fraction_a = read_a.fraction_leq(64);
     let tiny_fraction_c = read_c.fraction_leq(64);
@@ -273,7 +306,10 @@ pub fn fig8(scale: Scale) -> ExperimentOutput {
     for (v, r) in &runs {
         let tl = Timeline::new(r.trace.timeline_of(OpKind::Read));
         rendered.push_str(&plot::scatter_log(
-            &format!("Figure 8: PRISM read sizes vs execution time, version {} (log bytes)", v.label()),
+            &format!(
+                "Figure 8: PRISM read sizes vs execution time, version {} (log bytes)",
+                v.label()
+            ),
             &tl,
             70,
             12,
@@ -341,9 +377,8 @@ pub fn fig9(scale: Scale) -> ExperimentOutput {
         .copied()
         .filter(|&(_, v)| v == cfg.knobs.stats_write)
         .collect();
-    let bursts = Timeline::new(stats_points).burst_count(
-        cfg.knobs.step_compute * u64::from(cfg.checkpoint_every / 2).max(1),
-    );
+    let bursts = Timeline::new(stats_points)
+        .burst_count(cfg.knobs.step_compute * u64::from(cfg.checkpoint_every / 2).max(1));
     let checks = vec![
         ShapeCheck::new(
             "the checkpoints are clearly visible (paper: five)",

@@ -15,6 +15,52 @@ use sioscope_sim::Time;
 use sioscope_workloads::Workload;
 use std::fmt::Write as _;
 
+/// Every machine-configuration sweep, as a stable identifier.
+///
+/// The ids double as CLI arguments (`repro --sweeps=io_nodes,...`) and
+/// as the `parameter` column of the rendered table, so a sweep can be
+/// selected by the same name it reports under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SweepId {
+    IoNodes,
+    StripeUnit,
+    DiskBandwidth,
+    DegradedArrays,
+    FaultIntensity,
+}
+
+impl SweepId {
+    /// All sweeps in presentation order.
+    pub fn all() -> Vec<SweepId> {
+        use SweepId::*;
+        vec![
+            IoNodes,
+            StripeUnit,
+            DiskBandwidth,
+            DegradedArrays,
+            FaultIntensity,
+        ]
+    }
+
+    /// Stable identifier (CLI arguments, artifact file names).
+    pub fn id(self) -> &'static str {
+        use SweepId::*;
+        match self {
+            IoNodes => "io_nodes",
+            StripeUnit => "stripe_unit",
+            DiskBandwidth => "disk_bandwidth",
+            DegradedArrays => "degraded_arrays",
+            FaultIntensity => "fault_intensity",
+        }
+    }
+
+    /// Parse an identifier.
+    pub fn from_id(id: &str) -> Option<SweepId> {
+        SweepId::all().into_iter().find(|s| s.id() == id)
+    }
+}
+
 /// One sweep point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepPoint {
@@ -236,6 +282,25 @@ mod tests {
     use sioscope_workloads::{EscatConfig, EscatVersion, PrismConfig, PrismVersion};
 
     #[test]
+    fn sweep_ids_round_trip() {
+        for s in SweepId::all() {
+            assert_eq!(SweepId::from_id(s.id()), Some(s));
+        }
+        assert_eq!(SweepId::from_id("nope"), None);
+        let ids: Vec<&str> = SweepId::all().iter().map(|s| s.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "io_nodes",
+                "stripe_unit",
+                "disk_bandwidth",
+                "degraded_arrays",
+                "fault_intensity"
+            ]
+        );
+    }
+
+    #[test]
     fn io_node_sweep_runs_and_orders_points() {
         let w = EscatConfig::tiny(EscatVersion::C).build();
         let sweep = io_node_sweep(&w, &[2, 8, 4]);
@@ -250,11 +315,7 @@ mod tests {
     fn more_io_nodes_never_hurt_a_staging_workload() {
         let w = EscatConfig::tiny(EscatVersion::B).build();
         let sweep = io_node_sweep(&w, &[1, 2, 4, 8, 16]);
-        assert!(
-            sweep.io_time_monotone_nonincreasing(),
-            "{}",
-            sweep.render()
-        );
+        assert!(sweep.io_time_monotone_nonincreasing(), "{}", sweep.render());
         assert!(sweep.best_io_speedup() >= 1.0);
     }
 
@@ -282,12 +343,7 @@ mod tests {
         let w = PrismConfig::tiny(PrismVersion::B).build();
         let sweep = fault_intensity_sweep(&w, &[0, 3, 8], 0xF417);
         assert_eq!(sweep.points.len(), 3);
-        let healthy = run(
-            &w,
-            PfsConfig::caltech(w.nodes, w.os),
-            SimOptions::default(),
-        )
-        .unwrap();
+        let healthy = run(&w, PfsConfig::caltech(w.nodes, w.os), SimOptions::default()).unwrap();
         assert_eq!(
             sweep.points[0].exec_time, healthy.exec_time,
             "intensity 0 is the fault-free run"
