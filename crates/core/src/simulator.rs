@@ -7,10 +7,8 @@
 //! size, offset, node and operation kind.
 
 use sioscope_machine::MeshModel;
-use sioscope_pfs::{Outcome, Pfs, PfsConfig, PfsError, ResilienceStats};
-use sioscope_sim::{
-    EventQueue, FileId, Pid, RendezvousOutcome, RendezvousTable, Time,
-};
+use sioscope_pfs::{Pfs, PfsConfig, PfsError, ResilienceStats};
+use sioscope_sim::{EventQueue, FileId, Pid, RendezvousOutcome, RendezvousTable, Time};
 use sioscope_trace::{IoEvent, TraceRecorder};
 use sioscope_workloads::{Stmt, Workload};
 use std::fmt;
@@ -174,7 +172,7 @@ pub fn run(
     }
     pfs_cfg.os = workload.os;
     pfs_cfg.machine.compute_nodes = workload.nodes;
-    let mesh = MeshModel::new(pfs_cfg.machine.mesh.clone());
+    let mesh = MeshModel::new(pfs_cfg.machine.mesh);
     let mut pfs = Pfs::new(pfs_cfg);
 
     // Create the file table; workload file index i == FileId(i).
@@ -196,6 +194,10 @@ pub fn run(
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut collectives = RendezvousTable::new();
     let mut trace = TraceRecorder::new();
+    // One completion buffer reused across every submission — the event
+    // loop issues millions of ops per run, and `submit`'s per-call
+    // vector was the hottest allocation in a profile.
+    let mut completions = Vec::new();
 
     // Interleave the fault calendar with the event calendar: one
     // event per fault-window boundary. A schedule that does not
@@ -244,9 +246,10 @@ pub fn run(
             Stmt::Io { file, op } => {
                 let fid = FileId(*file);
                 nodes[pid.index()].issue_time = now;
-                match pfs.submit(now, pid, fid, op) {
-                    Ok(Outcome::Done(completions)) => {
-                        for c in completions {
+                completions.clear();
+                match pfs.submit_into(now, pid, fid, op, &mut completions) {
+                    Ok(true) => {
+                        for c in completions.drain(..) {
                             let issued = nodes[c.pid.index()].issue_time;
                             trace.record(IoEvent {
                                 pid: c.pid,
@@ -261,9 +264,9 @@ pub fn run(
                             queue.schedule(c.finish.max(now), Ev::Resume(c.pid));
                         }
                     }
-                    Ok(Outcome::Blocked) => {
-                        // Completion arrives via the group-closing
-                        // arrival's submit call.
+                    Ok(false) => {
+                        // Blocked: completion arrives via the
+                        // group-closing arrival's submit call.
                     }
                     Err(source) => {
                         return Err(SimError::Pfs {
@@ -290,8 +293,7 @@ pub fn run(
                                 }
                             }
                             Stmt::Broadcast { bytes, .. } => {
-                                let t =
-                                    base + mesh.broadcast_time(workload.nodes, *bytes);
+                                let t = base + mesh.broadcast_time(workload.nodes, *bytes);
                                 for (p, _) in arrivals {
                                     queue.schedule(t.max(now), Ev::Resume(p));
                                 }
@@ -304,19 +306,14 @@ pub fn run(
                                 // message; the root collects the
                                 // reduction tree's worth of data.
                                 let root_pid = Pid(*root);
-                                let gather_t = base
-                                    + mesh.broadcast_time(
-                                        workload.nodes,
-                                        *bytes_per_node,
-                                    );
+                                let gather_t =
+                                    base + mesh.broadcast_time(workload.nodes, *bytes_per_node);
                                 for (p, _) in arrivals {
                                     let t = if p == root_pid {
                                         gather_t
                                     } else {
-                                        base + mesh.message_time_hops(
-                                            *bytes_per_node,
-                                            mesh.diameter() / 2,
-                                        )
+                                        base + mesh
+                                            .message_time_hops(*bytes_per_node, mesh.diameter() / 2)
                                     };
                                     queue.schedule(t.max(now), Ev::Resume(p));
                                 }
@@ -362,10 +359,10 @@ pub fn run(
 mod tests {
     use super::*;
     use sioscope_pfs::mode::OsRelease;
-    use sioscope_pfs::IoOp;
     use sioscope_pfs::IoMode;
-    use sioscope_workloads::{FileSpec, PrismConfig, PrismVersion};
+    use sioscope_pfs::IoOp;
     use sioscope_workloads::{EscatConfig, EscatVersion};
+    use sioscope_workloads::{FileSpec, PrismConfig, PrismVersion};
 
     fn tiny_pfs(nodes: u32) -> PfsConfig {
         let mut cfg = PfsConfig::tiny();
@@ -532,11 +529,26 @@ mod tests {
             version: "X".into(),
             os: OsRelease::Osf13,
             nodes: 3,
-            files: vec![FileSpec { name: "f".into(), initial_size: 0 }],
+            files: vec![FileSpec {
+                name: "f".into(),
+                initial_size: 0,
+            }],
             programs: vec![
-                vec![Stmt::Broadcast { root: 0, bytes: 1 << 20 }],
-                vec![Stmt::Compute(Time::from_secs(2)), Stmt::Broadcast { root: 0, bytes: 1 << 20 }],
-                vec![Stmt::Broadcast { root: 0, bytes: 1 << 20 }],
+                vec![Stmt::Broadcast {
+                    root: 0,
+                    bytes: 1 << 20,
+                }],
+                vec![
+                    Stmt::Compute(Time::from_secs(2)),
+                    Stmt::Broadcast {
+                        root: 0,
+                        bytes: 1 << 20,
+                    },
+                ],
+                vec![Stmt::Broadcast {
+                    root: 0,
+                    bytes: 1 << 20,
+                }],
             ],
             phases: vec![],
         };
@@ -557,9 +569,17 @@ mod tests {
             version: "X".into(),
             os: OsRelease::Osf13,
             nodes: 4,
-            files: vec![FileSpec { name: "f".into(), initial_size: 0 }],
+            files: vec![FileSpec {
+                name: "f".into(),
+                initial_size: 0,
+            }],
             programs: (0..4)
-                .map(|_| vec![Stmt::Gather { root: 0, bytes_per_node: 1 << 20 }])
+                .map(|_| {
+                    vec![Stmt::Gather {
+                        root: 0,
+                        bytes_per_node: 1 << 20,
+                    }]
+                })
                 .collect(),
             phases: vec![],
         };

@@ -42,7 +42,7 @@ pub struct CalibrationReport {
 impl CalibrationReport {
     /// Evaluate the disk model of `config`.
     pub fn for_machine(config: &MachineConfig) -> Self {
-        let disk = DiskModel::new(config.disk.clone());
+        let disk = DiskModel::new(config.disk);
         let bw_1k = disk.effective_bandwidth(1 << 10);
         let bw_64k = disk.effective_bandwidth(64 << 10);
         let bw_128k = disk.effective_bandwidth(128 << 10);

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use sioscope_sim::Time;
 
 /// Mesh geometry and link timing parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MeshParams {
     /// Mesh rows.
     pub rows: u32,

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use sioscope_sim::Time;
 
 /// Per-operation software costs of the PFS control and data paths.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PfsCosts {
     /// Serialized metadata service time for one `open` (the stripe
     /// directory update every open funnels through).

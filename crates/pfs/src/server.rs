@@ -27,8 +27,10 @@ use crate::resilience::{ResilienceConfig, ResilienceStats};
 use crate::stripe::StripeLayout;
 use sioscope_faults::{FaultSchedule, FaultState};
 use sioscope_machine::{DiskModel, MachineConfig, MeshModel};
-use sioscope_sim::{Calendar, CalendarPool, FileId, NodeId, Pid, RendezvousOutcome, RendezvousTable, Time};
-use std::collections::HashMap;
+use sioscope_sim::{
+    Calendar, CalendarPool, DetHashMap, FileId, NodeId, Pid, RendezvousOutcome, RendezvousTable,
+    Time,
+};
 
 /// Full PFS configuration.
 #[derive(Debug, Clone)]
@@ -99,7 +101,7 @@ pub struct Pfs {
     mesh: MeshModel,
     disk: DiskModel,
     files: Vec<FileState>,
-    by_name: HashMap<String, FileId>,
+    by_name: DetHashMap<String, FileId>,
     /// The metadata server: opens/gopens/setiomode/close serialize here.
     metadata: Calendar,
     /// One disk calendar per I/O node.
@@ -114,8 +116,11 @@ pub struct Pfs {
     ion_links: CalendarPool,
     rdv: RendezvousTable,
     /// Per-rendezvous-round context: each member's request size.
-    pending_sizes: HashMap<u64, Vec<(Pid, u64)>>,
-    clients: HashMap<(Pid, FileId), ClientFileState>,
+    pending_sizes: DetHashMap<u64, Vec<(Pid, u64)>>,
+    clients: DetHashMap<(Pid, FileId), ClientFileState>,
+    /// Reused per-I/O-node `(total service, request count)` scratch for
+    /// the batched transfer path — cleared on entry, never reallocated.
+    transfer_scratch: Vec<(Time, u64)>,
     /// Compiled fault state; `None` iff the schedule does not engage,
     /// which is the guarantee that fault-free runs skip every hook.
     faults: Option<FaultState>,
@@ -126,8 +131,8 @@ pub struct Pfs {
 impl Pfs {
     /// Build a file system over `cfg`.
     pub fn new(cfg: PfsConfig) -> Self {
-        let mesh = MeshModel::new(cfg.machine.mesh.clone());
-        let disk = DiskModel::new(cfg.machine.disk.clone());
+        let mesh = MeshModel::new(cfg.machine.mesh);
+        let disk = DiskModel::new(cfg.machine.disk);
         let n_ions = cfg.machine.io_nodes as usize;
         let faults = cfg
             .faults
@@ -137,15 +142,16 @@ impl Pfs {
             mesh,
             disk,
             files: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: DetHashMap::default(),
             metadata: Calendar::new(),
             ions: CalendarPool::new(n_ions),
             ion_last: vec![None; n_ions],
             ion_caches: vec![IonCache::new(cfg.costs.ion_cache_blocks); n_ions],
             ion_links: CalendarPool::new(n_ions),
             rdv: RendezvousTable::new(),
-            pending_sizes: HashMap::new(),
-            clients: HashMap::new(),
+            pending_sizes: DetHashMap::default(),
+            clients: DetHashMap::default(),
+            transfer_scratch: vec![(Time::ZERO, 0); n_ions],
             faults,
             res_stats: ResilienceStats::default(),
             cfg,
@@ -243,6 +249,10 @@ impl Pfs {
     /// Submit one operation. `now` is the current simulation time;
     /// the returned completions' `finish` fields are absolute times
     /// (>= `now`).
+    ///
+    /// Convenience wrapper over [`Pfs::submit_into`] that allocates a
+    /// fresh completion vector per call; the simulation event loop
+    /// calls `submit_into` with one reused buffer instead.
     pub fn submit(
         &mut self,
         now: Time,
@@ -250,33 +260,61 @@ impl Pfs {
         fid: FileId,
         op: &IoOp,
     ) -> Result<Outcome, PfsError> {
+        let mut out = Vec::new();
+        Ok(if self.submit_into(now, pid, fid, op, &mut out)? {
+            Outcome::Done(out)
+        } else {
+            Outcome::Blocked
+        })
+    }
+
+    /// Allocation-free submission: completions are *appended* to
+    /// `out`. Returns `Ok(true)` when the operation completed (its
+    /// completions were pushed), `Ok(false)` when the caller joined a
+    /// still-forming collective group and will be completed by the
+    /// arrival that closes the group. On `Ok(false)` and on errors
+    /// nothing is pushed.
+    pub fn submit_into(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        fid: FileId,
+        op: &IoOp,
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
         if fid.index() >= self.files.len() {
             return Err(PfsError::NoSuchFile(fid));
         }
         match op {
-            IoOp::Open => self.do_open(now, pid, fid),
+            IoOp::Open => self.do_open(now, pid, fid, out),
             IoOp::Gopen {
                 group,
                 mode,
                 record_size,
-            } => self.do_gopen(now, pid, fid, *group, *mode, *record_size),
+            } => self.do_gopen(now, pid, fid, *group, *mode, *record_size, out),
             IoOp::SetIoMode {
                 group,
                 mode,
                 record_size,
-            } => self.do_setiomode(now, pid, fid, *group, *mode, *record_size),
-            IoOp::Read { size } => self.do_data(now, pid, fid, *size, false),
-            IoOp::Write { size } => self.do_data(now, pid, fid, *size, true),
-            IoOp::Seek { offset } => self.do_seek(now, pid, fid, *offset),
-            IoOp::SetBuffering { enabled } => self.do_set_buffering(now, pid, fid, *enabled),
-            IoOp::Flush => self.do_flush(now, pid, fid),
-            IoOp::Close => self.do_close(now, pid, fid),
+            } => self.do_setiomode(now, pid, fid, *group, *mode, *record_size, out),
+            IoOp::Read { size } => self.do_data(now, pid, fid, *size, false, out),
+            IoOp::Write { size } => self.do_data(now, pid, fid, *size, true, out),
+            IoOp::Seek { offset } => self.do_seek(now, pid, fid, *offset, out),
+            IoOp::SetBuffering { enabled } => self.do_set_buffering(now, pid, fid, *enabled, out),
+            IoOp::Flush => self.do_flush(now, pid, fid, out),
+            IoOp::Close => self.do_close(now, pid, fid, out),
         }
     }
 
     // ----- control operations -------------------------------------------
 
-    fn do_open(&mut self, now: Time, pid: Pid, fid: FileId) -> Result<Outcome, PfsError> {
+    fn do_open(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        fid: FileId,
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
         let service = self.cfg.costs.open_service;
         let overhead = self.cfg.costs.client_overhead;
         let file = &mut self.files[fid.index()];
@@ -291,14 +329,15 @@ impl Pfs {
         file.add_opener(pid);
         let mode = file.mode;
         self.clients.insert((pid, fid), ClientFileState::new());
-        Ok(Outcome::Done(vec![Completion {
+        out.push(Completion {
             pid,
             finish: res.finish + self.cfg.costs.open_local + overhead,
             bytes: 0,
             offset: 0,
             kind: OpKind::Open,
             mode,
-        }]))
+        });
+        Ok(true)
     }
 
     fn do_gopen(
@@ -309,7 +348,8 @@ impl Pfs {
         group: u32,
         mode: IoMode,
         record_size: Option<u64>,
-    ) -> Result<Outcome, PfsError> {
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
         if !mode.available_in(self.cfg.os) {
             return Err(PfsError::ModeUnavailable { mode: mode.name() });
         }
@@ -329,22 +369,22 @@ impl Pfs {
             file.rendezvous_key(seq)
         };
         match self.rdv.arrive(key, pid, now, group as usize) {
-            RendezvousOutcome::Waiting => Ok(Outcome::Blocked),
+            RendezvousOutcome::Waiting => Ok(false),
             RendezvousOutcome::Complete { arrivals, release } => {
                 // One metadata operation for the whole group.
-                let service = self.cfg.costs.gopen_base
-                    + self.cfg.costs.gopen_per_member * u64::from(group);
+                let service =
+                    self.cfg.costs.gopen_base + self.cfg.costs.gopen_per_member * u64::from(group);
                 let res = self.metadata.reserve(release, service);
                 let finish = res.finish + self.cfg.costs.client_overhead;
                 let file = &mut self.files[fid.index()];
                 file.mode = mode;
                 file.record_size = record_size;
                 file.shared_ptr = 0;
-                let mut completions = Vec::with_capacity(arrivals.len());
+                out.reserve(arrivals.len());
                 for (p, _) in arrivals {
                     file.add_opener(p);
                     self.clients.insert((p, fid), ClientFileState::new());
-                    completions.push(Completion {
+                    out.push(Completion {
                         pid: p,
                         finish,
                         bytes: 0,
@@ -353,7 +393,7 @@ impl Pfs {
                         mode,
                     });
                 }
-                Ok(Outcome::Done(completions))
+                Ok(true)
             }
         }
     }
@@ -366,7 +406,8 @@ impl Pfs {
         group: u32,
         mode: IoMode,
         record_size: Option<u64>,
-    ) -> Result<Outcome, PfsError> {
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
         if !mode.available_in(self.cfg.os) {
             return Err(PfsError::ModeUnavailable { mode: mode.name() });
         }
@@ -379,7 +420,7 @@ impl Pfs {
             file.rendezvous_key(seq)
         };
         match self.rdv.arrive(key, pid, now, group as usize) {
-            RendezvousOutcome::Waiting => Ok(Outcome::Blocked),
+            RendezvousOutcome::Waiting => Ok(false),
             RendezvousOutcome::Complete { arrivals, release } => {
                 // Group-vs-openers consistency can only be judged once
                 // the whole group has arrived: members may legitimately
@@ -403,19 +444,15 @@ impl Pfs {
                     file.record_size = record_size;
                 }
                 file.shared_ptr = 0;
-                Ok(Outcome::Done(
-                    arrivals
-                        .into_iter()
-                        .map(|(p, _)| Completion {
-                            pid: p,
-                            finish,
-                            bytes: 0,
-                            offset: 0,
-                            kind: OpKind::Iomode,
-                            mode,
-                        })
-                        .collect(),
-                ))
+                out.extend(arrivals.into_iter().map(|(p, _)| Completion {
+                    pid: p,
+                    finish,
+                    bytes: 0,
+                    offset: 0,
+                    kind: OpKind::Iomode,
+                    mode,
+                }));
+                Ok(true)
             }
         }
     }
@@ -426,8 +463,9 @@ impl Pfs {
         pid: Pid,
         fid: FileId,
         offset: u64,
-    ) -> Result<Outcome, PfsError> {
-        let costs = self.cfg.costs.clone();
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
+        let costs = self.cfg.costs;
         let file = &mut self.files[fid.index()];
         if !file.is_open_by(pid) {
             return Err(PfsError::NotOpen { file: fid, pid });
@@ -450,14 +488,15 @@ impl Pfs {
         };
         file.set_private_ptr(pid, offset);
         let mode = file.mode;
-        Ok(Outcome::Done(vec![Completion {
+        out.push(Completion {
             pid,
             finish,
             bytes: 0,
             offset,
             kind: OpKind::Seek,
             mode,
-        }]))
+        });
+        Ok(true)
     }
 
     fn do_set_buffering(
@@ -466,29 +505,34 @@ impl Pfs {
         pid: Pid,
         fid: FileId,
         enabled: bool,
-    ) -> Result<Outcome, PfsError> {
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
         let file = &self.files[fid.index()];
         if !file.is_open_by(pid) {
             return Err(PfsError::NotOpen { file: fid, pid });
         }
-        let client = self
-            .clients
-            .entry((pid, fid))
-            .or_default();
+        let client = self.clients.entry((pid, fid)).or_default();
         client.buffering = enabled;
         client.invalidate_reads();
         let mode = self.files[fid.index()].mode;
-        Ok(Outcome::Done(vec![Completion {
+        out.push(Completion {
             pid,
             finish: now + self.cfg.costs.seek_local,
             bytes: 0,
             offset: 0,
             kind: OpKind::Iomode,
             mode,
-        }]))
+        });
+        Ok(true)
     }
 
-    fn do_flush(&mut self, now: Time, pid: Pid, fid: FileId) -> Result<Outcome, PfsError> {
+    fn do_flush(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        fid: FileId,
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
         if !self.files[fid.index()].is_open_by(pid) {
             return Err(PfsError::NotOpen { file: fid, pid });
         }
@@ -500,17 +544,24 @@ impl Pfs {
             .unwrap_or(Time::ZERO);
         let finish = now.max(drained).max(pending) + self.cfg.costs.flush_service;
         let mode = self.files[fid.index()].mode;
-        Ok(Outcome::Done(vec![Completion {
+        out.push(Completion {
             pid,
             finish,
             bytes: 0,
             offset: 0,
             kind: OpKind::Flush,
             mode,
-        }]))
+        });
+        Ok(true)
     }
 
-    fn do_close(&mut self, now: Time, pid: Pid, fid: FileId) -> Result<Outcome, PfsError> {
+    fn do_close(
+        &mut self,
+        now: Time,
+        pid: Pid,
+        fid: FileId,
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
         if !self.files[fid.index()].is_open_by(pid) {
             return Err(PfsError::NotOpen { file: fid, pid });
         }
@@ -536,14 +587,15 @@ impl Pfs {
             file.record_size = None;
             file.shared_ptr = 0;
         }
-        Ok(Outcome::Done(vec![Completion {
+        out.push(Completion {
             pid,
             finish,
             bytes: 0,
             offset: 0,
             kind: OpKind::Close,
             mode,
-        }]))
+        });
+        Ok(true)
     }
 
     // ----- data operations ----------------------------------------------
@@ -555,7 +607,8 @@ impl Pfs {
         fid: FileId,
         size: u64,
         write: bool,
-    ) -> Result<Outcome, PfsError> {
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
         let mode = {
             let file = &self.files[fid.index()];
             if !file.is_open_by(pid) {
@@ -566,14 +619,14 @@ impl Pfs {
         match mode {
             IoMode::MUnix | IoMode::MAsync => {
                 if write {
-                    self.private_write(now, pid, fid, size)
+                    self.private_write(now, pid, fid, size, out)
                 } else {
-                    self.private_read(now, pid, fid, size)
+                    self.private_read(now, pid, fid, size, out)
                 }
             }
-            IoMode::MLog => self.log_data(now, pid, fid, size, write),
+            IoMode::MLog => self.log_data(now, pid, fid, size, write, out),
             IoMode::MRecord | IoMode::MGlobal | IoMode::MSync => {
-                self.collective_data(now, pid, fid, size, write, mode)
+                self.collective_data(now, pid, fid, size, write, mode, out)
             }
         }
     }
@@ -584,10 +637,7 @@ impl Pfs {
     /// reads within a fetched block are local. The structured
     /// collective modes move whole records and never cache.
     fn read_cache_allowed(&self, fid: FileId) -> bool {
-        matches!(
-            self.files[fid.index()].mode,
-            IoMode::MUnix | IoMode::MAsync
-        )
+        matches!(self.files[fid.index()].mode, IoMode::MUnix | IoMode::MAsync)
     }
 
     /// May writes coalesce in the client buffer by default? Only for a
@@ -608,16 +658,14 @@ impl Pfs {
         pid: Pid,
         fid: FileId,
         size: u64,
-    ) -> Result<Outcome, PfsError> {
-        let costs = self.cfg.costs.clone();
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
+        let costs = self.cfg.costs;
         let policy = self.cfg.policy;
         let t0 = now + costs.client_overhead;
         let offset = self.files[fid.index()].private_ptr(pid);
         let cache_allowed = self.read_cache_allowed(fid);
-        let client = self
-            .clients
-            .entry((pid, fid))
-            .or_default();
+        let client = self.clients.entry((pid, fid)).or_default();
         let buffering_on = client.buffering && cache_allowed;
         let buffered = buffering_on && size < costs.buffer_block && size > 0;
         // Adaptive policy: enable read-ahead once this stream is
@@ -638,9 +686,7 @@ impl Pfs {
                     if read_ahead {
                         // Prefetch the block AFTER the one just
                         // promoted, not the block the hit landed in.
-                        let next = promoted
-                            .map(|(s, l)| s + l)
-                            .unwrap_or(offset + size);
+                        let next = promoted.map(|(s, l)| s + l).unwrap_or(offset + size);
                         self.issue_prefetch(f, pid, fid, next);
                     }
                     f
@@ -648,8 +694,7 @@ impl Pfs {
                 ReadProbe::Miss => {
                     let sequential = client.read_is_sequential(offset);
                     let block_start = offset - offset % costs.buffer_block;
-                    let file_end =
-                        self.files[fid.index()].size.max(offset + size);
+                    let file_end = self.files[fid.index()].size.max(offset + size);
                     let block_len = costs.buffer_block.min(file_end - block_start);
                     let end = self.fetch(t0, pid, fid, block_start, block_len, false)?;
                     let client = self
@@ -681,14 +726,15 @@ impl Pfs {
             client.note_read(offset, size);
         }
         let mode = self.files[fid.index()].mode;
-        Ok(Outcome::Done(vec![Completion {
+        out.push(Completion {
             pid,
             finish,
             bytes: size,
             offset,
             kind: OpKind::Read,
             mode,
-        }]))
+        });
+        Ok(true)
     }
 
     /// Start an asynchronous prefetch of the buffer block beginning at
@@ -733,9 +779,9 @@ impl Pfs {
             return start;
         }
         let layout = self.files[fid.index()].layout;
-        let costs = self.cfg.costs.clone();
+        let costs = self.cfg.costs;
         let mut end = start;
-        for seg in layout.segments(offset, len) {
+        for seg in layout.segments_iter(offset, len) {
             let ion = seg.ion as usize;
             // Background traffic has no client to time out: a prefetch
             // aimed at a crashed node simply waits for the restart.
@@ -750,8 +796,7 @@ impl Pfs {
             let block = seg.offset / layout.unit;
             let cache_hit = self.ion_caches[ion].probe(fid, block);
             let service = if cache_hit {
-                costs.ion_cache_overhead
-                    + Time::from_secs_f64(seg.len as f64 / costs.ion_cache_bw)
+                costs.ion_cache_overhead + Time::from_secs_f64(seg.len as f64 / costs.ion_cache_bw)
             } else {
                 let sequential = self.ion_last[ion] == Some((fid, seg.offset));
                 match &disturb {
@@ -778,8 +823,9 @@ impl Pfs {
         pid: Pid,
         fid: FileId,
         size: u64,
-    ) -> Result<Outcome, PfsError> {
-        let costs = self.cfg.costs.clone();
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
+        let costs = self.cfg.costs;
         let policy = self.cfg.policy;
         let t0 = now + costs.client_overhead;
         let offset = self.files[fid.index()].private_ptr(pid);
@@ -870,14 +916,15 @@ impl Pfs {
         let file = &mut self.files[fid.index()];
         file.advance_private(pid, size);
         file.note_write(offset, size);
-        Ok(Outcome::Done(vec![Completion {
+        out.push(Completion {
             pid,
             finish,
             bytes: size,
             offset,
             kind: OpKind::Write,
             mode,
-        }]))
+        });
+        Ok(true)
     }
 
     /// Synchronously drain any pending coalesced writes for
@@ -931,22 +978,24 @@ impl Pfs {
         fid: FileId,
         size: u64,
         write: bool,
-    ) -> Result<Outcome, PfsError> {
-        let costs = self.cfg.costs.clone();
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
+        let costs = self.cfg.costs;
         let t0 = now + costs.client_overhead;
         let offset = self.files[fid.index()].advance_shared(size);
         let finish = self.serialized_transfer(t0, pid, fid, offset, size, write);
         if write {
             self.files[fid.index()].note_write(offset, size);
         }
-        Ok(Outcome::Done(vec![Completion {
+        out.push(Completion {
             pid,
             finish,
             bytes: size,
             offset,
             kind: if write { OpKind::Write } else { OpKind::Read },
             mode: IoMode::MLog,
-        }]))
+        });
+        Ok(true)
     }
 
     /// Direct (uncached) data path for private modes: serialized
@@ -1051,10 +1100,13 @@ impl Pfs {
         if len == 0 {
             return start;
         }
+        if self.faults.is_none() {
+            return self.transfer_batched(start, fid, offset, len, write);
+        }
         let layout = self.files[fid.index()].layout;
-        let costs = self.cfg.costs.clone();
+        let costs = self.cfg.costs;
         let mut end = start;
-        for seg in layout.segments(offset, len) {
+        for seg in layout.segments_iter(offset, len) {
             let (serving, seg_start, route_factor) = self.engage_ion(seg.ion, start, write);
             let ion = serving as usize;
             let disturb = self
@@ -1064,12 +1116,10 @@ impl Pfs {
             let block = seg.offset / layout.unit;
             let cache_hit = !write && self.ion_caches[ion].probe(fid, block);
             let service = if write {
-                costs.ion_write_overhead
-                    + Time::from_secs_f64(seg.len as f64 / costs.ion_write_bw)
+                costs.ion_write_overhead + Time::from_secs_f64(seg.len as f64 / costs.ion_write_bw)
             } else if cache_hit {
                 // Served from I/O-node memory: no disk positioning.
-                costs.ion_cache_overhead
-                    + Time::from_secs_f64(seg.len as f64 / costs.ion_cache_bw)
+                costs.ion_cache_overhead + Time::from_secs_f64(seg.len as f64 / costs.ion_cache_bw)
             } else {
                 let sequential = self.ion_last[ion] == Some((fid, seg.offset));
                 match &disturb {
@@ -1101,6 +1151,59 @@ impl Pfs {
         end
     }
 
+    /// Fault-free transfer fast path: walk the segments once computing
+    /// each per-segment service exactly as the general path does (same
+    /// cache probes, same sequential detection, in the same order),
+    /// accumulate per-I/O-node `(total service, count)`, then issue a
+    /// single batched calendar reservation per touched node.
+    ///
+    /// Bit-identical to the general path with no faults engaged: every
+    /// segment there starts at `start` with factor 1, so per node the
+    /// reservations chain back-to-back from `max(start, free_at)` —
+    /// exactly what [`Calendar::reserve_n`] computes — and the maximum
+    /// finish over segments equals the maximum over per-node batch
+    /// finishes because each node's last segment finishes latest.
+    fn transfer_batched(
+        &mut self,
+        start: Time,
+        fid: FileId,
+        offset: u64,
+        len: u64,
+        write: bool,
+    ) -> Time {
+        let layout = self.files[fid.index()].layout;
+        let costs = self.cfg.costs;
+        self.transfer_scratch.clear();
+        self.transfer_scratch
+            .resize(self.ions.len(), (Time::ZERO, 0));
+        for seg in layout.segments_iter(offset, len) {
+            let ion = seg.ion as usize;
+            let block = seg.offset / layout.unit;
+            let cache_hit = !write && self.ion_caches[ion].probe(fid, block);
+            let service = if write {
+                costs.ion_write_overhead + Time::from_secs_f64(seg.len as f64 / costs.ion_write_bw)
+            } else if cache_hit {
+                costs.ion_cache_overhead + Time::from_secs_f64(seg.len as f64 / costs.ion_cache_bw)
+            } else {
+                let sequential = self.ion_last[ion] == Some((fid, seg.offset));
+                self.disk.service_time(seg.len, sequential)
+            };
+            self.ion_caches[ion].insert(fid, block);
+            self.transfer_scratch[ion].0 += service;
+            self.transfer_scratch[ion].1 += 1;
+            self.ion_last[ion] = Some((fid, seg.offset + seg.len));
+        }
+        let mut end = start;
+        for ion in 0..self.transfer_scratch.len() {
+            let (total, n) = self.transfer_scratch[ion];
+            if n > 0 {
+                let res = self.ions.reserve_n(ion, start, total, n);
+                end = end.max(res.finish);
+            }
+        }
+        end
+    }
+
     /// Absolute arrival time at the client for data leaving the I/O
     /// node holding the first byte of the range at `data_ready`. The
     /// payload serializes on the I/O node's single mesh injection
@@ -1117,7 +1220,7 @@ impl Pfs {
     ) -> Time {
         let layout = self.files[fid.index()].layout;
         let to = self.cfg.machine.compute_position(NodeId(pid.0));
-        let params = self.mesh.params().clone();
+        let params = *self.mesh.params();
         if len == 0 {
             return data_ready + params.sw_setup;
         }
@@ -1129,7 +1232,7 @@ impl Pfs {
         // the client receives when the last segment lands.
         let mut last = data_ready;
         let mut max_hops = 0;
-        for seg in layout.segments(offset, len) {
+        for seg in layout.segments_iter(offset, len) {
             let wire = if congestion == 1.0 {
                 Time::from_secs_f64(seg.len as f64 / params.bandwidth_bps)
             } else {
@@ -1163,7 +1266,7 @@ impl Pfs {
             .map_or(1.0, |s| s.link_factor(data_ready));
         let mut last = data_ready;
         let mut max_hops = 0;
-        for seg in layout.segments(offset, len) {
+        for seg in layout.segments_iter(offset, len) {
             let wire = if congestion == 1.0 {
                 Time::from_secs_f64(seg.len as f64 / params.bandwidth_bps)
             } else {
@@ -1191,7 +1294,8 @@ impl Pfs {
         size: u64,
         write: bool,
         mode: IoMode,
-    ) -> Result<Outcome, PfsError> {
+        out: &mut Vec<Completion>,
+    ) -> Result<bool, PfsError> {
         // Validate before joining the group.
         if mode == IoMode::MRecord {
             let expected = self.files[fid.index()].record_size.unwrap_or(0);
@@ -1211,17 +1315,17 @@ impl Pfs {
         };
         self.pending_sizes.entry(key).or_default().push((pid, size));
         match self.rdv.arrive(key, pid, now, group as usize) {
-            RendezvousOutcome::Waiting => Ok(Outcome::Blocked),
+            RendezvousOutcome::Waiting => Ok(false),
             RendezvousOutcome::Complete { release, .. } => {
                 let members = self.pending_sizes.remove(&key).expect("sizes recorded");
-                Ok(Outcome::Done(self.run_collective(
-                    release, fid, mode, write, members,
-                )))
+                self.run_collective(release, fid, mode, write, members, out);
+                Ok(true)
             }
         }
     }
 
-    /// Execute a completed collective round at `release`.
+    /// Execute a completed collective round at `release`, appending
+    /// every member's completion to `out`.
     fn run_collective(
         &mut self,
         release: Time,
@@ -1229,7 +1333,8 @@ impl Pfs {
         mode: IoMode,
         write: bool,
         members: Vec<(Pid, u64)>,
-    ) -> Vec<Completion> {
+        out: &mut Vec<Completion>,
+    ) {
         let overhead = self.cfg.costs.client_overhead;
         let kind = if write { OpKind::Write } else { OpKind::Read };
         match mode {
@@ -1255,23 +1360,19 @@ impl Pfs {
                     }
                 };
                 let finish = data_end + extra + overhead;
-                members
-                    .into_iter()
-                    .map(|(p, s)| Completion {
-                        pid: p,
-                        finish,
-                        bytes: s,
-                        offset,
-                        kind,
-                        mode,
-                    })
-                    .collect()
+                out.extend(members.into_iter().map(|(p, s)| Completion {
+                    pid: p,
+                    finish,
+                    bytes: s,
+                    offset,
+                    kind,
+                    mode,
+                }));
             }
             IoMode::MRecord => {
                 // Node-ordered disjoint records from a common base.
                 let record = self.files[fid.index()].record_size.unwrap_or(0);
-                let base = self.files[fid.index()]
-                    .advance_shared(record * members.len() as u64);
+                let base = self.files[fid.index()].advance_shared(record * members.len() as u64);
                 // Transfers proceed in node (rank) order.
                 let mut ranked: Vec<(u32, Pid, u64)> = members
                     .into_iter()
@@ -1281,7 +1382,7 @@ impl Pfs {
                     })
                     .collect();
                 ranked.sort_unstable_by_key(|&(rank, _, _)| rank);
-                let mut out = Vec::with_capacity(ranked.len());
+                out.reserve(ranked.len());
                 for (rank, p, s) in ranked {
                     let offset = base + u64::from(rank) * record;
                     let data_end = self.transfer(release, fid, offset, record, write);
@@ -1298,7 +1399,6 @@ impl Pfs {
                         mode,
                     });
                 }
-                out
             }
             IoMode::MSync => {
                 // Shared pointer, node-ordered, variable sizes:
@@ -1311,7 +1411,7 @@ impl Pfs {
                     })
                     .collect();
                 ranked.sort_unstable_by_key(|&(rank, _, _)| rank);
-                let mut out = Vec::with_capacity(ranked.len());
+                out.reserve(ranked.len());
                 let mut cursor = release;
                 for (_, p, s) in ranked {
                     let offset = self.files[fid.index()].advance_shared(s);
@@ -1330,7 +1430,6 @@ impl Pfs {
                         mode,
                     });
                 }
-                out
             }
             _ => unreachable!("non-collective mode in run_collective"),
         }
@@ -1417,7 +1516,10 @@ mod tests {
             mode: IoMode::MAsync,
             record_size: None,
         };
-        assert_eq!(p.submit(Time::ZERO, Pid(0), f, &op).unwrap(), Outcome::Blocked);
+        assert_eq!(
+            p.submit(Time::ZERO, Pid(0), f, &op).unwrap(),
+            Outcome::Blocked
+        );
         match p.submit(Time::from_secs(1), Pid(1), f, &op).unwrap() {
             Outcome::Done(cs) => {
                 assert_eq!(cs.len(), 2);
@@ -1558,8 +1660,7 @@ mod tests {
         assert_eq!(cs.len(), 2);
         // One 64 KB disk read total, not two.
         let busy = p.ion_busy_time() - busy_before;
-        let one_read = DiskModel::new(p.config().machine.disk.clone())
-            .service_time(65536, false);
+        let one_read = DiskModel::new(p.config().machine.disk).service_time(65536, false);
         assert!(busy <= one_read, "M_GLOBAL must aggregate to one disk I/O");
         // Shared pointer advanced once.
         assert_eq!(p.file(f).unwrap().shared_ptr, 65536);
@@ -1652,9 +1753,15 @@ mod tests {
         let f = p.create_file_with_size("restart", 1 << 20);
         let c = only(p.submit(Time::ZERO, Pid(0), f, &IoOp::Open).unwrap());
         // First small read: miss, fetches a 64 KB block.
-        let r1 = only(p.submit(c.finish, Pid(0), f, &IoOp::Read { size: 40 }).unwrap());
+        let r1 = only(
+            p.submit(c.finish, Pid(0), f, &IoOp::Read { size: 40 })
+                .unwrap(),
+        );
         // Second small read: within the block, nearly free.
-        let r2 = only(p.submit(r1.finish, Pid(0), f, &IoOp::Read { size: 40 }).unwrap());
+        let r2 = only(
+            p.submit(r1.finish, Pid(0), f, &IoOp::Read { size: 40 })
+                .unwrap(),
+        );
         let d1 = r1.finish - c.finish;
         let d2 = r2.finish - r1.finish;
         assert!(
@@ -1673,11 +1780,20 @@ mod tests {
             p.submit(sb.finish, Pid(0), f, &IoOp::Seek { offset: 512 * 1024 })
                 .unwrap(),
         );
-        let r3 = only(p.submit(sk.finish, Pid(0), f, &IoOp::Read { size: 40 }).unwrap());
-        let r4 = only(p.submit(r3.finish, Pid(0), f, &IoOp::Read { size: 40 }).unwrap());
+        let r3 = only(
+            p.submit(sk.finish, Pid(0), f, &IoOp::Read { size: 40 })
+                .unwrap(),
+        );
+        let r4 = only(
+            p.submit(r3.finish, Pid(0), f, &IoOp::Read { size: 40 })
+                .unwrap(),
+        );
         let d3 = r3.finish - sk.finish;
         let d4 = r4.finish - r3.finish;
-        assert!(d3 > d2 * 20, "cold unbuffered read {d3} must dwarf hit {d2}");
+        assert!(
+            d3 > d2 * 20,
+            "cold unbuffered read {d3} must dwarf hit {d2}"
+        );
         // The follow-up read is served by the I/O-node cache, so it is
         // far cheaper than d3 — but every unbuffered read still pays a
         // network + I/O-node round trip, well above a client cache hit.
@@ -1756,7 +1872,10 @@ mod tests {
             mode: IoMode::MGlobal,
             record_size: None,
         };
-        assert_eq!(p.submit(Time::ZERO, Pid(0), f, &op).unwrap(), Outcome::Blocked);
+        assert_eq!(
+            p.submit(Time::ZERO, Pid(0), f, &op).unwrap(),
+            Outcome::Blocked
+        );
         let e = p.submit(Time::ZERO, Pid(1), f, &op).unwrap_err();
         assert!(matches!(e, PfsError::GroupMismatch { .. }));
     }
@@ -1773,7 +1892,10 @@ mod tests {
             mode: IoMode::MGlobal,
             record_size: None,
         };
-        assert_eq!(p.submit(Time::ZERO, Pid(0), f, &op).unwrap(), Outcome::Blocked);
+        assert_eq!(
+            p.submit(Time::ZERO, Pid(0), f, &op).unwrap(),
+            Outcome::Blocked
+        );
         // Pid 1 opens late, then joins; the group now completes.
         p.submit(Time::ZERO, Pid(1), f, &IoOp::Open).unwrap();
         match p.submit(Time::ZERO, Pid(1), f, &op).unwrap() {
@@ -1818,7 +1940,15 @@ mod tests {
         let r1 = only(p.submit(t, Pid(1), f, &IoOp::Read { size: 1024 }).unwrap());
         let d_first = (r0.finish - t).max(r1.finish - t);
         // Subsequent small reads hit each node's private block copy.
-        let r2 = only(p.submit(r0.finish.max(r1.finish), Pid(0), f, &IoOp::Read { size: 1024 }).unwrap());
+        let r2 = only(
+            p.submit(
+                r0.finish.max(r1.finish),
+                Pid(0),
+                f,
+                &IoOp::Read { size: 1024 },
+            )
+            .unwrap(),
+        );
         let d_hit = r2.finish - r0.finish.max(r1.finish);
         assert!(
             d_first.as_nanos() > 5 * d_hit.as_nanos(),
@@ -1865,7 +1995,10 @@ mod tests {
             Outcome::Done(cs) => cs[0],
             _ => panic!(),
         };
-        let w = only(p.submit(c.finish, Pid(0), f, &IoOp::Write { size: 2048 }).unwrap());
+        let w = only(
+            p.submit(c.finish, Pid(0), f, &IoOp::Write { size: 2048 })
+                .unwrap(),
+        );
         let d = w.finish - c.finish;
         assert!(
             d > Time::from_micros(500),
@@ -1897,7 +2030,8 @@ mod tests {
             }
             let start = t;
             let r = only(
-                p.submit(t, Pid(0), f, &IoOp::Read { size: 155_584 }).unwrap(),
+                p.submit(t, Pid(0), f, &IoOp::Read { size: 155_584 })
+                    .unwrap(),
             );
             r.finish - start
         };
@@ -2020,12 +2154,18 @@ mod tests {
         let mut p = pfs();
         let f = p.create_file_with_size("fresh", 1 << 20);
         let c = only(p.submit(Time::ZERO, Pid(0), f, &IoOp::Open).unwrap());
-        let r = only(p.submit(c.finish, Pid(0), f, &IoOp::Read { size: 100 }).unwrap());
+        let r = only(
+            p.submit(c.finish, Pid(0), f, &IoOp::Read { size: 100 })
+                .unwrap(),
+        );
         assert_eq!(r.offset, 0);
         let cl = only(p.submit(r.finish, Pid(0), f, &IoOp::Close).unwrap());
         // Reopen: pointer rewound to zero.
         let c2 = only(p.submit(cl.finish, Pid(0), f, &IoOp::Open).unwrap());
-        let r2 = only(p.submit(c2.finish, Pid(0), f, &IoOp::Read { size: 100 }).unwrap());
+        let r2 = only(
+            p.submit(c2.finish, Pid(0), f, &IoOp::Read { size: 100 })
+                .unwrap(),
+        );
         assert_eq!(r2.offset, 0, "fresh open reads from the start");
     }
 
@@ -2062,10 +2202,16 @@ mod tests {
         let mut p = pfs();
         let f = p.create_file("z");
         let c = only(p.submit(Time::ZERO, Pid(0), f, &IoOp::Open).unwrap());
-        let r = only(p.submit(c.finish, Pid(0), f, &IoOp::Read { size: 0 }).unwrap());
+        let r = only(
+            p.submit(c.finish, Pid(0), f, &IoOp::Read { size: 0 })
+                .unwrap(),
+        );
         assert_eq!(r.bytes, 0);
         assert!(r.finish - c.finish < Time::from_millis(1));
-        let w = only(p.submit(r.finish, Pid(0), f, &IoOp::Write { size: 0 }).unwrap());
+        let w = only(
+            p.submit(r.finish, Pid(0), f, &IoOp::Write { size: 0 })
+                .unwrap(),
+        );
         assert_eq!(p.file(f).unwrap().size, 0);
         assert!(w.finish >= r.finish);
     }
@@ -2089,13 +2235,17 @@ mod tests {
                 _ => unreachable!(),
             };
             let r = only(
-                p.submit(t, Pid(0), f, &IoOp::Read { size: 1 << 20 }).unwrap(),
+                p.submit(t, Pid(0), f, &IoOp::Read { size: 1 << 20 })
+                    .unwrap(),
             );
             r.finish - t
         };
         let healthy = run_read(false);
         let degraded = run_read(true);
-        assert!(degraded > healthy, "degraded {degraded} vs healthy {healthy}");
+        assert!(
+            degraded > healthy,
+            "degraded {degraded} vs healthy {healthy}"
+        );
         assert!(degraded < healthy * 3, "degradation bounded");
     }
 
@@ -2107,12 +2257,20 @@ mod tests {
         let c = only(p.submit(Time::ZERO, Pid(0), f, &IoOp::Open).unwrap());
         let mut t = c.finish;
         for _ in 0..16 {
-            let r = only(p.submit(t, Pid(0), f, &IoOp::Read { size: 128 << 10 }).unwrap());
+            let r = only(
+                p.submit(t, Pid(0), f, &IoOp::Read { size: 128 << 10 })
+                    .unwrap(),
+            );
             t = r.finish;
         }
         (t, p)
     }
 
+    /// Doubles as the batched-transfer equivalence check: the engaged
+    /// (but empty) schedule takes the general per-segment transfer
+    /// path while the plain run takes the per-ion `reserve_n` fast
+    /// path, and every observable — completion times, disk busy time,
+    /// cache hit counts — must still agree exactly.
     #[test]
     fn engaged_empty_schedule_is_bit_identical() {
         let (plain, p1) = read_mb(PfsConfig::tiny());
@@ -2143,7 +2301,10 @@ mod tests {
         assert!(stats.timeouts > 0, "{stats:?}");
         assert!(stats.retries > 0, "{stats:?}");
         assert!(stats.reroutes > 0, "{stats:?}");
-        assert!(stats.degraded_reads > 0, "reads use the reduced-stripe path");
+        assert!(
+            stats.degraded_reads > 0,
+            "reads use the reduced-stripe path"
+        );
         assert_eq!(stats.aborts, 0, "a healthy node was available");
         assert!(faulty > healthy, "faults cost time: {faulty} vs {healthy}");
     }
@@ -2218,7 +2379,10 @@ mod tests {
             t = r.finish;
         }
         assert!(p.ion_busy_time() > Time::ZERO);
-        assert!(p.metadata_busy_time() > Time::ZERO, "the open used metadata");
+        assert!(
+            p.metadata_busy_time() > Time::ZERO,
+            "the open used metadata"
+        );
         let (hits, misses) = p.ion_cache_stats();
         assert!(misses > 0, "first block fetch misses the I/O-node cache");
         let utils = p.ion_utilizations(t);
@@ -2247,6 +2411,42 @@ mod tests {
         let w0 = only(p.submit(t, Pid(0), f, &IoOp::Write { size: 70 }).unwrap());
         // FCFS: pid1 got offset 0, pid0 got offset 50.
         assert_eq!(p.file(f).unwrap().shared_ptr, 120);
-        assert!(w0.finish >= w1.finish, "second arrival serializes behind first");
+        assert!(
+            w0.finish >= w1.finish,
+            "second arrival serializes behind first"
+        );
+    }
+
+    #[test]
+    fn submit_into_reuses_one_buffer_and_matches_submit() {
+        let mut a = pfs();
+        let mut b = pfs();
+        let fa = a.create_file_with_size("r", 1 << 20);
+        let fb = b.create_file_with_size("r", 1 << 20);
+        let ops = [
+            IoOp::Open,
+            IoOp::Read { size: 4096 },
+            IoOp::Seek { offset: 256 * 1024 },
+            IoOp::Write { size: 2048 },
+            IoOp::Flush,
+            IoOp::Close,
+        ];
+        let mut buf = Vec::new();
+        let mut t = Time::ZERO;
+        for op in &ops {
+            let via_submit = match a.submit(t, Pid(0), fa, op).unwrap() {
+                Outcome::Done(cs) => cs,
+                Outcome::Blocked => unreachable!("no collectives here"),
+            };
+            buf.clear();
+            assert!(b.submit_into(t, Pid(0), fb, op, &mut buf).unwrap());
+            assert_eq!(buf, via_submit, "{op:?}");
+            t = via_submit.last().unwrap().finish;
+        }
+        // Errors leave the reused buffer untouched.
+        buf.clear();
+        let err = b.submit_into(t, Pid(7), fb, &IoOp::Close, &mut buf);
+        assert!(err.is_err());
+        assert!(buf.is_empty(), "failed ops must not push completions");
     }
 }

@@ -69,37 +69,57 @@ impl StripeLayout {
     /// merged: each unit is a separate disk request, matching how the
     /// stripe directory dispatched transfers.
     pub fn segments(&self, offset: u64, len: u64) -> Vec<Segment> {
-        let mut out = Vec::new();
-        if len == 0 {
-            return out;
+        self.segments_iter(offset, len).collect()
+    }
+
+    /// Iterator form of [`StripeLayout::segments`]: the same segments
+    /// in the same order, without allocating. The server's transfer
+    /// loop walks every request through this, so the per-request `Vec`
+    /// would otherwise be the hottest allocation in a run.
+    pub fn segments_iter(&self, offset: u64, len: u64) -> SegmentIter {
+        SegmentIter {
+            layout: *self,
+            cur: offset,
+            end: offset + len,
         }
-        let mut cur = offset;
-        let end = offset + len;
-        while cur < end {
-            let unit_end = (cur / self.unit + 1) * self.unit;
-            let seg_end = unit_end.min(end);
-            out.push(Segment {
-                ion: self.ion_of(cur),
-                offset: cur,
-                len: seg_end - cur,
-            });
-            cur = seg_end;
-        }
-        out
     }
 
     /// Number of *distinct* I/O nodes touched by a request — the
     /// request's effective parallelism.
+    ///
+    /// Round-robin placement assigns consecutive stripe units to
+    /// consecutive I/O nodes, so the distinct-node count of a
+    /// contiguous range is simply `min(units touched, io_nodes)` — no
+    /// materialized segment list needed.
     pub fn fanout(&self, offset: u64, len: u64) -> u32 {
-        let mut seen = vec![false; self.io_nodes as usize];
-        let mut n = 0;
-        for seg in self.segments(offset, len) {
-            if !seen[seg.ion as usize] {
-                seen[seg.ion as usize] = true;
-                n += 1;
-            }
+        if len == 0 {
+            return 0;
         }
-        n
+        let first_unit = offset / self.unit;
+        let last_unit = (offset + len - 1) / self.unit;
+        (last_unit - first_unit + 1).min(u64::from(self.io_nodes)) as u32
+    }
+
+    /// Map a byte offset to its stripe coordinates: the I/O node
+    /// holding it, the block index within that node's local sequence
+    /// of stripe units, and the byte position within the unit.
+    /// [`StripeLayout::offset_of`] is the exact inverse.
+    pub fn locate(&self, offset: u64) -> (u32, u64, u64) {
+        let unit_index = offset / self.unit;
+        let ion = (unit_index % u64::from(self.io_nodes)) as u32;
+        let block = unit_index / u64::from(self.io_nodes);
+        (ion, block, offset % self.unit)
+    }
+
+    /// Reassemble a byte offset from stripe coordinates (inverse of
+    /// [`StripeLayout::locate`]).
+    ///
+    /// # Panics
+    /// Panics if `ion` or `within` is out of range for this layout.
+    pub fn offset_of(&self, ion: u32, block: u64, within: u64) -> u64 {
+        assert!(ion < self.io_nodes, "ion out of range");
+        assert!(within < self.unit, "within-unit offset out of range");
+        (block * u64::from(self.io_nodes) + u64::from(ion)) * self.unit + within
     }
 
     /// `true` iff a request of `len` bytes starting at `offset` is
@@ -108,6 +128,33 @@ impl StripeLayout {
     /// performance.
     pub fn aligned(&self, offset: u64, len: u64) -> bool {
         offset.is_multiple_of(self.unit) && len.is_multiple_of(self.unit) && len > 0
+    }
+}
+
+/// Allocation-free segment walk (see [`StripeLayout::segments_iter`]).
+#[derive(Debug, Clone)]
+pub struct SegmentIter {
+    layout: StripeLayout,
+    cur: u64,
+    end: u64,
+}
+
+impl Iterator for SegmentIter {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let unit_end = (self.cur / self.layout.unit + 1) * self.layout.unit;
+        let seg_end = unit_end.min(self.end);
+        let seg = Segment {
+            ion: self.layout.ion_of(self.cur),
+            offset: self.cur,
+            len: seg_end - self.cur,
+        };
+        self.cur = seg_end;
+        Some(seg)
     }
 }
 
@@ -142,9 +189,30 @@ mod tests {
         let segs = l.segments(50, 200);
         // [50,100) on ion0, [100,200) on ion1, [200,250) on ion2.
         assert_eq!(segs.len(), 3);
-        assert_eq!(segs[0], Segment { ion: 0, offset: 50, len: 50 });
-        assert_eq!(segs[1], Segment { ion: 1, offset: 100, len: 100 });
-        assert_eq!(segs[2], Segment { ion: 2, offset: 200, len: 50 });
+        assert_eq!(
+            segs[0],
+            Segment {
+                ion: 0,
+                offset: 50,
+                len: 50
+            }
+        );
+        assert_eq!(
+            segs[1],
+            Segment {
+                ion: 1,
+                offset: 100,
+                len: 100
+            }
+        );
+        assert_eq!(
+            segs[2],
+            Segment {
+                ion: 2,
+                offset: 200,
+                len: 50
+            }
+        );
     }
 
     #[test]
@@ -179,6 +247,38 @@ mod tests {
         assert!(l.aligned(65536, 65536));
         assert!(!l.aligned(1, 65536));
         assert!(!l.aligned(0, 65537));
+    }
+
+    #[test]
+    fn iterator_matches_vec_form_and_fanout_matches_dedup() {
+        for (unit, ions) in [(100u64, 4u32), (64 << 10, 16), (1, 1), (7, 3)] {
+            let l = StripeLayout::new(unit, ions);
+            for (off, len) in [
+                (0u64, 1u64),
+                (50, 200),
+                (63, 131_072),
+                (unit - 1, 2 * unit + 3),
+            ] {
+                let from_iter: Vec<Segment> = l.segments_iter(off, len).collect();
+                assert_eq!(from_iter, l.segments(off, len), "unit {unit} off {off}");
+                // The arithmetic fanout equals the distinct-ion count
+                // of the materialized segments.
+                let mut ions_seen: Vec<u32> = from_iter.iter().map(|s| s.ion).collect();
+                ions_seen.sort_unstable();
+                ions_seen.dedup();
+                assert_eq!(l.fanout(off, len) as usize, ions_seen.len());
+            }
+        }
+    }
+
+    #[test]
+    fn locate_offset_round_trip() {
+        let l = StripeLayout::new(100, 4);
+        for offset in [0u64, 1, 99, 100, 399, 400, 12_345, u64::from(u32::MAX)] {
+            let (ion, block, within) = l.locate(offset);
+            assert_eq!(l.offset_of(ion, block, within), offset, "offset {offset}");
+            assert_eq!(ion, l.ion_of(offset));
+        }
     }
 
     #[test]

@@ -5,10 +5,17 @@
 //! is what makes whole-machine simulations bit-for-bit reproducible
 //! regardless of how workload generators interleave their scheduling
 //! calls.
+//!
+//! Internally the queue is an *indexed* binary min-heap: the heap
+//! array holds only a packed `(time, seq)` key — a single `u128` whose
+//! ordering is exactly the lexicographic `(time, seq)` order — plus a
+//! slot index into a payload arena. Sift operations therefore compare
+//! one integer and move 24 bytes regardless of the payload type, and
+//! payloads themselves never move until they are popped. Freed arena
+//! slots are recycled through a free list, so a simulation's steady
+//! state allocates nothing per event.
 
 use crate::time::Time;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// An event drawn from the queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,33 +28,30 @@ pub struct ScheduledEvent<E> {
     pub payload: E,
 }
 
-/// Internal heap entry; reversed ordering turns `BinaryHeap` (a
-/// max-heap) into the min-heap we need.
-struct Entry<E> {
-    time: Time,
-    seq: u64,
-    payload: E,
+/// One heap node: the packed sort key and the arena slot of the
+/// payload.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    /// `(time << 64) | seq`: `u128` comparison *is* the `(time, seq)`
+    /// lexicographic order, because both halves are unsigned and seq
+    /// occupies the low bits.
+    key: u128,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+#[inline]
+fn pack(time: Time, seq: u64) -> u128 {
+    (u128::from(time.as_nanos()) << 64) | u128::from(seq)
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+#[inline]
+fn unpack_time(key: u128) -> Time {
+    Time::from_nanos((key >> 64) as u64)
 }
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: earliest time (then lowest seq) is the "greatest".
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+
+#[inline]
+fn unpack_seq(key: u128) -> u64 {
+    key as u64
 }
 
 /// A deterministic min-priority queue of timestamped events.
@@ -68,7 +72,9 @@ impl<E> Ord for Entry<E> {
 /// builds the event is clamped to `now` so a slightly-stale cost model
 /// cannot corrupt causality.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<HeapEntry>,
+    arena: Vec<Option<E>>,
+    free: Vec<u32>,
     next_seq: u64,
     now: Time,
     popped: u64,
@@ -84,7 +90,9 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: Time::ZERO,
             popped: 0,
@@ -126,7 +134,22 @@ impl<E> EventQueue<E> {
         let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.arena[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                assert!(self.arena.len() < u32::MAX as usize, "event arena overflow");
+                self.arena.push(Some(payload));
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.heap.push(HeapEntry {
+            key: pack(time, seq),
+            slot,
+        });
+        self.sift_up(self.heap.len() - 1);
         seq
     }
 
@@ -138,20 +161,62 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event and advance the clock to it.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now, "event queue went backwards");
-        self.now = entry.time;
+        if self.heap.is_empty() {
+            return None;
+        }
+        let root = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        let time = unpack_time(root.key);
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
         self.popped += 1;
+        let payload = self.arena[root.slot as usize]
+            .take()
+            .expect("heap entry points at an occupied slot");
+        self.free.push(root.slot);
         Some(ScheduledEvent {
-            time: entry.time,
-            seq: entry.seq,
-            payload: entry.payload,
+            time,
+            seq: unpack_seq(root.key),
+            payload,
         })
     }
 
     /// Timestamp of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|e| unpack_time(e.key))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].key >= self.heap[parent].key {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < n && self.heap[right].key < self.heap[left].key {
+                smallest = right;
+            }
+            if self.heap[smallest].key >= self.heap[i].key {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
     }
 }
 
@@ -211,6 +276,57 @@ mod tests {
         assert_eq!(q.now(), Time::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            for i in 0..8u64 {
+                q.schedule(Time::from_secs(round * 10 + i), i);
+            }
+            for _ in 0..8 {
+                q.pop().unwrap();
+            }
+        }
+        // Steady-state churn reuses the original eight slots instead
+        // of growing the arena.
+        assert!(q.arena.len() <= 8, "arena grew to {}", q.arena.len());
+        assert_eq!(q.popped(), 80);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference_order() {
+        // Deterministic pseudorandom interleaving checked against a
+        // sort of the same (time, seq) pairs.
+        let mut q = EventQueue::new();
+        let mut state = 0x9E37_79B9u64;
+        let mut step = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        let mut got: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..500 {
+            let n_push = step() % 4;
+            for _ in 0..n_push {
+                let t = q.now() + Time::from_nanos(step() % 1000);
+                let seq = q.schedule(t, ());
+                expected.push((t.as_nanos(), seq));
+            }
+            if step() % 3 == 0 {
+                if let Some(e) = q.pop() {
+                    got.push((e.time.as_nanos(), e.seq));
+                }
+            }
+        }
+        while let Some(e) = q.pop() {
+            got.push((e.time.as_nanos(), e.seq));
+        }
+        expected.sort_unstable();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod calendar;
 pub mod event;
+pub mod hash;
 pub mod ids;
 pub mod rendezvous;
 pub mod rng;
@@ -32,6 +33,7 @@ pub mod timeline;
 
 pub use calendar::{Calendar, CalendarPool, Reservation};
 pub use event::{EventQueue, ScheduledEvent};
+pub use hash::{DetHashMap, DetHashSet, FxBuildHasher, FxHasher};
 pub use ids::{FileId, NodeId, Pid};
 pub use rendezvous::{RendezvousOutcome, RendezvousTable};
 pub use rng::DetRng;

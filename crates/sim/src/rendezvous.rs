@@ -12,9 +12,9 @@
 //! `(file, generation)` pairs packed into the key; barriers use their
 //! barrier id).
 
+use crate::hash::DetHashMap;
 use crate::ids::Pid;
 use crate::time::Time;
-use std::collections::HashMap;
 
 /// Result of one participant arriving at a rendezvous.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,7 +42,7 @@ struct Group {
 /// Tracks concurrently-forming rendezvous groups.
 #[derive(Debug, Default)]
 pub struct RendezvousTable {
-    groups: HashMap<u64, Group>,
+    groups: DetHashMap<u64, Group>,
     completed: u64,
 }
 
@@ -63,7 +63,10 @@ impl RendezvousTable {
     /// at the same forming group — all three indicate a workload
     /// generation bug that must not be silently absorbed.
     pub fn arrive(&mut self, key: u64, pid: Pid, now: Time, expected: usize) -> RendezvousOutcome {
-        assert!(expected > 0, "rendezvous group must expect at least one member");
+        assert!(
+            expected > 0,
+            "rendezvous group must expect at least one member"
+        );
         let group = self.groups.entry(key).or_insert_with(|| Group {
             expected,
             arrivals: Vec::with_capacity(expected),
@@ -165,8 +168,14 @@ mod tests {
     #[test]
     fn independent_keys_do_not_interfere() {
         let mut t = RendezvousTable::new();
-        assert_eq!(t.arrive(1, Pid(0), Time::ZERO, 2), RendezvousOutcome::Waiting);
-        assert_eq!(t.arrive(2, Pid(1), Time::ZERO, 2), RendezvousOutcome::Waiting);
+        assert_eq!(
+            t.arrive(1, Pid(0), Time::ZERO, 2),
+            RendezvousOutcome::Waiting
+        );
+        assert_eq!(
+            t.arrive(2, Pid(1), Time::ZERO, 2),
+            RendezvousOutcome::Waiting
+        );
         assert_eq!(t.forming(), 2);
         assert!(matches!(
             t.arrive(1, Pid(1), Time::ZERO, 2),

@@ -17,12 +17,26 @@ use crate::time::Time;
 use serde::{Deserialize, Serialize};
 
 /// A set of factor-carrying windows over simulated time.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PiecewiseFactor {
     /// `(start, end, factor)` windows; `end` is exclusive. Kept in
     /// insertion order — queries scan, which is exact and fast for the
     /// handful of windows a fault schedule produces.
     windows: Vec<(Time, Time, f64)>,
+    /// Cached `[min start, max end)` envelope of all windows: queries
+    /// outside it return 1.0 without touching the window list, which
+    /// is the common case for a simulation that spends most of its
+    /// clock outside fault windows. Purely derived — rebuilt on push,
+    /// skipped by serde (a deserialized timeline simply scans until
+    /// the next push), and excluded from equality.
+    #[serde(skip)]
+    envelope: Option<(Time, Time)>,
+}
+
+impl PartialEq for PiecewiseFactor {
+    fn eq(&self, other: &Self) -> bool {
+        self.windows == other.windows
+    }
 }
 
 impl PiecewiseFactor {
@@ -38,12 +52,24 @@ impl PiecewiseFactor {
         if end <= start || !factor.is_finite() || factor <= 0.0 {
             return;
         }
+        self.envelope = match self.envelope {
+            Some((lo, hi)) => Some((lo.min(start), hi.max(end))),
+            None if self.windows.is_empty() => Some((start, end)),
+            // Windows predate the cache (deserialized timeline):
+            // leave it cold rather than invent a wrong envelope.
+            None => None,
+        };
         self.windows.push((start, end, factor));
     }
 
     /// The combined factor in force at instant `t` (product of all
     /// windows containing `t`); `1.0` when none do.
     pub fn at(&self, t: Time) -> f64 {
+        if let Some((lo, hi)) = self.envelope {
+            if t < lo || t >= hi {
+                return 1.0;
+            }
+        }
         let mut f = 1.0;
         for &(start, end, factor) in &self.windows {
             if t >= start && t < end {
@@ -121,6 +147,34 @@ mod tests {
         p.push_window(Time::from_secs(0), Time::from_secs(10), f64::NAN);
         p.push_window(Time::from_secs(0), Time::from_secs(10), 0.0);
         assert!(p.is_identity());
+    }
+
+    #[test]
+    fn envelope_early_out_agrees_with_full_scan() {
+        let mut p = PiecewiseFactor::identity();
+        p.push_window(Time::from_secs(10), Time::from_secs(20), 2.0);
+        p.push_window(Time::from_secs(30), Time::from_secs(40), 3.0);
+        // Outside the envelope (before 10, at/after 40) and inside
+        // the gap between windows — all must agree with a naive scan.
+        for s in [0, 5, 9, 10, 15, 20, 25, 29, 35, 39, 40, 100] {
+            let t = Time::from_secs(s);
+            let naive = if (10..20).contains(&s) {
+                2.0
+            } else if (30..40).contains(&s) {
+                3.0
+            } else {
+                1.0
+            };
+            assert_eq!(p.at(t), naive, "at {s}s");
+        }
+    }
+
+    #[test]
+    fn equality_ignores_the_cached_envelope() {
+        let mut a = PiecewiseFactor::identity();
+        a.push_window(Time::from_secs(1), Time::from_secs(2), 2.0);
+        let b = a.clone();
+        assert_eq!(a, b);
     }
 
     #[test]
