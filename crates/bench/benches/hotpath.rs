@@ -9,7 +9,7 @@
 //!   loop of every simulation.
 //! * `escat_c_single_run` — one cold ESCAT version-C run end-to-end
 //!   (workload build + simulate), the PFS server hot path.
-//! * `full_registry_cold` — all 23 registry experiments with the run
+//! * `full_registry_cold` — all 25 registry experiments with the run
 //!   memoization caches cleared every iteration; this is the headline
 //!   number the ≥1.5× acceptance bar is measured on.
 //! * `fault_engaged_run` — a PRISM run under an injected fault

@@ -13,12 +13,15 @@
 //!
 //! `--compare OLD` prints the speedup of every bench present in both
 //! baselines (current run vs. `OLD`); with `--bench NAME
-//! --min-speedup X` the process exits 1 if that bench's speedup is
-//! below `X`, making the perf bar enforceable in CI.
+//! --min-speedup X` the process exits `4` if that bench's speedup is
+//! below `X`, making the perf bar enforceable in CI. Exit codes follow
+//! the repro contract: `2` unusable arguments, `3` I/O failures
+//! (naming the path), `4` a failed expectation.
 
-use sioscope_bench::{baseline_speedup, baseline_value, collect_estimates};
-use std::path::PathBuf;
-use std::process::exit;
+use sioscope_bench::{
+    baseline_speedup, baseline_value, collect_estimates, exit_with, write_atomic, CliError,
+};
+use std::path::{Path, PathBuf};
 
 const GROUP: &str = "hotpath";
 
@@ -29,29 +32,23 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-fn main() {
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let criterion_dir = PathBuf::from(
         arg_value(&args, "--criterion-dir").unwrap_or_else(|| "target/criterion".to_string()),
     );
+    let group_dir = criterion_dir.join(GROUP);
     let estimates = match collect_estimates(&criterion_dir, GROUP) {
         Ok(e) if !e.is_empty() => e,
         Ok(_) => {
-            eprintln!(
-                "error: no estimates under {}/{GROUP}; run `cargo bench -p sioscope-bench \
-                 --bench {GROUP}` first",
-                criterion_dir.display()
-            );
-            exit(1);
+            return Err(CliError::io(
+                &group_dir,
+                std::io::Error::other(format!(
+                    "no estimates found; run `cargo bench -p sioscope-bench --bench {GROUP}` first"
+                )),
+            ));
         }
-        Err(e) => {
-            eprintln!(
-                "error: cannot read {}/{GROUP}: {e}; run `cargo bench -p sioscope-bench \
-                 --bench {GROUP}` first",
-                criterion_dir.display()
-            );
-            exit(1);
-        }
+        Err(e) => return Err(CliError::io(&group_dir, e)),
     };
     let current = baseline_value(GROUP, &estimates);
     let rendered = format!(
@@ -61,9 +58,9 @@ fn main() {
 
     if let Some(old_path) = arg_value(&args, "--compare") {
         let old_text =
-            std::fs::read_to_string(&old_path).unwrap_or_else(|e| panic!("read {old_path}: {e}"));
-        let old: serde_json::Value =
-            serde_json::from_str(&old_text).unwrap_or_else(|e| panic!("parse {old_path}: {e}"));
+            std::fs::read_to_string(&old_path).map_err(|e| CliError::io(&old_path, e))?;
+        let old: serde_json::Value = serde_json::from_str(&old_text)
+            .map_err(|e| CliError::io(&old_path, std::io::Error::other(e)))?;
         println!("speedup vs {old_path} (old mean / new mean):");
         for name in estimates.keys() {
             match baseline_speedup(&old, &current, name) {
@@ -72,31 +69,44 @@ fn main() {
             }
         }
         let gate = arg_value(&args, "--bench");
-        let min: Option<f64> =
-            arg_value(&args, "--min-speedup").map(|v| v.parse().expect("--min-speedup number"));
+        let min: Option<f64> = match arg_value(&args, "--min-speedup") {
+            Some(v) => Some(v.parse().map_err(|_| {
+                CliError::BadArgs(format!("--min-speedup expects a number, got `{v}`"))
+            })?),
+            None => None,
+        };
         if let (Some(bench), Some(min)) = (gate, min) {
             match baseline_speedup(&old, &current, &bench) {
                 Some(s) if s >= min => {
                     println!("PASS: {bench} speedup {s:.2}x >= {min:.2}x");
                 }
                 Some(s) => {
-                    eprintln!("FAIL: {bench} speedup {s:.2}x < {min:.2}x");
-                    exit(1);
+                    return Err(CliError::GoldenMismatch(format!(
+                        "{bench} speedup {s:.2}x < {min:.2}x"
+                    )));
                 }
                 None => {
-                    eprintln!("FAIL: {bench} missing from one of the baselines");
-                    exit(1);
+                    return Err(CliError::GoldenMismatch(format!(
+                        "{bench} missing from one of the baselines"
+                    )));
                 }
             }
         }
-        return;
+        return Ok(());
     }
 
     match arg_value(&args, "--out") {
         Some(path) => {
-            std::fs::write(&path, rendered).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            write_atomic(Path::new(&path), &rendered)?;
             println!("baseline written to {path}");
         }
         None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = real_main() {
+        exit_with(e);
     }
 }

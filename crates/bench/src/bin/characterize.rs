@@ -18,11 +18,11 @@ use sioscope_analysis::{
     classify_all, detect_phases, phases, BandwidthSeries, Cdf, ConcurrencyProfile, LogHistogram,
     ModeUsage, NodeBalance,
 };
+use sioscope_bench::{exit_with, CliError};
 use sioscope_pfs::OpKind;
 use sioscope_sim::{Pid, Time};
 use sioscope_trace::TraceRecorder;
 use std::path::Path;
-use std::process::exit;
 
 fn load(path: &Path) -> TraceRecorder {
     let result = if path.extension().and_then(|e| e.to_str()) == Some("json") {
@@ -30,13 +30,7 @@ fn load(path: &Path) -> TraceRecorder {
     } else {
         sioscope_trace::binary::read_file(path)
     };
-    match result {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read trace {}: {e}", path.display());
-            exit(1);
-        }
-    }
+    result.unwrap_or_else(|e| exit_with(CliError::io(path, e)))
 }
 
 fn write_demo(path: &Path) {
@@ -46,7 +40,9 @@ fn write_demo(path: &Path) {
     let w = EscatConfig::tiny(EscatVersion::B).build();
     let cfg = PfsConfig::caltech(w.nodes, w.os);
     let r = run(&w, cfg, SimOptions::default()).expect("demo runs");
-    sioscope_trace::binary::write_file(&r.trace, path).expect("write demo trace");
+    if let Err(e) = sioscope_trace::binary::write_file(&r.trace, path) {
+        exit_with(CliError::io(path, e));
+    }
     println!(
         "wrote demo trace ({} events from {}) to {}",
         r.trace.len(),
@@ -58,16 +54,14 @@ fn write_demo(path: &Path) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: characterize [--demo] <trace.siot|trace.json>");
-        exit(2);
+        exit_with(CliError::BadArgs(
+            "usage: characterize [--demo] <trace.siot|trace.json>".into(),
+        ));
     }
     let (demo, path) = if args[0] == "--demo" {
         match args.get(1) {
             Some(p) => (true, Path::new(p).to_path_buf()),
-            None => {
-                eprintln!("--demo requires an output path");
-                exit(2);
-            }
+            None => exit_with(CliError::BadArgs("--demo requires an output path".into())),
         }
     } else {
         (false, Path::new(&args[0]).to_path_buf())

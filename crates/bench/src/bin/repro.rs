@@ -9,60 +9,161 @@
 //! SIOSCOPE_SCALE=smoke cargo run -p sioscope-bench --bin repro    # fast smoke run
 //! ```
 //!
-//! With `--out DIR`, each artifact is written to `DIR/<id>.txt` and a
-//! machine-readable summary of the shape checks to `DIR/checks.json`.
-//! `--sweeps` appends the machine-configuration sweeps of the paper's
-//! future-work agenda (§7); `--sweeps=io_nodes,stripe_unit` selects a
-//! subset by id, and an unknown id exits with status 2 and the valid
-//! set — the same contract as experiment ids.
+//! Experiments are selected by bare ids or after an `--experiments`
+//! marker (`repro --experiments recovery-escat recovery-prism`); no
+//! selection runs everything. With `--out DIR`, each artifact is
+//! staged to `DIR/<id>.txt.tmp` and atomically renamed into place, and
+//! a machine-readable summary of the shape checks goes to
+//! `DIR/checks.json` the same way — a killed run never leaves a
+//! truncated artifact. `--resume` skips experiments whose artifact
+//! already exists in `DIR`, so an interrupted generation picks up
+//! where it stopped. `--sweeps` appends the machine-configuration
+//! sweeps of the paper's future-work agenda (§7) plus the
+//! recovery-engine axes; `--sweeps=io_nodes,mtbf` selects a subset.
+//!
+//! Exit codes are part of the contract: `0` success, `2` unusable
+//! arguments, `3` an I/O failure (the failing path is printed), `4`
+//! artifacts ran but shape checks disagreed with the paper.
 
-use sioscope::experiments::run_experiment;
+use sioscope::experiments::{run_experiment, Experiment, Scale};
 use sioscope::report;
-use sioscope::sweeps::SweepId;
-use sioscope_bench::{experiments_from_args, scale_from_env, sweeps_from_args};
+use sioscope::sweeps::{self, SweepId};
+use sioscope_bench::{
+    exit_with, scale_from_env, try_experiments_from_args, try_sweeps_from_args, write_atomic,
+    CliError,
+};
+use sioscope_workloads::{CheckpointPolicy, EscatConfig, EscatVersion, PrismConfig, PrismVersion};
 use std::path::PathBuf;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
-    let sweep_selection = sweeps_from_args(&args);
-    let filtered: Vec<String> = {
-        let mut skip_next = false;
-        args.iter()
-            .filter(|a| {
-                if skip_next {
-                    skip_next = false;
-                    return false;
-                }
-                if *a == "--out" {
-                    skip_next = true;
-                    return false;
-                }
-                *a != "--sweeps" && !a.starts_with("--sweeps=")
-            })
-            .cloned()
-            .collect()
+struct Cli {
+    out: Option<PathBuf>,
+    resume: bool,
+    sweeps: Option<Vec<SweepId>>,
+    experiments: Vec<Experiment>,
+}
+
+fn parse(args: &[String]) -> Result<Cli, CliError> {
+    let mut out = None;
+    let mut resume = false;
+    let mut sweep_args: Vec<String> = Vec::new();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--out" {
+            i += 1;
+            let dir = args
+                .get(i)
+                .ok_or_else(|| CliError::BadArgs("--out requires a directory".into()))?;
+            out = Some(PathBuf::from(dir));
+        } else if a == "--resume" {
+            resume = true;
+        } else if a == "--experiments" {
+            // Marker only: the ids that follow are collected like any
+            // bare argument.
+        } else if a == "--sweeps" || a.starts_with("--sweeps=") {
+            sweep_args.push(a.clone());
+        } else if a.starts_with('-') {
+            return Err(CliError::BadArgs(format!(
+                "unknown flag `{a}` (known: --out DIR, --resume, --experiments ID..., --sweeps[=id,...])"
+            )));
+        } else {
+            ids.push(a.clone());
+        }
+        i += 1;
+    }
+    let experiments = try_experiments_from_args(&ids).map_err(|unknown| {
+        let valid: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
+        CliError::BadArgs(format!(
+            "unknown experiment id(s): {}\nvalid ids: {}",
+            unknown.join(", "),
+            valid.join(", ")
+        ))
+    })?;
+    let sweeps = try_sweeps_from_args(&sweep_args).map_err(|unknown| {
+        let valid: Vec<&str> = SweepId::all().iter().map(|s| s.id()).collect();
+        CliError::BadArgs(format!(
+            "unknown sweep id(s): {}\nvalid ids: {}",
+            unknown.join(", "),
+            valid.join(", ")
+        ))
+    })?;
+    if resume && out.is_none() {
+        return Err(CliError::BadArgs(
+            "--resume requires --out DIR (there is no artifact directory to resume into)".into(),
+        ));
+    }
+    Ok(Cli {
+        out,
+        resume,
+        sweeps,
+        experiments,
+    })
+}
+
+fn run_sweep(id: SweepId, scale: Scale) -> sweeps::Sweep {
+    let escat_b = match scale {
+        Scale::Smoke => EscatConfig::tiny(EscatVersion::B).build(),
+        Scale::Full => EscatConfig::ethylene(EscatVersion::B).build(),
     };
+    let prism_a = match scale {
+        Scale::Smoke => PrismConfig::tiny(PrismVersion::A).build(),
+        Scale::Full => PrismConfig::test_problem(PrismVersion::A).build(),
+    };
+    match id {
+        SweepId::IoNodes => sweeps::io_node_sweep(&escat_b, &[2, 4, 8, 16, 32]),
+        SweepId::StripeUnit => sweeps::stripe_sweep(&escat_b, &[16 << 10, 64 << 10, 256 << 10]),
+        SweepId::DiskBandwidth => sweeps::disk_bandwidth_sweep(&prism_a, &[2, 8, 32]),
+        SweepId::DegradedArrays => sweeps::degraded_array_sweep(&prism_a, &[0, 4, 8]),
+        SweepId::FaultIntensity => sweeps::fault_intensity_sweep(&prism_a, &[0, 2, 4, 8], 0xF417),
+        SweepId::Mtbf => {
+            let cfg = match scale {
+                Scale::Smoke => EscatConfig::tiny(EscatVersion::C),
+                Scale::Full => EscatConfig::ethylene(EscatVersion::C),
+            };
+            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+            sweeps::mtbf_sweep(&rec, &[25, 50, 100, 200, 400], 0x4EC0)
+        }
+        SweepId::CheckpointInterval => {
+            let cfg = match scale {
+                Scale::Smoke => PrismConfig::tiny(PrismVersion::B),
+                Scale::Full => PrismConfig::test_problem(PrismVersion::B),
+            };
+            sweeps::checkpoint_interval_sweep(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
+        }
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse(&args)?;
     let scale = scale_from_env();
-    let experiments = experiments_from_args(&filtered);
-    if let Some(dir) = &out_dir {
-        std::fs::create_dir_all(dir).expect("create --out directory");
+    if let Some(dir) = &cli.out {
+        std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
     }
 
     println!("{}", report::render_paper_reference());
 
     let mut failures = 0usize;
     let mut check_rows = Vec::new();
-    for e in experiments {
+    for e in cli.experiments {
+        let artifact = cli
+            .out
+            .as_ref()
+            .map(|dir| dir.join(format!("{}.txt", e.id())));
+        if cli.resume {
+            if let Some(path) = &artifact {
+                if path.is_file() {
+                    println!("-- {} already written, skipping (--resume)", e.id());
+                    continue;
+                }
+            }
+        }
         let out = run_experiment(e, scale);
         let rendered = report::render_output(&out);
         print!("{rendered}");
-        if let Some(dir) = &out_dir {
-            std::fs::write(dir.join(format!("{}.txt", e.id())), &rendered).expect("write artifact");
+        if let Some(path) = &artifact {
+            write_atomic(path, &rendered)?;
         }
         for c in &out.checks {
             check_rows.push(serde_json::json!({
@@ -74,54 +175,47 @@ fn main() {
         }
         failures += out.failures().len();
     }
-    if let Some(selection) = sweep_selection {
-        use sioscope::sweeps;
-        use sioscope_workloads::{EscatConfig, EscatVersion, PrismConfig, PrismVersion};
-        let escat_b = match scale_from_env() {
-            sioscope::experiments::Scale::Smoke => EscatConfig::tiny(EscatVersion::B).build(),
-            _ => EscatConfig::ethylene(EscatVersion::B).build(),
-        };
-        let prism_a = match scale_from_env() {
-            sioscope::experiments::Scale::Smoke => PrismConfig::tiny(PrismVersion::A).build(),
-            _ => PrismConfig::test_problem(PrismVersion::A).build(),
-        };
+    if let Some(selection) = &cli.sweeps {
         println!("================================================================");
         println!("Machine-configuration sweeps (the paper's §7 future work)");
         println!("================================================================");
-        for id in selection {
-            let sweep = match id {
-                SweepId::IoNodes => sweeps::io_node_sweep(&escat_b, &[2, 4, 8, 16, 32]),
-                SweepId::StripeUnit => {
-                    sweeps::stripe_sweep(&escat_b, &[16 << 10, 64 << 10, 256 << 10])
+        for &id in selection {
+            let path = cli
+                .out
+                .as_ref()
+                .map(|dir| dir.join(format!("sweep-{}.txt", id.id())));
+            if cli.resume {
+                if let Some(p) = &path {
+                    if p.is_file() {
+                        println!("-- sweep {} already written, skipping (--resume)", id.id());
+                        continue;
+                    }
                 }
-                SweepId::DiskBandwidth => sweeps::disk_bandwidth_sweep(&prism_a, &[2, 8, 32]),
-                SweepId::DegradedArrays => sweeps::degraded_array_sweep(&prism_a, &[0, 4, 8]),
-                SweepId::FaultIntensity => {
-                    sweeps::fault_intensity_sweep(&prism_a, &[0, 2, 4, 8], 0xF417)
-                }
-            };
+            }
+            let sweep = run_sweep(id, scale);
             println!("{}", sweep.render());
-            if let Some(dir) = &out_dir {
-                std::fs::write(
-                    dir.join(format!("sweep-{}.txt", sweep.parameter)),
-                    sweep.render(),
-                )
-                .expect("write sweep");
+            if let Some(p) = &path {
+                write_atomic(p, sweep.render())?;
             }
         }
     }
-    if let Some(dir) = &out_dir {
-        let json = serde_json::to_string_pretty(&check_rows).expect("serialize checks");
-        std::fs::write(dir.join("checks.json"), json).expect("write checks.json");
-        println!(
-            "
-artifacts written to {}",
-            dir.display()
-        );
+    if let Some(dir) = &cli.out {
+        let json = serde_json::to_string_pretty(&check_rows)
+            .map_err(|e| CliError::io(dir.join("checks.json"), std::io::Error::other(e)))?;
+        write_atomic(&dir.join("checks.json"), json)?;
+        println!("\nartifacts written to {}", dir.display());
     }
     if failures > 0 {
-        eprintln!("\n{failures} shape check(s) FAILED");
-        std::process::exit(1);
+        return Err(CliError::GoldenMismatch(format!(
+            "{failures} shape check(s) disagree with the paper"
+        )));
     }
     println!("\nall shape checks passed");
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = real_main() {
+        exit_with(e);
+    }
 }

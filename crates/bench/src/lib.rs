@@ -12,7 +12,96 @@
 use sioscope::experiments::{Experiment, Scale};
 use sioscope::sweeps::SweepId;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A CLI failure with a stable exit code, so scripts and CI can tell
+/// *why* a run failed without parsing stderr:
+///
+/// * `2` — unusable arguments (unknown flag, unknown id, missing value);
+/// * `3` — an I/O failure, always naming the path involved;
+/// * `4` — artifacts ran but their checks failed (shape/golden
+///   mismatch against the paper's published values).
+#[derive(Debug)]
+pub enum CliError {
+    /// Arguments could not be understood (exit 2).
+    BadArgs(String),
+    /// Reading or writing `path` failed (exit 3).
+    Io {
+        /// The file or directory the operation failed on.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Artifacts disagree with their expected values (exit 4).
+    GoldenMismatch(String),
+}
+
+impl CliError {
+    /// An [`CliError::Io`] for `path`.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        CliError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::BadArgs(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::GoldenMismatch(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::BadArgs(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            CliError::GoldenMismatch(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Report `err` on stderr and exit with its code. The single exit
+/// point of the CLI binaries' error paths.
+pub fn exit_with(err: CliError) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(err.exit_code());
+}
+
+/// The scratch sibling `write_atomic` stages into: `<name>.tmp` next
+/// to the destination (same directory, hence same filesystem, hence an
+/// atomic rename).
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Crash-safe artifact write: stage the contents into a `.tmp` sibling
+/// and atomically rename it over the destination. A run killed
+/// mid-write leaves either the old artifact or a `.tmp` straggler —
+/// never a truncated artifact that a later `--resume` would trust.
+pub fn write_atomic(path: &Path, contents: impl AsRef<[u8]>) -> Result<(), CliError> {
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, contents.as_ref()).map_err(|e| CliError::io(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| CliError::io(path, e))
+}
 
 /// Resolve the scale requested via the `SIOSCOPE_SCALE` environment
 /// variable (`full` default, `smoke` for quick runs).
@@ -277,6 +366,44 @@ mod tests {
         );
         assert_eq!(baseline_speedup(&old, &new, "missing"), None);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cli_error_exit_codes_are_stable() {
+        assert_eq!(CliError::BadArgs("x".into()).exit_code(), 2);
+        let io = CliError::io("/nope/artifact.txt", std::io::Error::other("disk on fire"));
+        assert_eq!(io.exit_code(), 3);
+        let msg = io.to_string();
+        assert!(
+            msg.contains("/nope/artifact.txt"),
+            "I/O errors must name the failing path: {msg}"
+        );
+        assert_eq!(CliError::GoldenMismatch("x".into()).exit_code(), 4);
+    }
+
+    #[test]
+    fn write_atomic_lands_contents_and_cleans_its_scratch() {
+        let dir = std::env::temp_dir().join(format!("sioscope-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.txt");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        // Overwrites go through the same staged rename.
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "no .tmp straggler after a clean write"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_reports_the_failing_path() {
+        let path = Path::new("/nonexistent-sioscope-dir/artifact.txt");
+        let err = write_atomic(path, "x").unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("nonexistent-sioscope-dir"));
     }
 
     #[test]

@@ -25,11 +25,14 @@
 //! | [`Experiment::AblationNoRestructuring`] | §4.4/§7 — the central counterfactual: FS policies instead of code restructuring |
 //! | [`Experiment::ResilienceEscat`] | Fault injection — ESCAT under each fault class |
 //! | [`Experiment::ResiliencePrism`] | Fault injection — PRISM under each fault class |
+//! | [`Experiment::RecoveryEscat`] | Checkpoint/restart — ESCAT C time-to-solution under a compute-node crash |
+//! | [`Experiment::RecoveryPrism`] | Checkpoint/restart — PRISM B time-to-solution under a compute-node crash |
 
 pub mod ablation;
 pub mod comparison;
 pub mod escat;
 pub mod prism;
+pub mod recovery;
 pub mod resilience;
 pub mod shape;
 
@@ -64,6 +67,8 @@ pub enum Experiment {
     Section6Comparison,
     ResilienceEscat,
     ResiliencePrism,
+    RecoveryEscat,
+    RecoveryPrism,
 }
 
 impl Experiment {
@@ -94,6 +99,8 @@ impl Experiment {
             Section6Comparison,
             ResilienceEscat,
             ResiliencePrism,
+            RecoveryEscat,
+            RecoveryPrism,
         ]
     }
 
@@ -124,6 +131,8 @@ impl Experiment {
             Section6Comparison => "section6-comparison",
             ResilienceEscat => "resilience-escat",
             ResiliencePrism => "resilience-prism",
+            RecoveryEscat => "recovery-escat",
+            RecoveryPrism => "recovery-prism",
         }
     }
 
@@ -163,6 +172,8 @@ impl Experiment {
             }
             ResilienceEscat => "Resilience: ESCAT C under each fault class",
             ResiliencePrism => "Resilience: PRISM B under each fault class",
+            RecoveryEscat => "Recovery: ESCAT C time-to-solution under a compute-node crash",
+            RecoveryPrism => "Recovery: PRISM B time-to-solution under a compute-node crash",
         }
     }
 }
@@ -247,6 +258,8 @@ pub fn run_experiment(experiment: Experiment, scale: Scale) -> ExperimentOutput 
         Section6Comparison => comparison::section6(scale),
         ResilienceEscat => resilience::escat(scale),
         ResiliencePrism => resilience::prism(scale),
+        RecoveryEscat => recovery::escat(scale),
+        RecoveryPrism => recovery::prism(scale),
     }
 }
 
@@ -266,8 +279,8 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
         // 5 tables + 9 figures + 6 ablations/counterfactuals + the
-        // §6 comparison + 2 resilience experiments.
-        assert_eq!(ids.len(), 23);
+        // §6 comparison + 2 resilience + 2 recovery experiments.
+        assert_eq!(ids.len(), 25);
         for artifact in [
             "escat-table1",
             "escat-table2",

@@ -37,9 +37,11 @@
 
 pub mod experiments;
 pub mod paper;
+pub mod recovery;
 pub mod report;
 pub mod simulator;
 pub mod sweeps;
 
 pub use experiments::{Experiment, ExperimentOutput};
+pub use recovery::{run_with_recovery, RecoveryStats};
 pub use simulator::{run, RunResult, SimError, SimOptions};

@@ -38,6 +38,9 @@ impl Default for SimOptions {
 pub enum SimError {
     /// The workload failed structural validation.
     InvalidWorkload(Vec<String>),
+    /// The fault schedule failed validation against the machine and
+    /// workload shape (checked before any faulted run starts).
+    InvalidFaults(Vec<String>),
     /// A file-system call was rejected.
     Pfs {
         /// The failing process.
@@ -64,6 +67,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidWorkload(problems) => {
                 write!(f, "invalid workload: {}", problems.join("; "))
+            }
+            SimError::InvalidFaults(problems) => {
+                write!(f, "invalid fault schedule: {}", problems.join("; "))
             }
             SimError::Pfs { pid, stmt, source } => {
                 write!(f, "{pid} stmt {stmt}: {source}")
@@ -105,6 +111,14 @@ pub struct RunResult {
     /// Fault-calendar transitions processed (fault windows opening or
     /// closing); zero when no fault schedule engages.
     pub fault_transitions: u64,
+    /// Checkpoint-commit instants: `(marker, time)` pairs sorted by
+    /// marker, where the time is the latest instant any node passed
+    /// the marker. Empty for marker-free workloads.
+    pub checkpoint_commits: Vec<(u32, Time)>,
+    /// Recovery accounting, filled in by
+    /// [`crate::recovery::run_with_recovery`]; all-zero for plain
+    /// runs.
+    pub recovery: crate::recovery::RecoveryStats,
 }
 
 impl RunResult {
@@ -170,6 +184,17 @@ pub fn run(
     if !problems.is_empty() {
         return Err(SimError::InvalidWorkload(problems));
     }
+    // Fail fast on malformed fault scenarios instead of silently
+    // dropping out-of-range events mid-run. Gated on `engages` so
+    // fault-free runs stay on the exact pre-fault code path.
+    if pfs_cfg.faults.engages() {
+        let fault_problems = pfs_cfg
+            .faults
+            .validate_for(pfs_cfg.machine.io_nodes, workload.nodes);
+        if !fault_problems.is_empty() {
+            return Err(SimError::InvalidFaults(fault_problems));
+        }
+    }
     pfs_cfg.os = workload.os;
     pfs_cfg.machine.compute_nodes = workload.nodes;
     let mesh = MeshModel::new(pfs_cfg.machine.mesh);
@@ -194,6 +219,8 @@ pub fn run(
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut collectives = RendezvousTable::new();
     let mut trace = TraceRecorder::new();
+    let mut checkpoint_commits: std::collections::BTreeMap<u32, Time> =
+        std::collections::BTreeMap::new();
     // One completion buffer reused across every submission — the event
     // loop issues millions of ops per run, and `submit`'s per-call
     // vector was the hottest allocation in a profile.
@@ -277,6 +304,14 @@ pub fn run(
                     }
                 }
             }
+            Stmt::CheckpointCommit(k) => {
+                // Zero-cost: the commit writes are the ordinary Io
+                // statements preceding the marker. Record the latest
+                // instant any node passes it and continue immediately.
+                let slot = checkpoint_commits.entry(*k).or_insert(Time::ZERO);
+                *slot = (*slot).max(now);
+                queue.schedule(now, Ev::Resume(pid));
+            }
             collective @ (Stmt::Barrier | Stmt::Broadcast { .. } | Stmt::Gather { .. }) => {
                 let seq = nodes[pid.index()].collective_seq;
                 nodes[pid.index()].collective_seq += 1;
@@ -352,6 +387,8 @@ pub fn run(
         events: queue.popped(),
         resilience: pfs.resilience_stats(),
         fault_transitions,
+        checkpoint_commits: checkpoint_commits.into_iter().collect(),
+        recovery: crate::recovery::RecoveryStats::default(),
     })
 }
 
@@ -467,6 +504,50 @@ mod tests {
         assert_eq!(faulty.fault_transitions, 2, "window start + end");
         assert!(faulty.resilience.timeouts > 0);
         assert!(faulty.resilience.retries > 0);
+    }
+
+    #[test]
+    fn checkpoint_markers_are_free_and_recorded() {
+        use sioscope_workloads::{CheckpointPolicy, Recoverable};
+        let cfg = EscatConfig::tiny(EscatVersion::C);
+        let plain = run(&cfg.build(), tiny_pfs(cfg.nodes), SimOptions::default()).unwrap();
+        assert!(plain.checkpoint_commits.is_empty());
+
+        let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+        let marked = run(rec.workload(), tiny_pfs(cfg.nodes), SimOptions::default()).unwrap();
+        // Markers are zero-cost: identical wall clock and I/O trace.
+        assert_eq!(marked.exec_time, plain.exec_time);
+        assert_eq!(marked.trace.events(), plain.trace.events());
+        // All markers recorded, in order, at nondecreasing instants.
+        let ks: Vec<u32> = marked.checkpoint_commits.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ks, (0..rec.checkpoints()).collect::<Vec<_>>());
+        for pair in marked.checkpoint_commits.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "commit times are monotone");
+        }
+        assert!(marked.checkpoint_commits[0].1 > Time::ZERO);
+
+        // Slicing from a marker replays the tail: the replay also
+        // completes, faster than the full run.
+        let sliced = rec.slice_from(Some(rec.checkpoints() - 1));
+        let replay = run(&sliced, tiny_pfs(cfg.nodes), SimOptions::default()).unwrap();
+        assert!(replay.exec_time < plain.exec_time);
+    }
+
+    #[test]
+    fn invalid_fault_schedule_fails_fast() {
+        use sioscope_faults::FaultKind;
+        let w = manual_workload();
+        let mut cfg = tiny_pfs(2);
+        // Target an I/O node the tiny machine does not have.
+        cfg.faults.push(
+            Time::ZERO,
+            FaultKind::IonCrash {
+                ion: 999,
+                restart: Time::from_secs(1),
+            },
+        );
+        let e = run(&w, cfg, SimOptions::default()).unwrap_err();
+        assert!(matches!(e, SimError::InvalidFaults(_)), "got {e}");
     }
 
     #[test]

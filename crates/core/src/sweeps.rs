@@ -6,13 +6,14 @@
 //! workload while varying one machine parameter at a time, reporting
 //! execution time and total client-observed I/O time per point.
 
+use crate::recovery::run_with_recovery;
 use crate::simulator::{run, RunResult, SimOptions};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sioscope_faults::{FaultGen, FaultSchedule};
 use sioscope_pfs::PfsConfig;
 use sioscope_sim::Time;
-use sioscope_workloads::Workload;
+use sioscope_workloads::{CheckpointPolicy, PrismConfig, Recoverable, Workload};
 use std::fmt::Write as _;
 
 /// Every machine-configuration sweep, as a stable identifier.
@@ -28,6 +29,8 @@ pub enum SweepId {
     DiskBandwidth,
     DegradedArrays,
     FaultIntensity,
+    Mtbf,
+    CheckpointInterval,
 }
 
 impl SweepId {
@@ -40,6 +43,8 @@ impl SweepId {
             DiskBandwidth,
             DegradedArrays,
             FaultIntensity,
+            Mtbf,
+            CheckpointInterval,
         ]
     }
 
@@ -52,6 +57,8 @@ impl SweepId {
             DiskBandwidth => "disk_bandwidth",
             DegradedArrays => "degraded_arrays",
             FaultIntensity => "fault_intensity",
+            Mtbf => "mtbf",
+            CheckpointInterval => "checkpoint_interval",
         }
     }
 
@@ -276,6 +283,112 @@ pub fn fault_intensity_sweep(workload: &Workload, intensities: &[usize], seed: u
     }
 }
 
+/// The crash environment shared by the recovery sweeps, derived from
+/// the fault-free baseline `b` so scenarios scale with the workload:
+/// crashes are generated over a `3.2 × b` horizon (room for several
+/// full replays) and each charges `5%` of the baseline (min 1 s) in
+/// reboot/reschedule latency.
+fn crash_environment(b: Time) -> (Time, Time) {
+    let horizon = b.scale(3.2);
+    let rework = b.scale(0.05).max(Time::from_secs(1));
+    (horizon, rework)
+}
+
+/// Vary the compute-partition MTBF, as a percentage of the fault-free
+/// execution time. For one seed the exponential inter-crash gaps scale
+/// linearly with the MTBF, so shrinking it packs strictly more crashes
+/// into the same horizon — time-to-solution inflation along the axis
+/// comes from crash density, not from re-rolled scenarios.
+pub fn mtbf_sweep(rec: &Recoverable, mtbf_percents: &[u32], seed: u64) -> Sweep {
+    let w = rec.workload();
+    let base_cfg = PfsConfig::caltech(w.nodes, w.os);
+    let baseline = run(w, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("mtbf sweep baseline: {e}"))
+        .exec_time;
+    let (horizon, rework) = crash_environment(baseline);
+    let fgen = FaultGen::new(seed, horizon, base_cfg.machine.io_nodes);
+    let mut points: Vec<SweepPoint> = mtbf_percents
+        .par_iter()
+        .map(|&pct| {
+            let mtbf = baseline.scale(f64::from(pct) / 100.0);
+            let crashes = fgen.compute_crash_schedule(mtbf, rework, w.nodes);
+            let n = crashes.events.len();
+            let r = run_with_recovery(rec, &crashes, base_cfg.clone(), SimOptions::default())
+                .unwrap_or_else(|e| panic!("mtbf={pct}%: {e}"));
+            SweepPoint {
+                label: format!("mtbf={pct}% ({n} crashes)"),
+                value: u64::from(pct),
+                exec_time: r.recovery.time_to_solution,
+                io_time: r.total_io_time(),
+                events: r.events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "mtbf",
+        workload: w.name.clone(),
+        points,
+    }
+}
+
+/// Vary PRISM's checkpoint interval under one fixed crash schedule —
+/// the classic U-curve: dense checkpoints waste time committing,
+/// sparse checkpoints waste time replaying lost work, and Young's
+/// optimum sits between. Every point faces the *same* crashes
+/// (exponential with MTBF `0.8 ×` the policy-free baseline, generated
+/// once), so the axis varies only the commit cadence.
+pub fn checkpoint_interval_sweep(cfg: &PrismConfig, intervals: &[u32], seed: u64) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let baseline = run(&baseline_w, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("checkpoint sweep baseline: {e}"))
+        .exec_time;
+    let (horizon, rework) = crash_environment(baseline);
+    let crashes = FaultGen::new(seed, horizon, base_cfg.machine.io_nodes).compute_crash_schedule(
+        baseline.scale(0.8),
+        rework,
+        baseline_w.nodes,
+    );
+    checkpoint_interval_sweep_with(cfg, intervals, &crashes)
+}
+
+/// [`checkpoint_interval_sweep`] against a caller-supplied crash
+/// schedule. Exposed so experiments and tests can place crashes at
+/// *measured* instants (e.g. just before a policy's commit) where the
+/// U-curve's right arm is provable rather than seed-dependent.
+pub fn checkpoint_interval_sweep_with(
+    cfg: &PrismConfig,
+    intervals: &[u32],
+    crashes: &FaultSchedule,
+) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let mut points: Vec<SweepPoint> = intervals
+        .par_iter()
+        .map(|&interval| {
+            let snapped = cfg.snap_interval(interval);
+            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: snapped });
+            let r = run_with_recovery(&rec, crashes, base_cfg.clone(), SimOptions::default())
+                .unwrap_or_else(|e| panic!("interval={snapped}: {e}"));
+            SweepPoint {
+                label: format!("every {snapped} steps"),
+                value: u64::from(snapped),
+                exec_time: r.recovery.time_to_solution,
+                io_time: r.total_io_time(),
+                events: r.events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    points.dedup_by_key(|p| p.value);
+    Sweep {
+        parameter: "checkpoint_interval",
+        workload: baseline_w.name.clone(),
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,7 +408,9 @@ mod tests {
                 "stripe_unit",
                 "disk_bandwidth",
                 "degraded_arrays",
-                "fault_intensity"
+                "fault_intensity",
+                "mtbf",
+                "checkpoint_interval"
             ]
         );
     }
@@ -356,6 +471,124 @@ mod tests {
             "{}",
             sweep.render()
         );
+    }
+
+    #[test]
+    fn mtbf_sweep_densities_nest_and_never_beat_the_baseline() {
+        let cfg = EscatConfig::tiny(EscatVersion::C);
+        let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+        let percents = [25, 75, 400];
+        let sweep = mtbf_sweep(&rec, &percents, 0x4EC0);
+        assert_eq!(sweep.parameter, "mtbf");
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.points.windows(2).all(|w| w[0].value < w[1].value));
+
+        // The crash schedules behind the points: for one seed, gaps
+        // scale linearly with the MTBF, so a shorter MTBF can only add
+        // crashes inside the fixed horizon.
+        let w = rec.workload();
+        let base_cfg = PfsConfig::caltech(w.nodes, w.os);
+        let baseline = run(w, base_cfg.clone(), SimOptions::default())
+            .unwrap()
+            .exec_time;
+        let horizon = baseline.scale(3.2);
+        let rework = baseline.scale(0.05).max(Time::from_secs(1));
+        let fgen = FaultGen::new(0x4EC0, horizon, base_cfg.machine.io_nodes);
+        let counts: Vec<usize> = percents
+            .iter()
+            .map(|&pct| {
+                fgen.compute_crash_schedule(baseline.scale(f64::from(pct) / 100.0), rework, w.nodes)
+                    .events
+                    .len()
+            })
+            .collect();
+        assert!(
+            counts.windows(2).all(|c| c[0] >= c[1]),
+            "crash counts must not grow with MTBF: {counts:?}"
+        );
+
+        for (p, &n) in sweep.points.iter().zip(&counts) {
+            assert!(
+                p.exec_time >= baseline,
+                "crashes never speed a run up: {}",
+                sweep.render()
+            );
+            if n == 0 {
+                assert_eq!(p.exec_time, baseline, "no crashes means no inflation");
+            }
+        }
+
+        // Same seed, same sweep — the whole chain is deterministic.
+        let again = mtbf_sweep(&rec, &percents, 0x4EC0);
+        for (a, b) in sweep.points.iter().zip(&again.points) {
+            assert_eq!(a.exec_time, b.exec_time);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn sparse_checkpoints_pay_more_rework_under_the_same_crash() {
+        use sioscope_faults::FaultKind;
+
+        let cfg = PrismConfig::tiny(PrismVersion::B);
+        let w = cfg.build();
+        let pfs = PfsConfig::caltech(w.nodes, w.os);
+
+        // Measure commit instants so the crash can be *placed*: just
+        // before the sparse policy's only commit, and after the dense
+        // policy's first. The sparse point then replays from scratch
+        // while the dense point replays ten steps — the U-curve's
+        // right arm by construction, not by seed luck.
+        let sparse = cfg.recoverable(CheckpointPolicy::Fixed { interval: 20 });
+        let dense = cfg.recoverable(CheckpointPolicy::Fixed { interval: 10 });
+        let sparse_commit = run(sparse.workload(), pfs.clone(), SimOptions::default())
+            .unwrap()
+            .checkpoint_commits[0]
+            .1;
+        let dense_commits = run(dense.workload(), pfs.clone(), SimOptions::default())
+            .unwrap()
+            .checkpoint_commits;
+        let dense_first = dense_commits[0].1;
+        let crash_at = sparse_commit.saturating_sub(Time::from_millis(1));
+        assert!(
+            dense_first < crash_at,
+            "ten steps of work must commit before the crash"
+        );
+
+        let mut crashes = FaultSchedule::empty();
+        crashes.push(
+            crash_at,
+            FaultKind::ComputeNodeCrash {
+                node: 0,
+                rework: Time::from_secs(1),
+            },
+        );
+        let sweep = checkpoint_interval_sweep_with(&cfg, &[10, 20], &crashes);
+        assert_eq!(sweep.parameter, "checkpoint_interval");
+        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(sweep.points[0].value, 10);
+        assert_eq!(sweep.points[1].value, 20);
+        let dense_tts = sweep.points[0].exec_time;
+        let sparse_tts = sweep.points[1].exec_time;
+        assert!(
+            sparse_tts > dense_tts,
+            "losing twenty steps must cost more than losing ten:\n{}",
+            sweep.render()
+        );
+        // Both points at least rode out the crash and the restart.
+        let floor = crash_at.saturating_add(Time::from_secs(1));
+        assert!(dense_tts >= floor, "{}", sweep.render());
+    }
+
+    #[test]
+    fn seeded_checkpoint_interval_sweep_snaps_and_dedups_intervals() {
+        let cfg = PrismConfig::tiny(PrismVersion::B);
+        // 3 snaps to divisor 2, 4 to itself; 5 and 6 both snap to 5.
+        let sweep = checkpoint_interval_sweep(&cfg, &[3, 4, 5, 6], 0x0C7);
+        let values: Vec<u64> = sweep.points.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![2, 4, 5]);
+        assert!(sweep.points.iter().all(|p| p.exec_time > Time::ZERO));
+        assert!(sweep.render().contains("every 5 steps"));
     }
 
     #[test]

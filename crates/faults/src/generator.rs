@@ -17,6 +17,11 @@ use sioscope_sim::{DetRng, Time};
 /// workload RNG streams derived from the same experiment seed.
 const FAULT_STREAM_SALT: u64 = 0xFA17_5EED_0BAD_D15C;
 
+/// Salt for the compute-crash stream: distinct from
+/// [`FAULT_STREAM_SALT`] so adding crashes to a scenario never
+/// perturbs the I/O-side fault draws of the same seed.
+const CRASH_STREAM_SALT: u64 = 0xC0DE_CAA5_4E57_A27B;
+
 /// A deterministic fault-scenario generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultGen {
@@ -102,6 +107,42 @@ impl FaultGen {
     fn window(&self, rng: &mut DetRng, lo: f64, hi: f64, min: Time) -> Time {
         self.horizon.scale(lo + (hi - lo) * rng.unit()).max(min)
     }
+
+    /// An MTBF-style compute-crash scenario: inter-crash gaps are
+    /// exponential with mean `mtbf` (the memoryless model behind
+    /// Young's interval formula), the victim pid is uniform over
+    /// `0..compute_nodes`, and generation stops at the horizon. Every
+    /// crash charges the same `rework` restart latency. The stream is
+    /// salted independently of [`FaultGen::schedule`], so layering
+    /// crashes onto an I/O-fault scenario with the same seed leaves
+    /// the I/O-side draws untouched.
+    pub fn compute_crash_schedule(
+        &self,
+        mtbf: Time,
+        rework: Time,
+        compute_nodes: u32,
+    ) -> FaultSchedule {
+        let mut sched = FaultSchedule::empty();
+        if compute_nodes == 0 || mtbf.is_zero() || rework.is_zero() {
+            return sched;
+        }
+        let mut rng = DetRng::new(self.seed ^ CRASH_STREAM_SALT);
+        let mut t = Time::ZERO;
+        loop {
+            // Inverse-CDF exponential draw; `1 - u` keeps ln's
+            // argument in (0, 1]. Floored so pathological draws can't
+            // schedule two crashes in the same nanosecond.
+            let gap = mtbf
+                .scale(-(1.0 - rng.unit()).ln())
+                .max(Time::from_millis(1));
+            t = t.saturating_add(gap);
+            if t > self.horizon {
+                return sched;
+            }
+            let node = rng.range_inclusive(0, u64::from(compute_nodes - 1)) as u32;
+            sched.push(t, FaultKind::ComputeNodeCrash { node, rework });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +198,61 @@ mod tests {
         let mut g = gen(5);
         g.io_nodes = 0;
         assert!(g.schedule().is_empty());
+    }
+
+    #[test]
+    fn crash_schedule_is_deterministic_and_valid() {
+        let g = FaultGen::new(42, Time::from_secs(100), 8);
+        let mtbf = Time::from_secs(20);
+        let rework = Time::from_secs(3);
+        let a = g.compute_crash_schedule(mtbf, rework, 16);
+        let b = g.compute_crash_schedule(mtbf, rework, 16);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "mtbf of horizon/5 should yield crashes");
+        assert!(a.validate_for(8, 16).is_empty());
+        let mut last = Time::ZERO;
+        for ev in &a.events {
+            assert!(ev.at > last, "crash instants strictly increase");
+            assert!(ev.at <= Time::from_secs(100));
+            assert!(matches!(
+                ev.kind,
+                FaultKind::ComputeNodeCrash {
+                    rework: r, ..
+                } if r == rework
+            ));
+            last = ev.at;
+        }
+    }
+
+    #[test]
+    fn crash_stream_does_not_disturb_io_stream() {
+        let g = gen(10);
+        let io_only = g.schedule();
+        let _crashes = g.compute_crash_schedule(Time::from_secs(10), Time::from_secs(1), 8);
+        assert_eq!(io_only, g.schedule());
+    }
+
+    #[test]
+    fn longer_mtbf_means_fewer_crashes() {
+        let g = FaultGen::new(7, Time::from_secs(1000), 4);
+        let rework = Time::from_secs(1);
+        let fast = g.compute_crash_schedule(Time::from_secs(50), rework, 8);
+        let slow = g.compute_crash_schedule(Time::from_secs(200), rework, 8);
+        assert!(fast.events.len() > slow.events.len());
+    }
+
+    #[test]
+    fn degenerate_crash_generators_yield_empty() {
+        let g = FaultGen::new(1, Time::from_secs(100), 4);
+        assert!(g
+            .compute_crash_schedule(Time::ZERO, Time::from_secs(1), 8)
+            .is_empty());
+        assert!(g
+            .compute_crash_schedule(Time::from_secs(1), Time::ZERO, 8)
+            .is_empty());
+        assert!(g
+            .compute_crash_schedule(Time::from_secs(1), Time::from_secs(1), 0)
+            .is_empty());
     }
 
     #[test]

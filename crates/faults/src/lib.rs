@@ -10,7 +10,10 @@
 //! * [`FaultSchedule`] — a declarative, serde-serializable list of
 //!   timed fault events: latent sector errors, RAID-3 spindle failures
 //!   (with optional timed rebuild), I/O-node crashes with restart,
-//!   I/O-node slowdown windows, and mesh-link congestion bursts.
+//!   I/O-node slowdown windows, mesh-link congestion bursts, and
+//!   *compute*-node crashes (the PFS never sees those; the recovery
+//!   driver in `sioscope-core` consumes them to model
+//!   checkpoint/restart time-to-solution).
 //! * [`FaultGen`] — draws a schedule from the deterministic sim RNG so
 //!   a `(seed, intensity)` pair names a reproducible fault scenario,
 //!   and intensity `k` is always a prefix of intensity `k + 1`
@@ -32,4 +35,4 @@ pub mod state;
 
 pub use generator::FaultGen;
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
-pub use state::FaultState;
+pub use state::{ComputeCrash, FaultState};

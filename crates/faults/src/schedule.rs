@@ -62,6 +62,20 @@ pub enum FaultKind {
         /// Wire-time multiplier, `> 1.0` to slow down.
         factor: f64,
     },
+    /// A *compute*-node crash. The applications are gang-scheduled
+    /// SPMD codes, so one dead node kills the whole attempt: the run
+    /// is torn down, the partition reboots for `rework`, and the
+    /// application restarts from its last committed checkpoint. The
+    /// PFS layer never sees this fault — it is interpreted by the
+    /// recovery driver in `sioscope-core`, which charges the restart
+    /// latency and replays the lost work.
+    ComputeNodeCrash {
+        /// The compute node (pid) that dies.
+        node: u32,
+        /// Time from the crash to the replacement partition being
+        /// ready to rerun the application (reboot + reschedule).
+        rework: Time,
+    },
 }
 
 impl FaultKind {
@@ -72,7 +86,16 @@ impl FaultKind {
             | FaultKind::SpindleFailure { ion, .. }
             | FaultKind::IonCrash { ion, .. }
             | FaultKind::IonSlowdown { ion, .. } => Some(ion),
-            FaultKind::LinkCongestion { .. } => None,
+            FaultKind::LinkCongestion { .. } | FaultKind::ComputeNodeCrash { .. } => None,
+        }
+    }
+
+    /// The compute node this fault kills, if it is a compute-side
+    /// fault (disjoint from [`FaultKind::ion`]).
+    pub fn compute_node(&self) -> Option<u32> {
+        match *self {
+            FaultKind::ComputeNodeCrash { node, .. } => Some(node),
+            _ => None,
         }
     }
 
@@ -84,6 +107,7 @@ impl FaultKind {
             FaultKind::IonCrash { .. } => "ion-crash",
             FaultKind::IonSlowdown { .. } => "ion-slowdown",
             FaultKind::LinkCongestion { .. } => "link-congestion",
+            FaultKind::ComputeNodeCrash { .. } => "compute-crash",
         }
     }
 }
@@ -157,8 +181,17 @@ impl FaultSchedule {
     }
 
     /// Structural problems, one message each; empty = valid. `io_nodes`
-    /// bounds node-scoped faults.
+    /// bounds I/O-node-scoped faults; compute-node crashes are checked
+    /// only for a sane rework time (use [`FaultSchedule::validate_for`]
+    /// to also bound the crashed pid against the application size).
     pub fn validate(&self, io_nodes: u32) -> Vec<String> {
+        self.validate_for(io_nodes, u32::MAX)
+    }
+
+    /// [`FaultSchedule::validate`] with the compute-partition size
+    /// known: additionally rejects compute-node crashes that name a
+    /// pid outside `0..compute_nodes`.
+    pub fn validate_for(&self, io_nodes: u32, compute_nodes: u32) -> Vec<String> {
         let mut problems = Vec::new();
         for (i, ev) in self.events.iter().enumerate() {
             if let Some(ion) = ev.kind.ion() {
@@ -208,6 +241,17 @@ impl FaultSchedule {
                     }
                     if !factor.is_finite() || factor <= 1.0 {
                         problems.push(format!("event {i}: congestion factor {factor} is not > 1"));
+                    }
+                }
+                FaultKind::ComputeNodeCrash { node, rework } => {
+                    if node >= compute_nodes {
+                        problems.push(format!(
+                            "event {i}: compute-crash targets node {node}, \
+                             application has {compute_nodes}"
+                        ));
+                    }
+                    if rework.is_zero() {
+                        problems.push(format!("event {i}: compute-crash with zero rework time"));
                     }
                 }
             }
@@ -314,10 +358,43 @@ mod tests {
                 duration: Time::from_secs(1),
                 factor: 2.0,
             },
+            FaultKind::ComputeNodeCrash {
+                node: 0,
+                rework: Time::from_secs(1),
+            },
         ];
         let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
         assert_eq!(kinds[4].ion(), None);
         assert_eq!(kinds[0].ion(), Some(0));
+        assert_eq!(kinds[5].ion(), None);
+        assert_eq!(kinds[5].compute_node(), Some(0));
+        assert_eq!(kinds[0].compute_node(), None);
+    }
+
+    #[test]
+    fn validate_for_bounds_compute_crashes() {
+        let mut s = FaultSchedule::empty();
+        s.push(
+            Time::from_secs(1),
+            FaultKind::ComputeNodeCrash {
+                node: 8,
+                rework: Time::from_secs(5),
+            },
+        );
+        s.push(
+            Time::from_secs(2),
+            FaultKind::ComputeNodeCrash {
+                node: 0,
+                rework: Time::ZERO,
+            },
+        );
+        // Plain `validate` leaves the pid unbounded but still rejects
+        // the zero rework.
+        assert_eq!(s.validate(4).len(), 1, "{:?}", s.validate(4));
+        let problems = s.validate_for(4, 8);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].contains("node 8"));
+        assert!(s.validate_for(4, 9).len() == 1);
     }
 }

@@ -11,6 +11,17 @@ use crate::schedule::{FaultKind, FaultSchedule};
 use sioscope_machine::DiskDisturbance;
 use sioscope_sim::{PiecewiseFactor, Time};
 
+/// One compiled compute-node crash, sorted by instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeCrash {
+    /// When the node dies.
+    pub at: Time,
+    /// The pid that dies.
+    pub node: u32,
+    /// Restart latency charged before the application can rerun.
+    pub rework: Time,
+}
+
 /// Per-node and global fault windows, ready for instant queries.
 #[derive(Debug, Clone)]
 pub struct FaultState {
@@ -29,6 +40,12 @@ pub struct FaultState {
     /// closes — the fault calendar the simulator interleaves with its
     /// event calendar.
     transitions: Vec<Time>,
+    /// Compute-node crashes, sorted by instant. Deliberately *not*
+    /// folded into `transitions`: the PFS never observes a compute
+    /// crash, so schedules that only add compute crashes leave the
+    /// I/O-side simulation byte-identical. The recovery driver reads
+    /// this list directly.
+    compute_crashes: Vec<ComputeCrash>,
 }
 
 impl FaultState {
@@ -45,6 +62,7 @@ impl FaultState {
             slow: vec![PiecewiseFactor::identity(); n],
             link: PiecewiseFactor::identity(),
             transitions: Vec::new(),
+            compute_crashes: Vec::new(),
         };
         for ev in &schedule.events {
             if ev.kind.ion().is_some_and(|ion| ion >= io_nodes) {
@@ -86,8 +104,18 @@ impl FaultState {
                         .link
                         .push_window(ev.at, ev.at.saturating_add(duration), factor);
                 }
+                FaultKind::ComputeNodeCrash { node, rework } => {
+                    state.compute_crashes.push(ComputeCrash {
+                        at: ev.at,
+                        node,
+                        rework,
+                    });
+                }
             }
         }
+        state
+            .compute_crashes
+            .sort_by_key(|c| (c.at, c.node, c.rework));
         state.collect_transitions();
         state
     }
@@ -178,6 +206,25 @@ impl FaultState {
     /// deduplicated.
     pub fn transitions(&self) -> &[Time] {
         &self.transitions
+    }
+
+    /// All compute-node crashes, sorted by instant.
+    pub fn compute_crashes(&self) -> &[ComputeCrash] {
+        &self.compute_crashes
+    }
+
+    /// Compute crashes striking inside `[start, end)` — "which crash
+    /// windows overlap this attempt".
+    pub fn compute_crashes_in(&self, start: Time, end: Time) -> &[ComputeCrash] {
+        let lo = self.compute_crashes.partition_point(|c| c.at < start);
+        let hi = self.compute_crashes.partition_point(|c| c.at < end);
+        &self.compute_crashes[lo..hi]
+    }
+
+    /// The first compute crash strictly after `t`, if any.
+    pub fn next_compute_crash_after(&self, t: Time) -> Option<&ComputeCrash> {
+        let i = self.compute_crashes.partition_point(|c| c.at <= t);
+        self.compute_crashes.get(i)
     }
 
     fn index(&self, ion: u32) -> Option<usize> {
@@ -335,6 +382,49 @@ mod tests {
         );
         assert_eq!(s.first_healthy_ion(sec(5), 0), None);
         assert_eq!(s.first_healthy_ion(sec(11), 0), Some(1));
+    }
+
+    #[test]
+    fn compute_crashes_compile_sorted_and_invisible_to_pfs() {
+        let s = state(vec![
+            FaultEvent {
+                at: sec(30),
+                kind: FaultKind::ComputeNodeCrash {
+                    node: 5,
+                    rework: sec(2),
+                },
+            },
+            FaultEvent {
+                at: sec(10),
+                kind: FaultKind::ComputeNodeCrash {
+                    node: 1,
+                    rework: sec(3),
+                },
+            },
+        ]);
+        // The PFS-facing view is untouched: no transitions, no windows.
+        assert!(s.transitions().is_empty());
+        assert!(!s.is_down(1, sec(11)));
+        assert!(s.disk_disturbance(1, sec(11)).is_none());
+        // The crash list is sorted by instant.
+        let crashes = s.compute_crashes();
+        assert_eq!(crashes.len(), 2);
+        assert_eq!(
+            crashes[0],
+            ComputeCrash {
+                at: sec(10),
+                node: 1,
+                rework: sec(3),
+            }
+        );
+        assert_eq!(crashes[1].at, sec(30));
+        // Interval and successor queries.
+        assert_eq!(s.compute_crashes_in(sec(0), sec(10)).len(), 0);
+        assert_eq!(s.compute_crashes_in(sec(10), sec(11)).len(), 1);
+        assert_eq!(s.compute_crashes_in(sec(0), sec(100)).len(), 2);
+        assert_eq!(s.next_compute_crash_after(Time::ZERO).unwrap().at, sec(10));
+        assert_eq!(s.next_compute_crash_after(sec(10)).unwrap().at, sec(30));
+        assert!(s.next_compute_crash_after(sec(30)).is_none());
     }
 
     #[test]

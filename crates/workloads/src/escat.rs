@@ -28,7 +28,8 @@
 //! restructuring.
 
 use crate::builder::ProgramBuilder;
-use crate::program::{FileSpec, PhaseDesc, Workload};
+use crate::checkpoint::{young_interval, CheckpointPolicy, Recoverable};
+use crate::program::{FileSpec, PhaseDesc, Stmt, Workload};
 use serde::{Deserialize, Serialize};
 use sioscope_pfs::mode::OsRelease;
 use sioscope_pfs::IoMode;
@@ -602,6 +603,69 @@ impl EscatConfig {
         }
     }
 
+    /// The statements a restarted ESCAT run executes before resuming
+    /// from a checkpoint: the phase-one compulsory reads (all nodes in
+    /// version A; node zero plus broadcasts in B/C) followed by the
+    /// initialization compute. The staged quadrature written before
+    /// the crash stays on the PFS — it *is* the checkpoint — and phase
+    /// three re-reads it through the normal path, so no extra reload
+    /// statements are needed here. One entry per node; RNG-free.
+    pub fn restart_prologue(&self) -> Vec<Vec<Stmt>> {
+        let v = self.version.structure();
+        let k = &self.knobs;
+        let scale = self.version.compute_scale();
+        (0..self.nodes)
+            .map(|pid| {
+                let mut b = ProgramBuilder::new();
+                match v {
+                    EscatVersion::A => self.phase1_reads(&mut b),
+                    _ => {
+                        if pid == 0 {
+                            self.phase1_reads(&mut b);
+                        }
+                        let init_total = k.input_problem_bytes + 2 * k.input_matrix_bytes;
+                        let chunks = init_total.div_ceil(k.broadcast_chunk);
+                        for _ in 0..chunks {
+                            b.broadcast(0, k.broadcast_chunk);
+                        }
+                    }
+                }
+                b.compute(k.compute_init.scale(scale));
+                b.build()
+            })
+            .collect()
+    }
+
+    /// Build the workload under a checkpoint policy. Commit markers go
+    /// after every `interval`-th barrier — the staging-cycle grain of
+    /// phase two — and the checkpoint payload is the staged quadrature
+    /// files themselves (phase three re-reads them anyway, which is
+    /// why ESCAT restarts so cheaply). [`CheckpointPolicy::None`]
+    /// keeps the application I/O identical with no markers.
+    pub fn recoverable(&self, policy: CheckpointPolicy) -> Recoverable {
+        let stride = match policy {
+            CheckpointPolicy::None => return Recoverable::plain(self.build()),
+            CheckpointPolicy::Fixed { interval } => interval.max(1),
+            CheckpointPolicy::Young {
+                checkpoint_cost,
+                mtbf,
+            } => {
+                let k = &self.knobs;
+                let cycle = (k.compute_stage / u64::from(k.cycles.max(1)))
+                    .scale(self.version.compute_scale());
+                let ideal = young_interval(checkpoint_cost, mtbf);
+                let cycles = if cycle.is_zero() {
+                    1.0
+                } else {
+                    (ideal.as_secs_f64() / cycle.as_secs_f64()).round()
+                };
+                cycles.clamp(1.0, f64::from(self.knobs.cycles.max(1))) as u32
+            }
+        };
+        let files = (3..3 + self.dataset.channels()).collect();
+        Recoverable::annotate(self.build(), stride, self.restart_prologue(), files)
+    }
+
     /// Phase-one read pattern for one reader. The problem-definition
     /// file is parsed in small reads; each matrix file is read with a
     /// leading burst of small reads followed by a few large requests —
@@ -841,6 +905,82 @@ mod tests {
                 .count();
             assert_eq!(opens, if pid == 0 { 3 } else { 0 });
         }
+    }
+
+    #[test]
+    fn restart_prologue_is_deterministic_and_root_reads() {
+        let cfg = EscatConfig::tiny(EscatVersion::C);
+        let a = cfg.restart_prologue();
+        assert_eq!(a, cfg.restart_prologue());
+        assert_eq!(a.len(), cfg.nodes as usize);
+        // B/C: only node zero re-reads; everyone broadcasts.
+        assert!(a[0].iter().any(|s| matches!(
+            s,
+            Stmt::Io {
+                op: sioscope_pfs::IoOp::Read { .. },
+                ..
+            }
+        )));
+        assert!(!a[1].iter().any(|s| matches!(
+            s,
+            Stmt::Io {
+                op: sioscope_pfs::IoOp::Read { .. },
+                ..
+            }
+        )));
+        let bcasts = |prog: &[Stmt]| {
+            prog.iter()
+                .filter(|s| matches!(s, Stmt::Broadcast { .. }))
+                .count()
+        };
+        assert_eq!(bcasts(&a[0]), bcasts(&a[1]), "collective alignment");
+        // Version A: every node re-reads, no broadcasts.
+        let pa = EscatConfig::tiny(EscatVersion::A).restart_prologue();
+        assert!(pa[1].iter().any(|s| matches!(
+            s,
+            Stmt::Io {
+                op: sioscope_pfs::IoOp::Read { .. },
+                ..
+            }
+        )));
+        assert_eq!(bcasts(&pa[1]), 0);
+    }
+
+    #[test]
+    fn recoverable_policies_annotate_and_slice() {
+        let cfg = EscatConfig::tiny(EscatVersion::C);
+        let none = cfg.recoverable(CheckpointPolicy::None);
+        assert_eq!(none.checkpoints(), 0);
+
+        // tiny C: 2 cycles → barriers = cycles + 3 = 5, the last is
+        // program-final → 4 markers at stride 1.
+        let fixed = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+        assert_eq!(fixed.checkpoints(), 4);
+        assert!(fixed.workload().validate().is_empty());
+        assert!(fixed.prologue_read_bytes() > 0);
+        assert_eq!(fixed.checkpoint_files(), &[3, 4]);
+        // Marker 1 sits after cycle 0's barrier: the cycle-0 staging
+        // writes to quadrature channel 0 are durable.
+        let sliced = fixed.slice_from(Some(1));
+        assert!(sliced.validate().is_empty(), "{:?}", sliced.validate());
+        assert!(sliced.files[3].initial_size > 0);
+
+        // Version A: barriers = cycles + 1 = 3 → 2 markers.
+        let a =
+            EscatConfig::tiny(EscatVersion::A).recoverable(CheckpointPolicy::Fixed { interval: 1 });
+        assert_eq!(a.checkpoints(), 2);
+        let sliced_a = a.slice_from(Some(0));
+        assert!(sliced_a.validate().is_empty(), "{:?}", sliced_a.validate());
+
+        // Young: cycle time 4 s; sqrt(2 · 8 s · 16 s) = 16 s → 4
+        // cycles, clamped to the 2 cycles available → stride 2 → 2
+        // markers (barriers 2 and 4 of 5).
+        let young = cfg.recoverable(CheckpointPolicy::Young {
+            checkpoint_cost: Time::from_secs(8),
+            mtbf: Time::from_secs(16),
+        });
+        assert_eq!(young.checkpoints(), 2);
+        assert!(young.workload().validate().is_empty());
     }
 
     #[test]

@@ -26,12 +26,14 @@
 //! characterizations (§7).
 
 pub mod builder;
+pub mod checkpoint;
 pub mod escat;
 pub mod prism;
 pub mod program;
 pub mod replay;
 pub mod synthetic;
 
+pub use checkpoint::{young_interval, CheckpointPolicy, Recoverable};
 pub use escat::{EscatConfig, EscatDataset, EscatVersion};
 pub use prism::{PrismConfig, PrismVersion};
 pub use program::{FileSpec, PhaseDesc, Stmt, Workload};

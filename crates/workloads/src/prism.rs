@@ -27,11 +27,21 @@
 //! expensive path Table 5 shows); version C uses `gopen`.
 
 use crate::builder::ProgramBuilder;
-use crate::program::{FileSpec, PhaseDesc, Workload};
+use crate::checkpoint::{young_interval, CheckpointPolicy, Recoverable};
+use crate::program::{FileSpec, PhaseDesc, Stmt, Workload};
 use serde::{Deserialize, Serialize};
 use sioscope_pfs::mode::OsRelease;
 use sioscope_pfs::{IoMode, IoOp};
 use sioscope_sim::{DetRng, Time};
+
+// Workload file indices.
+const PARAM: u32 = 0;
+const RESTART: u32 = 1;
+const CONN: u32 = 2;
+const MEASURE: u32 = 3;
+const STATS0: u32 = 4; // 4,5,6: velocity / vorticity / stresses
+const FIELD: u32 = 7;
+const HISTORY: u32 = 8;
 
 /// The three PRISM code versions of §5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -220,6 +230,159 @@ impl PrismConfig {
         self.steps / self.checkpoint_every
     }
 
+    /// Phase-one initialization reads for node `pid` (shared between
+    /// [`PrismConfig::build`] and [`PrismConfig::restart_prologue`]).
+    /// RNG-free: the statement sequence is a pure function of the
+    /// configuration.
+    fn phase_one(&self, b: &mut ProgramBuilder, pid: u32) {
+        let n = self.nodes;
+        let k = &self.knobs;
+        match self.version {
+            PrismVersion::A => {
+                // All nodes, standard UNIX I/O, fully serialized.
+                b.open(PARAM);
+                b.read_n(PARAM, k.param_reads, k.param_read);
+                b.close(PARAM);
+
+                b.open(RESTART);
+                b.read_n(RESTART, k.header_reads, k.header_read);
+                // Without M_RECORD partitioning every node scans a
+                // large prefix of the body redundantly; the seek
+                // past the header pays the shared-file server
+                // round trip.
+                b.seek(RESTART, k.header_bytes);
+                b.read_n(RESTART, k.body_reads_a, k.body_record);
+                b.close(RESTART);
+
+                b.open(CONN);
+                b.read_n(CONN, k.conn_text_reads, k.conn_text_read);
+                b.close(CONN);
+            }
+            PrismVersion::B => {
+                // open + setiomode, then collective reads.
+                b.open(PARAM);
+                b.setiomode(PARAM, n, IoMode::MGlobal);
+                b.read_n(PARAM, k.param_reads, k.param_read);
+                b.close(PARAM);
+
+                // Restart: header via M_GLOBAL, body via M_RECORD.
+                b.open(RESTART);
+                b.setiomode(RESTART, n, IoMode::MGlobal);
+                b.read_n(RESTART, k.header_reads, k.header_read);
+                b.io(
+                    RESTART,
+                    IoOp::SetIoMode {
+                        group: n,
+                        mode: IoMode::MRecord,
+                        record_size: Some(k.body_record),
+                    },
+                );
+                b.read_n(RESTART, k.body_records_per_node, k.body_record);
+                b.close(RESTART);
+
+                b.open(CONN);
+                b.setiomode(CONN, n, IoMode::MGlobal);
+                b.read_n(CONN, k.conn_text_reads, k.conn_text_read);
+                b.close(CONN);
+            }
+            PrismVersion::C => {
+                // gopen everywhere; restart via M_ASYNC with
+                // system buffering disabled.
+                b.gopen(PARAM, n, IoMode::MGlobal);
+                b.read_n(PARAM, k.param_reads, k.param_read);
+                b.close(PARAM);
+
+                b.gopen(RESTART, n, IoMode::MAsync);
+                b.set_buffering(RESTART, false);
+                b.read_n(RESTART, k.header_reads, k.header_read);
+                let slice = k.header_bytes
+                    + u64::from(pid) * u64::from(k.body_records_per_node) * k.body_record;
+                b.seek(RESTART, slice);
+                b.read_n(RESTART, k.body_records_per_node, k.body_record);
+                b.close(RESTART);
+
+                // Connectivity read as binary data: far fewer,
+                // larger requests (§5.2).
+                b.gopen(CONN, n, IoMode::MGlobal);
+                b.read_n(CONN, k.conn_bin_reads, k.conn_bin_read);
+                b.close(CONN);
+            }
+        }
+    }
+
+    /// The statements a restarted PRISM run executes before resuming
+    /// from a checkpoint: the full phase-one read sequence through the
+    /// real PFS path (parameter file, restart header plus the
+    /// 155,584-byte body records, connectivity) followed by the
+    /// initialization compute. One entry per node; RNG-free, so every
+    /// replay attempt issues the identical prologue.
+    pub fn restart_prologue(&self) -> Vec<Vec<Stmt>> {
+        let scale = self.version.compute_scale();
+        (0..self.nodes)
+            .map(|pid| {
+                let mut b = ProgramBuilder::new();
+                self.phase_one(&mut b, pid);
+                b.compute(self.knobs.init_compute.scale(scale));
+                b.build()
+            })
+            .collect()
+    }
+
+    /// Snap a desired checkpoint interval (in integration steps) to
+    /// the divisor of [`PrismConfig::steps`] nearest to it (ties go to
+    /// the smaller divisor), so the rebuilt configuration always
+    /// passes [`PrismConfig::validate`].
+    pub fn snap_interval(&self, desired: u32) -> u32 {
+        let desired = desired.max(1);
+        (1..=self.steps)
+            .filter(|d| self.steps.is_multiple_of(*d))
+            .min_by_key(|d| (d.abs_diff(desired), *d))
+            .unwrap_or(self.steps.max(1))
+    }
+
+    /// Build the workload under a checkpoint policy. For
+    /// [`CheckpointPolicy::None`] the application I/O is identical to
+    /// [`PrismConfig::build`] with no commit markers (every crash
+    /// replays from the start). Fixed and Young policies rebuild the
+    /// integration loop at the snapped interval and mark a commit
+    /// after every checkpoint barrier; the checkpoint payload is the
+    /// three flow-statistics files.
+    pub fn recoverable(&self, policy: CheckpointPolicy) -> Recoverable {
+        match policy {
+            CheckpointPolicy::None => Recoverable::plain(self.build()),
+            CheckpointPolicy::Fixed { interval } => {
+                self.recoverable_every(self.snap_interval(interval))
+            }
+            CheckpointPolicy::Young {
+                checkpoint_cost,
+                mtbf,
+            } => {
+                let step = self.knobs.step_compute.scale(self.version.compute_scale());
+                let ideal = young_interval(checkpoint_cost, mtbf);
+                let steps = if step.is_zero() {
+                    1.0
+                } else {
+                    (ideal.as_secs_f64() / step.as_secs_f64()).round()
+                };
+                self.recoverable_every(
+                    self.snap_interval(steps.clamp(1.0, f64::from(self.steps)) as u32),
+                )
+            }
+        }
+    }
+
+    fn recoverable_every(&self, every: u32) -> Recoverable {
+        let mut cfg = self.clone();
+        cfg.checkpoint_every = every;
+        let prologue = cfg.restart_prologue();
+        Recoverable::annotate(
+            cfg.build(),
+            1,
+            prologue,
+            vec![STATS0, STATS0 + 1, STATS0 + 2],
+        )
+    }
+
     /// Validate the configuration's arithmetic. Returns problems
     /// (empty = valid).
     pub fn validate(&self) -> Vec<String> {
@@ -254,14 +417,6 @@ impl PrismConfig {
         let n = self.nodes;
         let k = &self.knobs;
         let scale = v.compute_scale();
-
-        const PARAM: u32 = 0;
-        const RESTART: u32 = 1;
-        const CONN: u32 = 2;
-        const MEASURE: u32 = 3;
-        const STATS0: u32 = 4; // 4,5,6: velocity / vorticity / stresses
-        const FIELD: u32 = 7;
-        const HISTORY: u32 = 8;
 
         let body_bytes = u64::from(n) * u64::from(k.body_records_per_node) * k.body_record;
         let files = vec![
@@ -311,77 +466,7 @@ impl PrismConfig {
             let is_root = pid == 0;
 
             // ---- Phase One: initialization reads -------------------
-            match v {
-                PrismVersion::A => {
-                    // All nodes, standard UNIX I/O, fully serialized.
-                    b.open(PARAM);
-                    b.read_n(PARAM, k.param_reads, k.param_read);
-                    b.close(PARAM);
-
-                    b.open(RESTART);
-                    b.read_n(RESTART, k.header_reads, k.header_read);
-                    // Without M_RECORD partitioning every node scans a
-                    // large prefix of the body redundantly; the seek
-                    // past the header pays the shared-file server
-                    // round trip.
-                    b.seek(RESTART, k.header_bytes);
-                    b.read_n(RESTART, k.body_reads_a, k.body_record);
-                    b.close(RESTART);
-
-                    b.open(CONN);
-                    b.read_n(CONN, k.conn_text_reads, k.conn_text_read);
-                    b.close(CONN);
-                }
-                PrismVersion::B => {
-                    // open + setiomode, then collective reads.
-                    b.open(PARAM);
-                    b.setiomode(PARAM, n, IoMode::MGlobal);
-                    b.read_n(PARAM, k.param_reads, k.param_read);
-                    b.close(PARAM);
-
-                    // Restart: header via M_GLOBAL, body via M_RECORD.
-                    b.open(RESTART);
-                    b.setiomode(RESTART, n, IoMode::MGlobal);
-                    b.read_n(RESTART, k.header_reads, k.header_read);
-                    b.io(
-                        RESTART,
-                        IoOp::SetIoMode {
-                            group: n,
-                            mode: IoMode::MRecord,
-                            record_size: Some(k.body_record),
-                        },
-                    );
-                    b.read_n(RESTART, k.body_records_per_node, k.body_record);
-                    b.close(RESTART);
-
-                    b.open(CONN);
-                    b.setiomode(CONN, n, IoMode::MGlobal);
-                    b.read_n(CONN, k.conn_text_reads, k.conn_text_read);
-                    b.close(CONN);
-                }
-                PrismVersion::C => {
-                    // gopen everywhere; restart via M_ASYNC with
-                    // system buffering disabled.
-                    b.gopen(PARAM, n, IoMode::MGlobal);
-                    b.read_n(PARAM, k.param_reads, k.param_read);
-                    b.close(PARAM);
-
-                    b.gopen(RESTART, n, IoMode::MAsync);
-                    b.set_buffering(RESTART, false);
-                    b.read_n(RESTART, k.header_reads, k.header_read);
-                    let slice = k.header_bytes
-                        + u64::from(pid) * u64::from(k.body_records_per_node) * k.body_record;
-                    b.seek(RESTART, slice);
-                    b.read_n(RESTART, k.body_records_per_node, k.body_record);
-                    b.close(RESTART);
-
-                    // Connectivity read as binary data: far fewer,
-                    // larger requests (§5.2).
-                    b.gopen(CONN, n, IoMode::MGlobal);
-                    b.read_n(CONN, k.conn_bin_reads, k.conn_bin_read);
-                    b.close(CONN);
-                }
-            }
+            self.phase_one(&mut b, pid);
             b.compute_jittered(k.init_compute.scale(scale), 0.1, &mut rng);
 
             // ---- Phase Two: integration with checkpointing ---------
@@ -706,5 +791,71 @@ mod tests {
     fn compute_scale_decreases() {
         assert!(PrismVersion::A.compute_scale() > PrismVersion::B.compute_scale());
         assert!(PrismVersion::B.compute_scale() > PrismVersion::C.compute_scale());
+    }
+
+    #[test]
+    fn restart_prologue_is_deterministic_and_rereads_the_body() {
+        let cfg = PrismConfig::tiny(PrismVersion::C);
+        let a = cfg.restart_prologue();
+        let b = cfg.restart_prologue();
+        assert_eq!(a, b, "prologue is a pure function of the config");
+        assert_eq!(a.len(), cfg.nodes as usize);
+        let body_reads = a[0]
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    Stmt::Io {
+                        file: 1,
+                        op: IoOp::Read { size }
+                    } if *size == cfg.knobs.body_record
+                )
+            })
+            .count();
+        assert_eq!(body_reads as u32, cfg.knobs.body_records_per_node);
+    }
+
+    #[test]
+    fn snap_interval_picks_nearest_divisor() {
+        let cfg = PrismConfig::tiny(PrismVersion::B); // 20 steps
+        assert_eq!(cfg.snap_interval(0), 1);
+        assert_eq!(cfg.snap_interval(3), 2, "ties go to the smaller divisor");
+        assert_eq!(cfg.snap_interval(5), 5);
+        assert_eq!(cfg.snap_interval(13), 10);
+        assert_eq!(cfg.snap_interval(100), 20);
+    }
+
+    #[test]
+    fn recoverable_policies_annotate_and_slice() {
+        let cfg = PrismConfig::tiny(PrismVersion::B);
+        let none = cfg.recoverable(CheckpointPolicy::None);
+        assert_eq!(none.checkpoints(), 0);
+        assert_eq!(none.workload().programs, cfg.build().programs);
+
+        // 20 steps every 5 → 4 checkpoint barriers → 4 markers.
+        let fixed = cfg.recoverable(CheckpointPolicy::Fixed { interval: 5 });
+        assert_eq!(fixed.checkpoints(), 4);
+        assert!(fixed.workload().validate().is_empty());
+        assert!(fixed.prologue_read_bytes() > 0);
+        let sliced = fixed.slice_from(Some(0));
+        assert!(sliced.validate().is_empty(), "{:?}", sliced.validate());
+        // The replay re-reads phase one: restart-body records appear.
+        assert!(sliced.programs[1].iter().any(|s| matches!(
+            s,
+            Stmt::Io {
+                file: 1,
+                op: IoOp::Read { size }
+            } if *size == cfg.knobs.body_record
+        )));
+
+        // Young: sqrt(2 · 0.1 s · 2 s) ≈ 0.632 s of 50 ms steps →
+        // 13 steps, snapped to the nearest divisor of 20 (10) → 2
+        // checkpoints.
+        let young = cfg.recoverable(CheckpointPolicy::Young {
+            checkpoint_cost: Time::from_millis(100),
+            mtbf: Time::from_secs(2),
+        });
+        assert_eq!(young.checkpoints(), 2);
+        assert!(young.workload().validate().is_empty());
     }
 }

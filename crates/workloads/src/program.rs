@@ -38,6 +38,14 @@ pub enum Stmt {
         /// Payload contributed by each non-root node.
         bytes_per_node: u64,
     },
+    /// Checkpoint-commit marker `k`: everything before this statement
+    /// is durable on the PFS; a recovering run may resume from here
+    /// instead of from the beginning. Zero-cost in the simulator (the
+    /// commit *writes* are ordinary `Io` statements preceding the
+    /// marker) — it only records the instant the program passed it.
+    /// Placed immediately after a barrier so all nodes agree on what
+    /// marker `k` covers; not itself a collective.
+    CheckpointCommit(u32),
 }
 
 impl Stmt {
@@ -126,11 +134,13 @@ impl Workload {
         let mut counts: std::collections::BTreeMap<OpKind, u64> = std::collections::BTreeMap::new();
         let mut computes = 0u64;
         let mut collectives = 0u64;
+        let mut markers = 0u64;
         for prog in &self.programs {
             for stmt in prog {
                 match stmt {
                     Stmt::Io { op, .. } => *counts.entry(op.kind()).or_insert(0) += 1,
                     Stmt::Compute(_) => computes += 1,
+                    Stmt::CheckpointCommit(_) => markers += 1,
                     _ => collectives += 1,
                 }
             }
@@ -150,6 +160,9 @@ impl Workload {
         }
         let _ = writeln!(out, "  {:<8}{computes:>10}", "compute");
         let _ = writeln!(out, "  {:<8}{collectives:>10}", "collective");
+        if markers > 0 {
+            let _ = writeln!(out, "  {:<8}{markers:>10}", "ckpt");
+        }
         let _ = writeln!(
             out,
             "  volume: {:.1} MB read, {:.1} MB written",
@@ -205,7 +218,7 @@ impl Workload {
                         collectives += 1;
                     }
                     Stmt::Barrier => collectives += 1,
-                    Stmt::Compute(_) => {}
+                    Stmt::Compute(_) | Stmt::CheckpointCommit(_) => {}
                 }
             }
             collective_counts.push(collectives);
@@ -360,5 +373,18 @@ mod tests {
         }
         .is_collective());
         assert!(!Stmt::Compute(Time::ZERO).is_collective());
+        assert!(!Stmt::CheckpointCommit(0).is_collective());
+    }
+
+    #[test]
+    fn checkpoint_markers_validate_and_inventory() {
+        let mut w = tiny_workload();
+        for prog in &mut w.programs {
+            prog.push(Stmt::CheckpointCommit(0));
+        }
+        assert!(w.validate().is_empty(), "{:?}", w.validate());
+        assert!(w.summary().contains("ckpt"));
+        // Marker-free workloads keep the old inventory shape.
+        assert!(!tiny_workload().summary().contains("ckpt"));
     }
 }
