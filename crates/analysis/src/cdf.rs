@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(cdf.fraction_leq(2048) > 0.96);
 /// assert!(cdf.weight_fraction_leq(2048) < 0.21);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cdf {
     /// Sorted distinct sample values.
     values: Vec<u64>,
@@ -38,6 +38,20 @@ impl Cdf {
     /// are kept (a zero-byte request is still a request).
     pub fn from_samples(mut samples: Vec<u64>) -> Self {
         samples.sort_unstable();
+        Self::from_sorted(samples)
+    }
+
+    /// Build the request-size CDF for one operation kind straight from
+    /// a [`TraceIndex`](sioscope_trace::TraceIndex), whose per-kind
+    /// size column is kept pre-sorted — skipping the O(n log n) sort
+    /// [`from_samples`](Cdf::from_samples) pays.
+    pub fn of_kind(index: &sioscope_trace::TraceIndex, kind: sioscope_pfs::OpKind) -> Self {
+        Self::from_sorted(index.sizes_sorted_of(kind).to_vec())
+    }
+
+    /// Build from samples already in ascending order.
+    pub fn from_sorted(samples: Vec<u64>) -> Self {
+        debug_assert!(samples.windows(2).all(|w| w[0] <= w[1]), "samples unsorted");
         let mut values = Vec::new();
         let mut cum_count = Vec::new();
         let mut cum_weight = Vec::new();

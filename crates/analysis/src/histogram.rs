@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 
 /// A histogram over power-of-two bins: bin `i` covers
 /// `[2^i, 2^(i+1))`, with a dedicated bin for zero.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LogHistogram {
     zero: u64,
     bins: Vec<u64>,
@@ -28,6 +28,14 @@ impl LogHistogram {
             h.add(s);
         }
         h
+    }
+
+    /// The request-size histogram of one operation kind, from a
+    /// [`TraceIndex`](sioscope_trace::TraceIndex) posting list —
+    /// binning commutes, so the result matches
+    /// [`from_samples`](LogHistogram::from_samples) over a scan.
+    pub fn of_kind(index: &sioscope_trace::TraceIndex, kind: sioscope_pfs::OpKind) -> Self {
+        Self::from_samples(index.sizes_sorted_of(kind).iter().copied())
     }
 
     /// Add one sample.

@@ -7,6 +7,13 @@
 //! percentage-of-I/O-time tables (Tables 2 and 5),
 //! percentage-of-execution-time tables (Table 3), and ASCII renderings
 //! of all of them.
+//!
+//! Every pass has two entry points: the original scan over
+//! `&[IoEvent]`, retained as the oracle, and an indexed variant
+//! (`from_index` / `of_kind` / `*_indexed`) that answers from a
+//! shared [`sioscope_trace::TraceIndex`] without revisiting the event
+//! vector. The indexed variants are bit-identical to the scans;
+//! property tests in `tests/proptest_indexed.rs` enforce this.
 
 pub mod bandwidth;
 pub mod cdf;
@@ -30,7 +37,9 @@ pub use histogram::LogHistogram;
 pub use interarrival::Interarrival;
 pub use modes::{ModeStats, ModeUsage};
 pub use parallelism::{ConcurrencyProfile, NodeBalance};
-pub use phases::{detect as detect_phases, PhaseKind, PhaseSpan};
+pub use phases::{
+    detect as detect_phases, detect_indexed as detect_phases_indexed, PhaseKind, PhaseSpan,
+};
 pub use stats::Summary;
 pub use table::{ExecTimeTable, IoTimeTable};
 pub use timeline::Timeline;

@@ -22,7 +22,7 @@ pub struct ModeStats {
 }
 
 /// Per-mode aggregation over a trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ModeUsage {
     per_mode: BTreeMap<&'static str, ModeStats>,
 }
@@ -32,6 +32,20 @@ impl ModeUsage {
     pub fn build(events: &[IoEvent]) -> Self {
         let mut per_mode: BTreeMap<&'static str, ModeStats> = BTreeMap::new();
         for e in events {
+            let s = per_mode.entry(e.mode.name()).or_default();
+            s.ops += 1;
+            s.bytes += e.bytes;
+            s.time += e.duration;
+        }
+        ModeUsage { per_mode }
+    }
+
+    /// Aggregate from a [`TraceIndex`](sioscope_trace::TraceIndex).
+    /// All three accumulations commute, so the result matches
+    /// [`build`](ModeUsage::build) regardless of event order.
+    pub fn from_index(index: &sioscope_trace::TraceIndex) -> Self {
+        let mut per_mode: BTreeMap<&'static str, ModeStats> = BTreeMap::new();
+        for e in index.iter() {
             let s = per_mode.entry(e.mode.name()).or_default();
             s.ops += 1;
             s.bytes += e.bytes;

@@ -12,12 +12,13 @@
 //!   metrics make that evolution measurable.
 
 use serde::{Deserialize, Serialize};
+use sioscope_pfs::OpKind;
 use sioscope_sim::{Pid, Time};
-use sioscope_trace::IoEvent;
+use sioscope_trace::{IoEvent, TraceIndex};
 use std::collections::BTreeMap;
 
 /// Sweep-line concurrency profile of outstanding I/O calls.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConcurrencyProfile {
     /// `(instant, outstanding-call count)` breakpoints, time-ordered;
     /// the count holds until the next breakpoint.
@@ -40,13 +41,52 @@ impl ConcurrencyProfile {
             *deltas.entry(e.start).or_insert(0) += 1;
             *deltas.entry(e.end()).or_insert(0) -= 1;
         }
-        let mut steps = Vec::with_capacity(deltas.len());
+        Self::from_breakpoints(deltas.into_iter())
+    }
+
+    /// Build from a [`TraceIndex`] without revisiting the events: the
+    /// index's start column and end-sorted column are merged into the
+    /// same `(instant, delta)` breakpoint sequence the scan derives,
+    /// one merged entry per distinct instant (including net-zero
+    /// deltas from zero-duration events, which the scan also emits).
+    /// The shared fold then performs the identical floating-point
+    /// accumulation, so the profile is bit-identical to `build`.
+    pub fn from_index(index: &TraceIndex) -> Self {
+        let starts = index.starts();
+        let ends = index.ends_sorted();
+        let mut breaks: Vec<(Time, i64)> = Vec::with_capacity(starts.len() * 2);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < starts.len() || j < ends.len() {
+            let t = if i < starts.len() && (j >= ends.len() || starts[i] <= ends[j]) {
+                starts[i]
+            } else {
+                ends[j]
+            };
+            let mut d = 0i64;
+            while i < starts.len() && starts[i] == t {
+                d += 1;
+                i += 1;
+            }
+            while j < ends.len() && ends[j] == t {
+                d -= 1;
+                j += 1;
+            }
+            breaks.push((t, d));
+        }
+        Self::from_breakpoints(breaks.into_iter())
+    }
+
+    /// The shared sweep over time-ordered `(instant, delta)`
+    /// breakpoints — both constructors funnel through this fold so
+    /// their floating-point results are identical to the bit.
+    fn from_breakpoints(deltas: impl Iterator<Item = (Time, i64)>) -> Self {
+        let mut steps = Vec::new();
         let mut level: i64 = 0;
         let mut peak = 0u32;
         let mut weighted = 0.0f64;
         let mut active = 0.0f64;
         let mut prev: Option<Time> = None;
-        for (&t, &d) in &deltas {
+        for (t, d) in deltas {
             if let Some(p) = prev {
                 let dt = (t - p).as_secs_f64();
                 weighted += level as f64 * dt;
@@ -84,7 +124,7 @@ impl ConcurrencyProfile {
 }
 
 /// Distribution of I/O time across nodes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeBalance {
     /// Per-node total I/O time, indexed by pid.
     pub per_node: BTreeMap<u32, Time>,
@@ -107,6 +147,34 @@ impl NodeBalance {
         for e in events.iter().filter(|e| keep(e)) {
             *per_node.entry(e.pid.0).or_insert(Time::ZERO) += e.duration;
             total += e.duration;
+        }
+        NodeBalance { per_node, total }
+    }
+
+    /// Build from a [`TraceIndex`]: one lookup per pid against the
+    /// pre-aggregated per-pid totals.
+    pub fn from_index(index: &TraceIndex) -> Self {
+        let mut per_node = BTreeMap::new();
+        let mut total = Time::ZERO;
+        for pid in index.pids() {
+            let d = index.pid_total_duration(pid);
+            per_node.insert(pid.0, d);
+            total += d;
+        }
+        NodeBalance { per_node, total }
+    }
+
+    /// Indexed equivalent of
+    /// [`build_filtered`](NodeBalance::build_filtered) with a
+    /// kind-equality predicate — the only filter the report paths use.
+    pub fn of_kind(index: &TraceIndex, kind: OpKind) -> Self {
+        let mut per_node = BTreeMap::new();
+        let mut total = Time::ZERO;
+        for pid in index.pids() {
+            if let Some((_, d)) = index.pid_duration_of(pid, kind) {
+                per_node.insert(pid.0, d);
+                total += d;
+            }
         }
         NodeBalance { per_node, total }
     }

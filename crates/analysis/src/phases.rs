@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use sioscope_pfs::OpKind;
 use sioscope_sim::Time;
-use sioscope_trace::IoEvent;
+use sioscope_trace::{IoEvent, TraceIndex};
 
 /// Dominant direction of a detected phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,7 +24,7 @@ pub enum PhaseKind {
 }
 
 /// One detected phase.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseSpan {
     /// First event start in the phase.
     pub start: Time,
@@ -50,6 +50,19 @@ impl PhaseSpan {
 /// Cluster a (time-sorted) trace into phases separated by I/O gaps of
 /// at least `gap`.
 pub fn detect(events: &[IoEvent], gap: Time) -> Vec<PhaseSpan> {
+    detect_iter(events.iter().copied(), gap)
+}
+
+/// Cluster an indexed trace into phases. The index's canonical order
+/// is time-sorted, so this is [`detect`] over the properly ordered
+/// stream — identical to running `detect` on a sorted trace even if
+/// the original slice was not sorted.
+pub fn detect_indexed(index: &TraceIndex, gap: Time) -> Vec<PhaseSpan> {
+    detect_iter(index.iter(), gap)
+}
+
+/// The sequential clustering pass both entry points share.
+fn detect_iter(events: impl Iterator<Item = IoEvent>, gap: Time) -> Vec<PhaseSpan> {
     let mut phases: Vec<PhaseSpan> = Vec::new();
     let mut current: Option<PhaseSpan> = None;
     for e in events {

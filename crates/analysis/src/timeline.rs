@@ -3,10 +3,12 @@
 //! and 9.
 
 use serde::{Deserialize, Serialize};
+use sioscope_pfs::OpKind;
 use sioscope_sim::Time;
+use sioscope_trace::TraceIndex;
 
 /// A scatter of `(time, value)` points in time order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Timeline {
     points: Vec<(Time, u64)>,
 }
@@ -16,6 +18,18 @@ impl Timeline {
     pub fn new(mut points: Vec<(Time, u64)>) -> Self {
         points.sort_by_key(|&(t, v)| (t, v));
         Timeline { points }
+    }
+
+    /// The `(start, bytes)` scatter of one operation kind, straight
+    /// from a [`TraceIndex`] posting list.
+    pub fn of_kind(index: &TraceIndex, kind: OpKind) -> Self {
+        Timeline::new(index.timeline_of(kind))
+    }
+
+    /// The `(start, duration-in-nanoseconds)` scatter of one kind —
+    /// the seek-duration plot of Figure 5 — from a [`TraceIndex`].
+    pub fn of_durations(index: &TraceIndex, kind: OpKind) -> Self {
+        Timeline::new(durations_to_points(&index.duration_timeline_of(kind)))
     }
 
     /// The points, time-ordered.

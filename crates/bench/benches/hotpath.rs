@@ -15,6 +15,12 @@
 //! * `fault_engaged_run` — a PRISM run under an injected fault
 //!   schedule, exercising the resilience ladder and timeline scaling.
 //!
+//! A second group, `analysis`, measures the trace analytics engine on
+//! a 120k-event synthetic trace: the one-time `TraceIndex` build, the
+//! window and region summary queries both as naive scans and through
+//! the index (the before/after pair the indexed path is judged on),
+//! and a full indexed characterization pass.
+//!
 //! Capture results into a numbered baseline with
 //! `scripts/capture_bench.sh` after running
 //! `cargo bench -p sioscope-bench --bench hotpath`.
@@ -23,8 +29,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use sioscope::experiments::{clear_run_caches, run_experiment, Experiment, Scale};
 use sioscope::simulator::{run, SimOptions};
 use sioscope_faults::FaultGen;
-use sioscope_pfs::PfsConfig;
-use sioscope_sim::{DetRng, EventQueue, Time};
+use sioscope_pfs::{IoMode, OpKind, PfsConfig};
+use sioscope_sim::{DetRng, EventQueue, FileId, Pid, Time};
+use sioscope_trace::{FileRegionSummary, IoEvent, TimeWindowSummary, TraceIndex};
 use std::hint::black_box;
 
 /// Interleaved schedule/pop against a queue preloaded with `n` events:
@@ -99,11 +106,135 @@ fn bench_fault_engaged(c: &mut Criterion) {
     group.finish();
 }
 
+/// A deterministic synthetic trace large enough (120k events) that
+/// the indexed queries' asymptotic advantage over the naive scans is
+/// unambiguous, with the kind/file/pid mix of a real workload trace.
+fn synthetic_trace(n: usize) -> Vec<IoEvent> {
+    let mut rng = DetRng::new(0x51055C09);
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = match rng.range_inclusive(0, 9) {
+            0 => OpKind::Open,
+            1 => OpKind::Gopen,
+            2..=5 => OpKind::Read,
+            6 => OpKind::Seek,
+            7 | 8 => OpKind::Write,
+            _ => OpKind::Close,
+        };
+        let data = matches!(kind, OpKind::Read | OpKind::Write);
+        events.push(IoEvent {
+            pid: Pid(rng.range_inclusive(0, 63) as u32),
+            file: FileId(rng.range_inclusive(0, 15) as u32),
+            kind,
+            start: Time::from_nanos(rng.range_inclusive(0, 600_000_000_000)),
+            duration: Time::from_nanos(rng.range_inclusive(1_000, 40_000_000)),
+            bytes: if data {
+                rng.range_inclusive(64, 262_144)
+            } else {
+                0
+            },
+            offset: if data {
+                rng.range_inclusive(0, 1 << 34)
+            } else {
+                0
+            },
+            mode: IoMode::MUnix,
+        });
+    }
+    events
+}
+
+/// The query mix both window benches run: 64 windows spread across
+/// the trace's 600 s span, from 100 ms slices up to 10 s slices.
+fn window_queries() -> Vec<(Time, Time)> {
+    (0..64u64)
+        .map(|i| {
+            let t0 = Time::from_nanos(i * 9_000_000_000);
+            let len = Time::from_millis(100 + (i % 10) * 990);
+            (t0, t0.saturating_add(len))
+        })
+        .collect()
+}
+
+/// The query mix both region benches run: 64 byte ranges per file
+/// across the 16 GiB offset space.
+fn region_queries() -> Vec<(FileId, u64, u64)> {
+    (0..64u64)
+        .map(|i| {
+            let lo = i * (1 << 28);
+            (FileId((i % 16) as u32), lo, lo + (1 << 27))
+        })
+        .collect()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let events = synthetic_trace(120_000);
+    let index = TraceIndex::build(&events);
+    let windows = window_queries();
+    let regions = region_queries();
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("index_build", |b| {
+        b.iter(|| black_box(TraceIndex::build(black_box(&events))))
+    });
+    group.bench_function("window_query_scan", |b| {
+        b.iter(|| {
+            for &(t0, t1) in &windows {
+                black_box(TimeWindowSummary::build(black_box(&events), t0, t1));
+            }
+        })
+    });
+    group.bench_function("window_query_indexed", |b| {
+        b.iter(|| {
+            for &(t0, t1) in &windows {
+                black_box(TimeWindowSummary::from_index(black_box(&index), t0, t1));
+            }
+        })
+    });
+    group.bench_function("region_query_scan", |b| {
+        b.iter(|| {
+            for &(f, lo, hi) in &regions {
+                black_box(FileRegionSummary::build(black_box(&events), f, lo, hi));
+            }
+        })
+    });
+    group.bench_function("region_query_indexed", |b| {
+        b.iter(|| {
+            for &(f, lo, hi) in &regions {
+                black_box(FileRegionSummary::from_index(black_box(&index), f, lo, hi));
+            }
+        })
+    });
+    // The end-to-end analytics cost of a characterize/report run:
+    // build the index once, then answer the full §6 query battery
+    // from it — what every multi-query consumer now pays.
+    group.bench_function("characterize_full", |b| {
+        use sioscope_analysis::{
+            detect_phases_indexed, interarrival, BandwidthSeries, Cdf, ConcurrencyProfile,
+            LogHistogram, ModeUsage, NodeBalance,
+        };
+        b.iter(|| {
+            let idx = TraceIndex::build(black_box(&events));
+            black_box(Cdf::of_kind(&idx, OpKind::Read));
+            black_box(Cdf::of_kind(&idx, OpKind::Write));
+            black_box(LogHistogram::of_kind(&idx, OpKind::Read));
+            black_box(ConcurrencyProfile::from_index(&idx));
+            black_box(NodeBalance::from_index(&idx));
+            black_box(ModeUsage::from_index(&idx));
+            black_box(detect_phases_indexed(&idx, Time::from_secs(30)));
+            black_box(interarrival::per_process_indexed(&idx));
+            black_box(BandwidthSeries::from_index(&idx, Time::from_secs(10)));
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_calendar,
     bench_escat_c,
     bench_full_registry,
-    bench_fault_engaged
+    bench_fault_engaged,
+    bench_analysis
 );
 criterion_main!(benches);

@@ -19,11 +19,11 @@
 //! (naming the path), `4` a failed expectation.
 
 use sioscope_bench::{
-    baseline_speedup, baseline_value, collect_estimates, exit_with, write_atomic, CliError,
+    baseline_speedup, baseline_value_multi, collect_estimates, exit_with, write_atomic, CliError,
+    BASELINE_GROUPS,
 };
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-
-const GROUP: &str = "hotpath";
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -37,20 +37,30 @@ fn real_main() -> Result<(), CliError> {
     let criterion_dir = PathBuf::from(
         arg_value(&args, "--criterion-dir").unwrap_or_else(|| "target/criterion".to_string()),
     );
-    let group_dir = criterion_dir.join(GROUP);
-    let estimates = match collect_estimates(&criterion_dir, GROUP) {
-        Ok(e) if !e.is_empty() => e,
-        Ok(_) => {
-            return Err(CliError::io(
-                &group_dir,
-                std::io::Error::other(format!(
-                    "no estimates found; run `cargo bench -p sioscope-bench --bench {GROUP}` first"
-                )),
-            ));
+    // Collect every baseline group. A group directory that does not
+    // exist yet (e.g. a partial bench run) is treated as empty; only
+    // finding *no* estimates at all is an error.
+    let mut groups = BTreeMap::new();
+    for group in BASELINE_GROUPS {
+        match collect_estimates(&criterion_dir, group) {
+            Ok(estimates) => {
+                groups.insert(group.to_string(), estimates);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                groups.insert(group.to_string(), BTreeMap::new());
+            }
+            Err(e) => return Err(CliError::io(criterion_dir.join(group), e)),
         }
-        Err(e) => return Err(CliError::io(&group_dir, e)),
-    };
-    let current = baseline_value(GROUP, &estimates);
+    }
+    if groups.values().all(|e| e.is_empty()) {
+        return Err(CliError::io(
+            &criterion_dir,
+            std::io::Error::other(
+                "no estimates found; run `cargo bench -p sioscope-bench --bench hotpath` first",
+            ),
+        ));
+    }
+    let current = baseline_value_multi(&groups);
     let rendered = format!(
         "{}\n",
         serde_json::to_string_pretty(&current).expect("serialize baseline")
@@ -62,10 +72,12 @@ fn real_main() -> Result<(), CliError> {
         let old: serde_json::Value = serde_json::from_str(&old_text)
             .map_err(|e| CliError::io(&old_path, std::io::Error::other(e)))?;
         println!("speedup vs {old_path} (old mean / new mean):");
-        for name in estimates.keys() {
-            match baseline_speedup(&old, &current, name) {
-                Some(s) => println!("  {name:<24} {s:.2}x"),
-                None => println!("  {name:<24} (not in old baseline)"),
+        for (group, estimates) in &groups {
+            for name in estimates.keys() {
+                match baseline_speedup(&old, &current, name) {
+                    Some(s) => println!("  {group}/{name:<24} {s:.2}x"),
+                    None => println!("  {group}/{name:<24} (not in old baseline)"),
+                }
             }
         }
         let gate = arg_value(&args, "--bench");

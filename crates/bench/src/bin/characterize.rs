@@ -15,8 +15,8 @@
 
 use sioscope_analysis::classify::class_totals;
 use sioscope_analysis::{
-    classify_all, detect_phases, phases, BandwidthSeries, Cdf, ConcurrencyProfile, LogHistogram,
-    ModeUsage, NodeBalance,
+    classify_all, detect_phases_indexed, phases, BandwidthSeries, Cdf, ConcurrencyProfile,
+    LogHistogram, ModeUsage, NodeBalance,
 };
 use sioscope_bench::{exit_with, CliError};
 use sioscope_pfs::OpKind;
@@ -71,6 +71,9 @@ fn main() {
     }
     let trace = load(&path);
     let events = trace.events();
+    // One O(n log n) index build; every query below is a postings
+    // lookup or a binary search against it instead of a fresh scan.
+    let index = trace.index();
     println!(
         "trace: {} events, {} total I/O time, last completion {}\n",
         trace.len(),
@@ -79,8 +82,8 @@ fn main() {
     );
 
     // Request sizes.
-    let reads = Cdf::from_samples(trace.sizes_of(OpKind::Read));
-    let writes = Cdf::from_samples(trace.sizes_of(OpKind::Write));
+    let reads = Cdf::of_kind(index, OpKind::Read);
+    let writes = Cdf::of_kind(index, OpKind::Write);
     println!(
         "reads : {} requests, median {} B, p95 {} B, <=2 KB {:.1}%",
         reads.n(),
@@ -94,12 +97,12 @@ fn main() {
         writes.quantile(0.5).unwrap_or(0),
         writes.quantile(0.95).unwrap_or(0),
     );
-    let hist = LogHistogram::from_samples(trace.sizes_of(OpKind::Read));
+    let hist = LogHistogram::of_kind(index, OpKind::Read);
     println!("\n{}", hist.render("read-size histogram (log2 bins):", 40));
 
     // Parallelism.
-    let conc = ConcurrencyProfile::build(events);
-    let bal = NodeBalance::build(events);
+    let conc = ConcurrencyProfile::from_index(index);
+    let bal = NodeBalance::from_index(index);
     println!(
         "parallelism: peak {} concurrent calls, {:.1} mean while active; gini {:.2}, node-0 share {:.0}%",
         conc.peak,
@@ -109,7 +112,7 @@ fn main() {
     );
 
     // Modes.
-    let modes = ModeUsage::build(events);
+    let modes = ModeUsage::from_index(index);
     println!("\n{}", modes.render("access-mode usage:"));
 
     // Classification.
@@ -124,12 +127,12 @@ fn main() {
     }
 
     // Phases.
-    let detected = detect_phases(events, Time::from_secs(30));
+    let detected = detect_phases_indexed(index, Time::from_secs(30));
     println!("\ndetected phases (30 s gap threshold):");
     print!("{}", phases::render(&detected));
 
     // Interarrival regularity (per-node median CV).
-    let ias = sioscope_analysis::interarrival::per_process(events);
+    let ias = sioscope_analysis::interarrival::per_process_indexed(index);
     if !ias.is_empty() {
         let mut cvs: Vec<f64> = ias.values().map(|ia| ia.cv).collect();
         cvs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
@@ -141,11 +144,36 @@ fn main() {
     }
 
     // Temporality.
-    let bw = BandwidthSeries::build(events, Time::from_secs(10));
+    let window = Time::from_secs(10);
+    let bw = BandwidthSeries::from_index(index, window);
     println!(
         "\ntemporality: burstiness {:.1} (peak/mean), duty cycle {:.0}%, peak {:.2} MB/s",
         bw.burstiness(),
         100.0 * bw.duty_cycle(),
         bw.peak_bps() / 1e6,
     );
+
+    // Peak-window drill-down: a Pablo time-window summary of the
+    // busiest bandwidth window — a binary-search query the index
+    // answers without another scan.
+    let peak = bw
+        .bytes_per_window
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, b)| b)
+        .map(|(i, _)| i);
+    if let Some(i) = peak {
+        let t0 = Time::from_nanos(i as u64 * window.as_nanos());
+        let t1 = t0.saturating_add(window);
+        let w = sioscope_trace::TimeWindowSummary::from_index(index, t0, t1);
+        println!("\npeak window [{t0}, {t1}):");
+        for (kind, s) in &w.per_kind {
+            println!(
+                "  {kind:?}: {} ops, {:.1} MB, {:.3}s I/O time",
+                s.count,
+                s.bytes as f64 / 1e6,
+                s.total_duration.as_secs_f64(),
+            );
+        }
+    }
 }

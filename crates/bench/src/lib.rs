@@ -277,15 +277,66 @@ pub fn baseline_value(
     })
 }
 
+/// The Criterion groups a `BENCH_<n>.json` baseline captures: the
+/// simulator hot paths and the trace analytics engine. Both live in
+/// the `hotpath` bench target, so one `cargo bench --bench hotpath`
+/// run produces estimates for every group.
+pub const BASELINE_GROUPS: [&str; 2] = ["hotpath", "analysis"];
+
+/// Assemble a multi-group `BENCH_<n>.json` baseline document
+/// (schema `sioscope-bench-baseline/2`) from per-group estimates.
+/// Groups with no collected estimates are omitted.
+pub fn baseline_value_multi(
+    groups: &BTreeMap<String, BTreeMap<String, BenchEstimate>>,
+) -> serde_json::Value {
+    let rendered: serde_json::Map<String, serde_json::Value> = groups
+        .iter()
+        .filter(|(_, estimates)| !estimates.is_empty())
+        .map(|(group, estimates)| {
+            let benches: serde_json::Map<String, serde_json::Value> = estimates
+                .iter()
+                .map(|(name, (mean, median))| {
+                    (
+                        name.clone(),
+                        serde_json::json!({ "mean_ns": mean, "median_ns": median }),
+                    )
+                })
+                .collect();
+            (group.clone(), serde_json::json!({ "benches": benches }))
+        })
+        .collect();
+    serde_json::json!({
+        "schema": "sioscope-bench-baseline/2",
+        "command": "cargo bench -p sioscope-bench --bench hotpath",
+        "groups": rendered,
+    })
+}
+
+/// Locate `bench` in a baseline of either schema: the v1 top-level
+/// `benches` map, or any group of a v2 `groups` map (bench names are
+/// unique across groups).
+fn find_bench<'a>(v: &'a serde_json::Value, bench: &str) -> Option<&'a serde_json::Value> {
+    let direct = &v["benches"][bench];
+    if !direct.is_null() {
+        return Some(direct);
+    }
+    v["groups"]
+        .as_object()?
+        .values()
+        .map(|g| &g["benches"][bench])
+        .find(|b| !b.is_null())
+}
+
 /// Speedup of `bench` going from the `old` baseline to the `new` one
 /// (mean-over-mean; > 1.0 means `new` is faster). `None` when either
-/// baseline lacks the bench or a captured mean.
+/// baseline lacks the bench or a captured mean. Accepts baselines of
+/// either schema version.
 pub fn baseline_speedup(
     old: &serde_json::Value,
     new: &serde_json::Value,
     bench: &str,
 ) -> Option<f64> {
-    let mean = |v: &serde_json::Value| v["benches"][bench]["mean_ns"].as_f64();
+    let mean = |v: &serde_json::Value| find_bench(v, bench)?["mean_ns"].as_f64();
     match (mean(old), mean(new)) {
         (Some(o), Some(n)) if n > 0.0 => Some(o / n),
         _ => None,
@@ -366,6 +417,51 @@ mod tests {
         );
         assert_eq!(baseline_speedup(&old, &new, "missing"), None);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_group_baseline_schema_and_cross_version_speedup() {
+        let mut groups: BTreeMap<String, BTreeMap<String, BenchEstimate>> = BTreeMap::new();
+        groups.insert(
+            "hotpath".to_string(),
+            BTreeMap::from([("full_registry_cold".to_string(), (3000.0, 2900.0))]),
+        );
+        groups.insert(
+            "analysis".to_string(),
+            BTreeMap::from([("window_query_indexed".to_string(), (80.0, 78.0))]),
+        );
+        groups.insert("empty".to_string(), BTreeMap::new());
+        let v2 = baseline_value_multi(&groups);
+        assert_eq!(v2["schema"], "sioscope-bench-baseline/2");
+        assert_eq!(
+            v2["groups"]["analysis"]["benches"]["window_query_indexed"]["mean_ns"],
+            80.0
+        );
+        assert!(
+            v2["groups"]["empty"].is_null(),
+            "estimate-less groups are omitted"
+        );
+
+        // v2-vs-v2 lookups find benches in any group.
+        let mut faster = groups.clone();
+        faster
+            .get_mut("analysis")
+            .unwrap()
+            .insert("window_query_indexed".to_string(), (20.0, 19.0));
+        let new = baseline_value_multi(&faster);
+        assert_eq!(
+            baseline_speedup(&v2, &new, "window_query_indexed"),
+            Some(4.0)
+        );
+        assert_eq!(baseline_speedup(&v2, &new, "full_registry_cold"), Some(1.0));
+        assert_eq!(baseline_speedup(&v2, &new, "missing"), None);
+
+        // A v1 baseline compares against a v2 one transparently.
+        let v1 = baseline_value(
+            "hotpath",
+            &BTreeMap::from([("full_registry_cold".to_string(), (6000.0, 5800.0))]),
+        );
+        assert_eq!(baseline_speedup(&v1, &new, "full_registry_cold"), Some(2.0));
     }
 
     #[test]

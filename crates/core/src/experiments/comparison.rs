@@ -31,10 +31,10 @@ struct Dimensions {
 }
 
 fn measure(r: &RunResult) -> Dimensions {
-    let events = r.trace.events();
-    let reads = Cdf::from_samples(r.trace.sizes_of(OpKind::Read));
-    let writes = NodeBalance::build_filtered(events, |e| e.kind == OpKind::Write);
-    let modes = ModeUsage::build(events);
+    let index = r.trace.index();
+    let reads = Cdf::of_kind(index, OpKind::Read);
+    let writes = NodeBalance::of_kind(index, OpKind::Write);
+    let modes = ModeUsage::from_index(index);
     Dimensions {
         small_read_fraction: reads.fraction_leq(2048),
         large_read_data_fraction: 1.0 - reads.weight_fraction_leq(100 * 1024),

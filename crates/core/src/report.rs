@@ -8,6 +8,12 @@ use std::fmt::Write as _;
 
 /// Run every experiment at `scale` (in parallel across experiments)
 /// and collect the outputs in presentation order.
+///
+/// Each simulated run is memoized per version, and its trace's
+/// columnar [`TraceIndex`](sioscope_trace::TraceIndex) is warmed once
+/// before the run enters the cache — so every figure and table below
+/// answers its size/timeline/duration queries from the shared index
+/// instead of rescanning the event stream.
 pub fn run_all(scale: Scale) -> Vec<ExperimentOutput> {
     // Pre-warm the per-version run caches in parallel, then render.
     let mut outputs: Vec<(usize, ExperimentOutput)> = Experiment::all()

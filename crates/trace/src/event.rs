@@ -42,9 +42,15 @@ impl IoEvent {
     }
 
     /// Does the event's byte range `[offset, offset+bytes)` intersect
-    /// `[lo, hi)`?
+    /// `[lo, hi)`? The end offset saturates: an event whose range runs
+    /// off the end of the offset space is clamped to `u64::MAX` rather
+    /// than wrapping (which would panic in debug builds and silently
+    /// miss intersections in release).
     pub fn touches_region(&self, lo: u64, hi: u64) -> bool {
-        self.is_data() && self.bytes > 0 && self.offset < hi && self.offset + self.bytes > lo
+        self.is_data()
+            && self.bytes > 0
+            && self.offset < hi
+            && self.offset.saturating_add(self.bytes) > lo
     }
 
     /// Does the event's `[start, end)` interval intersect the window
@@ -89,6 +95,17 @@ mod tests {
         assert!(!e.touches_region(0, 50));
         // Control ops never touch regions.
         assert!(!ev(OpKind::Open, 0, 1, 0, 0).touches_region(0, u64::MAX));
+    }
+
+    #[test]
+    fn region_intersection_saturates_at_offset_max() {
+        // offset + bytes would overflow u64; the saturating end offset
+        // must neither panic nor wrap around to a tiny value.
+        let e = ev(OpKind::Read, 0, 1, 10, u64::MAX);
+        assert!(!e.touches_region(0, u64::MAX)); // offset < hi fails
+        let near = ev(OpKind::Write, 0, 1, u64::MAX, u64::MAX - 5); // clamps to MAX
+        assert!(near.touches_region(u64::MAX - 1, u64::MAX));
+        assert!(!near.touches_region(0, u64::MAX - 5));
     }
 
     #[test]

@@ -18,13 +18,20 @@
 //! three summary forms. [`export`] serializes traces as JSON and
 //! [`binary`] as a compact binary record stream — the two stand-ins
 //! for Pablo's SDDF self-describing data format (ASCII and binary).
+//!
+//! [`index`] is the analytics engine behind all of it: a columnar
+//! [`TraceIndex`] built once per trace, answering every summary form
+//! (and the `sioscope-analysis` passes) without re-scanning the event
+//! vector.
 
 pub mod binary;
 pub mod event;
 pub mod export;
+pub mod index;
 pub mod recorder;
 pub mod summary;
 
 pub use event::IoEvent;
+pub use index::TraceIndex;
 pub use recorder::TraceRecorder;
 pub use summary::{FileRegionSummary, LifetimeSummary, OpStats, TimeWindowSummary};

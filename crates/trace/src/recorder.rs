@@ -1,10 +1,12 @@
 //! The trace capture library.
 
 use crate::event::IoEvent;
+use crate::index::TraceIndex;
 use serde::{Deserialize, Serialize};
 use sioscope_pfs::OpKind;
 use sioscope_sim::{FileId, Pid, Time};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// Collects [`IoEvent`]s during a simulation run and answers the
 /// aggregate queries the paper's tables are built from.
@@ -28,9 +30,31 @@ use std::collections::BTreeMap;
 /// assert_eq!(trace.total_io_time(), Time::from_millis(3));
 /// assert_eq!(trace.bytes_by_kind()[&OpKind::Read], 4096);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Aggregate queries are answered through a lazily built, cached
+/// [`TraceIndex`] (see [`TraceRecorder::index`]); recording or
+/// re-sorting invalidates the cache. Per-kind extractions
+/// ([`sizes_of`](TraceRecorder::sizes_of) and the timeline methods)
+/// therefore come back in the canonical `(start, pid, file, offset)`
+/// order rather than raw recording order — identical on simulator
+/// traces, which are sorted before being returned, and a distinction
+/// no downstream consumer observes (they all sort or bin their input).
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct TraceRecorder {
     events: Vec<IoEvent>,
+    /// Lazily built columnar index over `events`. Never serialized;
+    /// a deserialized or cloned recorder starts with a cold cache.
+    #[serde(skip)]
+    index: OnceLock<TraceIndex>,
+}
+
+impl Clone for TraceRecorder {
+    fn clone(&self) -> Self {
+        TraceRecorder {
+            events: self.events.clone(),
+            index: OnceLock::new(),
+        }
+    }
 }
 
 impl TraceRecorder {
@@ -41,6 +65,7 @@ impl TraceRecorder {
 
     /// Record one completed operation.
     pub fn record(&mut self, event: IoEvent) {
+        self.index.take();
         self.events.push(event);
     }
 
@@ -60,36 +85,45 @@ impl TraceRecorder {
         self.events.is_empty()
     }
 
-    /// Sort events by (start, pid) — canonical order for analysis.
+    /// Sort events by `(start, pid, file, offset)` — the canonical
+    /// order for analysis, and the same stable order
+    /// [`TraceIndex::build`] establishes internally.
     pub fn sort(&mut self) {
+        self.index.take();
         self.events
             .sort_by_key(|e| (e.start, e.pid, e.file, e.offset));
+    }
+
+    /// The columnar analytics index over this trace, built on first
+    /// use and cached until the trace is mutated. Every aggregate
+    /// query below routes through it, so multi-query consumers (the
+    /// experiment reports, `characterize`) pay for one O(n log n)
+    /// build instead of a scan per query.
+    pub fn index(&self) -> &TraceIndex {
+        self.index.get_or_init(|| TraceIndex::build(&self.events))
     }
 
     /// Sum of client-observed durations per operation kind — the raw
     /// material of Tables 2, 3 and 5.
     pub fn duration_by_kind(&self) -> BTreeMap<OpKind, Time> {
-        let mut out = BTreeMap::new();
-        for e in &self.events {
-            *out.entry(e.kind).or_insert(Time::ZERO) += e.duration;
-        }
-        out
+        self.index().duration_by_kind()
     }
 
     /// Total client-observed I/O time (sum over all events).
+    ///
+    /// Uses the index when it is already built, but never triggers a
+    /// build: sweeps call this once per run, where a single O(n) pass
+    /// beats constructing the index.
     pub fn total_io_time(&self) -> Time {
-        self.events.iter().map(|e| e.duration).sum()
+        match self.index.get() {
+            Some(idx) => idx.total_io_time(),
+            None => self.events.iter().map(|e| e.duration).sum(),
+        }
     }
 
     /// Bytes transferred per kind (reads and writes).
     pub fn bytes_by_kind(&self) -> BTreeMap<OpKind, u64> {
-        let mut out = BTreeMap::new();
-        for e in &self.events {
-            if e.is_data() {
-                *out.entry(e.kind).or_insert(0) += e.bytes;
-            }
-        }
-        out
+        self.index().bytes_by_kind()
     }
 
     /// Events of one kind.
@@ -108,28 +142,36 @@ impl TraceRecorder {
     }
 
     /// The request sizes of every event of `kind`, for CDF building.
+    /// Canonical (start-sorted) order; see the type-level note.
     pub fn sizes_of(&self, kind: OpKind) -> Vec<u64> {
-        self.of_kind(kind).map(|e| e.bytes).collect()
+        self.index().sizes_of(kind)
     }
 
     /// `(start, bytes)` pairs for every event of `kind` — the
     /// timeline scatter data of Figures 3, 4, 8 and 9.
     pub fn timeline_of(&self, kind: OpKind) -> Vec<(Time, u64)> {
-        self.of_kind(kind).map(|e| (e.start, e.bytes)).collect()
+        self.index().timeline_of(kind)
     }
 
     /// `(start, duration)` pairs for every event of `kind` — the seek
     /// duration scatter of Figure 5.
     pub fn duration_timeline_of(&self, kind: OpKind) -> Vec<(Time, Time)> {
-        self.of_kind(kind).map(|e| (e.start, e.duration)).collect()
+        self.index().duration_timeline_of(kind)
     }
 
     /// Completion time of the last event (zero for an empty trace).
+    ///
+    /// Like [`total_io_time`](TraceRecorder::total_io_time), uses the
+    /// index opportunistically without forcing a build.
     pub fn last_completion(&self) -> Time {
-        self.events
-            .iter()
-            .map(|e| e.end())
-            .fold(Time::ZERO, Time::max)
+        match self.index.get() {
+            Some(idx) => idx.last_completion(),
+            None => self
+                .events
+                .iter()
+                .map(|e| e.end())
+                .fold(Time::ZERO, Time::max),
+        }
     }
 
     /// Validity check: every duration non-negative by construction
@@ -238,5 +280,25 @@ mod tests {
     #[test]
     fn no_invariant_violations_in_sane_trace() {
         assert_eq!(sample().invariant_violations(), 0);
+    }
+
+    #[test]
+    fn index_cache_invalidated_by_mutation() {
+        let mut t = sample();
+        assert_eq!(t.bytes_by_kind()[&OpKind::Read], 300); // builds index
+        t.record(ev(2, OpKind::Read, 40, 1, 7));
+        assert_eq!(t.bytes_by_kind()[&OpKind::Read], 307); // rebuilt
+        t.sort();
+        assert_eq!(t.index().len(), 6);
+    }
+
+    #[test]
+    fn clone_starts_with_a_cold_cache_but_same_answers() {
+        let t = sample();
+        let _ = t.index();
+        let c = t.clone();
+        assert_eq!(c.duration_by_kind(), t.duration_by_kind());
+        assert_eq!(c.total_io_time(), t.total_io_time());
+        assert_eq!(c.last_completion(), t.last_completion());
     }
 }

@@ -1,6 +1,14 @@
 //! Pablo's three statistical summary forms (§3.1).
+//!
+//! Each form has two constructors: `build`, the original linear scan
+//! over the event slice, and `from_index`, which answers the same
+//! question from a [`TraceIndex`] — postings lookups for lifetimes,
+//! binary-search + prefix-sum subtraction for windows and regions.
+//! The scans are retained as oracles; property tests assert the two
+//! agree on arbitrary traces.
 
 use crate::event::IoEvent;
+use crate::index::TraceIndex;
 use serde::{Deserialize, Serialize};
 use sioscope_pfs::OpKind;
 use sioscope_sim::{FileId, Time};
@@ -46,7 +54,7 @@ fn stats_over<'a>(events: impl Iterator<Item = &'a IoEvent>) -> BTreeMap<OpKind,
 /// reads, writes, seeks, opens, and closes, as well as the number of
 /// bytes accessed for each file, and the total time each file was
 /// open."
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LifetimeSummary {
     /// The summarized file.
     pub file: FileId,
@@ -80,6 +88,18 @@ impl LifetimeSummary {
         }
     }
 
+    /// The indexed equivalent of [`LifetimeSummary::build`]: one
+    /// postings lookup instead of a scan — the statistics were
+    /// pre-aggregated at index construction.
+    pub fn from_index(index: &TraceIndex, file: FileId) -> Self {
+        LifetimeSummary {
+            file,
+            per_kind: index.file_per_kind(file).cloned().unwrap_or_default(),
+            first_open: index.file_first_open(file),
+            last_close: index.file_last_close(file),
+        }
+    }
+
     /// Total time the file was open (last close − first open); `None`
     /// if it was never both opened and closed.
     pub fn open_span(&self) -> Option<Time> {
@@ -101,7 +121,7 @@ impl LifetimeSummary {
 
 /// Time window summary: the same statistics over events intersecting
 /// `[t0, t1)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimeWindowSummary {
     /// Window start (inclusive).
     pub t0: Time,
@@ -122,6 +142,21 @@ impl TimeWindowSummary {
         TimeWindowSummary { t0, t1, per_kind }
     }
 
+    /// The indexed equivalent of [`TimeWindowSummary::build`]: two
+    /// binary searches and a prefix-sum subtraction per kind instead
+    /// of a scan.
+    ///
+    /// # Panics
+    /// Panics if `t1 < t0`.
+    pub fn from_index(index: &TraceIndex, t0: Time, t1: Time) -> Self {
+        assert!(t1 >= t0, "window end before start");
+        TimeWindowSummary {
+            t0,
+            t1,
+            per_kind: index.window_stats(t0, t1),
+        }
+    }
+
     /// Total I/O time inside the window (durations of intersecting
     /// events, uncropped — as Pablo reported them).
     pub fn total_io_time(&self) -> Time {
@@ -132,7 +167,7 @@ impl TimeWindowSummary {
 /// File region summary: statistics over data operations touching
 /// `[lo, hi)` of one file — "the spatial analog of time window
 /// summaries".
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FileRegionSummary {
     /// The summarized file.
     pub file: FileId,
@@ -161,6 +196,21 @@ impl FileRegionSummary {
             lo,
             hi,
             per_kind,
+        }
+    }
+
+    /// The indexed equivalent of [`FileRegionSummary::build`], using
+    /// the per-`(file, kind)` offset-sorted prefix sums.
+    ///
+    /// # Panics
+    /// Panics if `hi < lo`.
+    pub fn from_index(index: &TraceIndex, file: FileId, lo: u64, hi: u64) -> Self {
+        assert!(hi >= lo, "region end before start");
+        FileRegionSummary {
+            file,
+            lo,
+            hi,
+            per_kind: index.region_stats(file, lo, hi),
         }
     }
 
@@ -261,5 +311,37 @@ mod tests {
         let r = FileRegionSummary::build(&trace(), FileId(1), 0, u64::MAX);
         assert_eq!(r.accesses(), 1);
         assert_eq!(r.per_kind[&OpKind::Read].bytes, 999);
+    }
+
+    #[test]
+    fn indexed_constructors_match_the_scans() {
+        let t = trace();
+        let idx = TraceIndex::build(&t);
+        for f in [FileId(0), FileId(1), FileId(9)] {
+            assert_eq!(
+                LifetimeSummary::from_index(&idx, f),
+                LifetimeSummary::build(&t, f)
+            );
+        }
+        for (a, b) in [(0, 4), (2, 4), (5, 5), (100, 200)] {
+            let (t0, t1) = (Time::from_secs(a), Time::from_secs(b));
+            assert_eq!(
+                TimeWindowSummary::from_index(&idx, t0, t1),
+                TimeWindowSummary::build(&t, t0, t1)
+            );
+        }
+        for (lo, hi) in [(0, 100), (100, 250), (0, u64::MAX), (200, 200)] {
+            assert_eq!(
+                FileRegionSummary::from_index(&idx, FileId(0), lo, hi),
+                FileRegionSummary::build(&t, FileId(0), lo, hi)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window end")]
+    fn inverted_indexed_window_panics() {
+        let idx = TraceIndex::build(&trace());
+        TimeWindowSummary::from_index(&idx, Time::from_secs(2), Time::from_secs(1));
     }
 }

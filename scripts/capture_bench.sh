@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
-# Capture the hotpath Criterion results into a numbered baseline file.
+# Capture the Criterion results into a numbered baseline file.
 #
 #   scripts/capture_bench.sh BENCH_1.json
 #   scripts/capture_bench.sh BENCH_1.json --compare BENCH_0.json
 #
 # Runs the bench suite, then collates target/criterion into the named
-# BENCH_<n>.json via the bench_baseline binary. Extra arguments are
+# BENCH_<n>.json via the bench_baseline binary. One `--bench hotpath`
+# run produces both baseline groups — `hotpath` (simulator) and
+# `analysis` (trace analytics engine); the collated document uses the
+# multi-group sioscope-bench-baseline/2 schema. Extra arguments are
 # passed through (e.g. --compare OLD --bench full_registry_cold
 # --min-speedup 1.5 to enforce the perf bar).
 set -eu
