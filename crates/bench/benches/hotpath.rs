@@ -21,15 +21,21 @@
 //! the index (the before/after pair the indexed path is judged on),
 //! and a full indexed characterization pass.
 //!
+//! A third group, `sched`, measures the batch scheduler: raw 2-D
+//! partition allocator churn on a 512-node mesh, and a 64-job
+//! contention schedule end-to-end through the multi-job driver.
+//!
 //! Capture results into a numbered baseline with
 //! `scripts/capture_bench.sh` after running
 //! `cargo bench -p sioscope-bench --bench hotpath`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sioscope::experiments::{clear_run_caches, run_experiment, Experiment, Scale};
+use sioscope::experiments::{clear_run_caches, contention, run_experiment, Experiment, Scale};
+use sioscope::schedule::run_schedule;
 use sioscope::simulator::{run, SimOptions};
-use sioscope_faults::FaultGen;
+use sioscope_faults::{FaultGen, FaultSchedule};
 use sioscope_pfs::{IoMode, OpKind, PfsConfig};
+use sioscope_sched::{AllocPolicy, Partition, PartitionAllocator, QueuePolicy};
 use sioscope_sim::{DetRng, EventQueue, FileId, Pid, Time};
 use sioscope_trace::{FileRegionSummary, IoEvent, TimeWindowSummary, TraceIndex};
 use std::hint::black_box;
@@ -229,12 +235,75 @@ fn bench_analysis(c: &mut Criterion) {
     group.finish();
 }
 
+/// Allocator churn: fill a 16×32 mesh with mixed-size partitions,
+/// then repeatedly free one and allocate a replacement — the
+/// fragmentation/coalescing pattern a long-running scheduler sees.
+fn alloc_churn(policy: AllocPolicy, steps: usize) -> u32 {
+    let mut alloc = PartitionAllocator::new(16, 32, 512, policy);
+    let mut rng = DetRng::new(0xA110C);
+    let sizes = [4u32, 8, 16, 32, 64];
+    let mut held: Vec<Partition> = Vec::new();
+    let mut acc = 0u32;
+    for _ in 0..steps {
+        if !held.is_empty() && (held.len() >= 24 || rng.range_inclusive(0, 1) == 0) {
+            let victim = rng.range_inclusive(0, held.len() as u64 - 1) as usize;
+            alloc.free(&held.swap_remove(victim));
+        }
+        let n = sizes[rng.range_inclusive(0, sizes.len() as u64 - 1) as usize];
+        if let Some(p) = alloc.allocate(n) {
+            acc = acc.wrapping_add(p.x + p.y * 32 + p.nodes);
+            held.push(p);
+        }
+    }
+    for p in &held {
+        alloc.free(p);
+    }
+    acc
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched");
+    group.bench_function("alloc_churn_512", |b| {
+        b.iter(|| {
+            black_box(alloc_churn(
+                black_box(AllocPolicy::BestFit),
+                black_box(10_000),
+            ))
+        })
+    });
+
+    // A 64-job Poisson contention mix scheduled end-to-end: arrival
+    // generation, partition placement, the shared-PFS event loop, and
+    // the per-job stats/trace assembly.
+    let mut stream = contention::bench_stream();
+    stream.count = 64;
+    let cfg = contention::bench_machine();
+    group.sample_size(10);
+    group.bench_function("contention_run_64_jobs", |b| {
+        b.iter(|| {
+            black_box(
+                run_schedule(
+                    black_box(&stream),
+                    QueuePolicy::EasyBackfill,
+                    AllocPolicy::FirstFit,
+                    &FaultSchedule::empty(),
+                    cfg.clone(),
+                    SimOptions::default(),
+                )
+                .expect("schedules"),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_calendar,
     bench_escat_c,
     bench_full_registry,
     bench_fault_engaged,
-    bench_analysis
+    bench_analysis,
+    bench_sched
 );
 criterion_main!(benches);

@@ -131,6 +131,7 @@ fn run_sweep(id: SweepId, scale: Scale) -> sweeps::Sweep {
             };
             sweeps::checkpoint_interval_sweep(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
         }
+        SweepId::LoadFactor => sweeps::load_factor_sweep(&[25, 50, 100, 200, 400], scale),
     }
 }
 

@@ -278,10 +278,11 @@ pub fn baseline_value(
 }
 
 /// The Criterion groups a `BENCH_<n>.json` baseline captures: the
-/// simulator hot paths and the trace analytics engine. Both live in
-/// the `hotpath` bench target, so one `cargo bench --bench hotpath`
-/// run produces estimates for every group.
-pub const BASELINE_GROUPS: [&str; 2] = ["hotpath", "analysis"];
+/// simulator hot paths, the trace analytics engine, and the batch
+/// scheduler. All live in the `hotpath` bench target, so one
+/// `cargo bench --bench hotpath` run produces estimates for every
+/// group.
+pub const BASELINE_GROUPS: [&str; 3] = ["hotpath", "analysis", "sched"];
 
 /// Assemble a multi-group `BENCH_<n>.json` baseline document
 /// (schema `sioscope-bench-baseline/2`) from per-group estimates.
@@ -513,5 +514,21 @@ mod tests {
             got,
             vec![Experiment::ResilienceEscat, Experiment::ResiliencePrism]
         );
+    }
+
+    #[test]
+    fn scheduler_experiments_and_load_sweep_are_selectable() {
+        let got = try_experiments_from_args(&[
+            "contention-mix".to_string(),
+            "backfill-vs-fcfs".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![Experiment::ContentionMix, Experiment::BackfillVsFcfs]
+        );
+        let sweeps = try_sweeps_from_args(&["--sweeps=load_factor".to_string()]).unwrap();
+        assert_eq!(sweeps, Some(vec![SweepId::LoadFactor]));
+        assert!(BASELINE_GROUPS.contains(&"sched"));
     }
 }

@@ -27,9 +27,12 @@
 //! | [`Experiment::ResiliencePrism`] | Fault injection — PRISM under each fault class |
 //! | [`Experiment::RecoveryEscat`] | Checkpoint/restart — ESCAT C time-to-solution under a compute-node crash |
 //! | [`Experiment::RecoveryPrism`] | Checkpoint/restart — PRISM B time-to-solution under a compute-node crash |
+//! | [`Experiment::ContentionMix`] | Multi-tenant — I/O-bound vs compute-bound slowdown on shared I/O nodes |
+//! | [`Experiment::BackfillVsFcfs`] | Multi-tenant — EASY backfill against FCFS on a blocker stream |
 
 pub mod ablation;
 pub mod comparison;
+pub mod contention;
 pub mod escat;
 pub mod prism;
 pub mod recovery;
@@ -69,6 +72,8 @@ pub enum Experiment {
     ResiliencePrism,
     RecoveryEscat,
     RecoveryPrism,
+    ContentionMix,
+    BackfillVsFcfs,
 }
 
 impl Experiment {
@@ -101,6 +106,8 @@ impl Experiment {
             ResiliencePrism,
             RecoveryEscat,
             RecoveryPrism,
+            ContentionMix,
+            BackfillVsFcfs,
         ]
     }
 
@@ -133,6 +140,8 @@ impl Experiment {
             ResiliencePrism => "resilience-prism",
             RecoveryEscat => "recovery-escat",
             RecoveryPrism => "recovery-prism",
+            ContentionMix => "contention-mix",
+            BackfillVsFcfs => "backfill-vs-fcfs",
         }
     }
 
@@ -174,6 +183,8 @@ impl Experiment {
             ResiliencePrism => "Resilience: PRISM B under each fault class",
             RecoveryEscat => "Recovery: ESCAT C time-to-solution under a compute-node crash",
             RecoveryPrism => "Recovery: PRISM B time-to-solution under a compute-node crash",
+            ContentionMix => "Contention: I/O-bound vs compute-bound slowdown on shared I/O nodes",
+            BackfillVsFcfs => "Scheduling: EASY backfill against FCFS on a blocker stream",
         }
     }
 }
@@ -260,6 +271,8 @@ pub fn run_experiment(experiment: Experiment, scale: Scale) -> ExperimentOutput 
         ResiliencePrism => resilience::prism(scale),
         RecoveryEscat => recovery::escat(scale),
         RecoveryPrism => recovery::prism(scale),
+        ContentionMix => contention::contention_mix(scale),
+        BackfillVsFcfs => contention::backfill_vs_fcfs(scale),
     }
 }
 
@@ -279,8 +292,9 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
         // 5 tables + 9 figures + 6 ablations/counterfactuals + the
-        // §6 comparison + 2 resilience + 2 recovery experiments.
-        assert_eq!(ids.len(), 25);
+        // §6 comparison + 2 resilience + 2 recovery + 2 multi-tenant
+        // scheduling experiments.
+        assert_eq!(ids.len(), 27);
         for artifact in [
             "escat-table1",
             "escat-table2",

@@ -39,9 +39,11 @@ pub mod experiments;
 pub mod paper;
 pub mod recovery;
 pub mod report;
+pub mod schedule;
 pub mod simulator;
 pub mod sweeps;
 
 pub use experiments::{Experiment, ExperimentOutput};
 pub use recovery::{run_with_recovery, RecoveryStats};
+pub use schedule::{run_schedule, SchedError, ScheduleOutcome};
 pub use simulator::{run, RunResult, SimError, SimOptions};

@@ -6,12 +6,17 @@
 //! workload while varying one machine parameter at a time, reporting
 //! execution time and total client-observed I/O time per point.
 
+use crate::experiments::contention::{
+    contended_machine, mix_stream, run_stream, CLASS_TAU, COMPUTE_BOUND, IO_BOUND,
+};
+use crate::experiments::Scale;
 use crate::recovery::run_with_recovery;
 use crate::simulator::{run, RunResult, SimOptions};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sioscope_faults::{FaultGen, FaultSchedule};
 use sioscope_pfs::PfsConfig;
+use sioscope_sched::QueuePolicy;
 use sioscope_sim::Time;
 use sioscope_workloads::{CheckpointPolicy, PrismConfig, Recoverable, Workload};
 use std::fmt::Write as _;
@@ -31,6 +36,7 @@ pub enum SweepId {
     FaultIntensity,
     Mtbf,
     CheckpointInterval,
+    LoadFactor,
 }
 
 impl SweepId {
@@ -45,6 +51,7 @@ impl SweepId {
             FaultIntensity,
             Mtbf,
             CheckpointInterval,
+            LoadFactor,
         ]
     }
 
@@ -59,6 +66,7 @@ impl SweepId {
             FaultIntensity => "fault_intensity",
             Mtbf => "mtbf",
             CheckpointInterval => "checkpoint_interval",
+            LoadFactor => "load_factor",
         }
     }
 
@@ -389,6 +397,93 @@ pub fn checkpoint_interval_sweep_with(
     }
 }
 
+/// One offered-load measurement behind [`load_factor_sweep`]: the
+/// per-class mean bounded slowdowns that the generic [`SweepPoint`]
+/// has no columns for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadFactorPoint {
+    /// Offered load as a percentage of the reference arrival rate.
+    pub load_pct: u32,
+    /// Mean bounded slowdown of the I/O-bound class.
+    pub io_bsld: f64,
+    /// Mean bounded slowdown of the compute-bound class.
+    pub cpu_bsld: f64,
+    /// Schedule makespan.
+    pub makespan: Time,
+    /// Total client-observed I/O time summed over every job.
+    pub io_time: Time,
+    /// Events processed across the whole schedule.
+    pub events: u64,
+}
+
+/// Run the contention mix at each offered load. Load `100` maps to the
+/// reference mean inter-arrival of 200 ms; load `L` scales it by
+/// `100/L`, so higher loads compress the same seeded job sequence into
+/// a shorter window (Poisson gaps scale linearly with the mean for a
+/// fixed seed). The point of the axis: I/O-bound jobs queue at the
+/// shared I/O nodes, so their slowdown grows superlinearly with load,
+/// while compute-bound jobs degrade gently.
+pub fn load_factor_points(loads: &[u32], scale: Scale) -> Vec<LoadFactorPoint> {
+    let reference = Time::from_millis(200);
+    let mut points: Vec<LoadFactorPoint> = loads
+        .par_iter()
+        .map(|&pct| {
+            assert!(pct > 0, "offered load must be positive");
+            let stream = mix_stream(scale, reference.scale(100.0 / f64::from(pct)));
+            let out = run_stream(
+                &stream,
+                QueuePolicy::Fcfs,
+                contended_machine(scale),
+                &format!("load_factor={pct}%"),
+            );
+            let io_time = out
+                .per_job
+                .iter()
+                .fold(Time::ZERO, |acc, r| acc.saturating_add(r.total_io_time()));
+            LoadFactorPoint {
+                load_pct: pct,
+                io_bsld: out
+                    .stats
+                    .mean_bounded_slowdown_of(IO_BOUND, CLASS_TAU)
+                    .unwrap_or(1.0),
+                cpu_bsld: out
+                    .stats
+                    .mean_bounded_slowdown_of(COMPUTE_BOUND, CLASS_TAU)
+                    .unwrap_or(1.0),
+                makespan: out.stats.makespan,
+                io_time,
+                events: out.stats.total_events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.load_pct);
+    points
+}
+
+/// [`load_factor_points`] folded into the generic [`Sweep`] table so
+/// the repro CLI reports it beside the machine-configuration axes; the
+/// per-class slowdowns ride in the label column.
+pub fn load_factor_sweep(loads: &[u32], scale: Scale) -> Sweep {
+    let points = load_factor_points(loads, scale)
+        .into_iter()
+        .map(|p| SweepPoint {
+            label: format!(
+                "load={}% io {:.2} cpu {:.2}",
+                p.load_pct, p.io_bsld, p.cpu_bsld
+            ),
+            value: u64::from(p.load_pct),
+            exec_time: p.makespan,
+            io_time: p.io_time,
+            events: p.events,
+        })
+        .collect();
+    Sweep {
+        parameter: "load_factor",
+        workload: "contention mix (io-bound + compute-bound)".into(),
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,7 +505,8 @@ mod tests {
                 "degraded_arrays",
                 "fault_intensity",
                 "mtbf",
-                "checkpoint_interval"
+                "checkpoint_interval",
+                "load_factor"
             ]
         );
     }
@@ -589,6 +685,51 @@ mod tests {
         assert_eq!(values, vec![2, 4, 5]);
         assert!(sweep.points.iter().all(|p| p.exec_time > Time::ZERO));
         assert!(sweep.render().contains("every 5 steps"));
+    }
+
+    #[test]
+    fn load_inflates_io_bound_slowdown_fastest() {
+        let loads = [25, 100, 400];
+        let pts = load_factor_points(&loads, Scale::Smoke);
+        assert_eq!(pts.len(), 3);
+
+        // Mean bounded slowdown never improves as the load rises (2%
+        // slack for event-granularity wobble, matching the other
+        // monotone checks).
+        let mean = |p: &LoadFactorPoint| (p.io_bsld + p.cpu_bsld) / 2.0;
+        assert!(
+            pts.windows(2).all(|w| mean(&w[1]) >= mean(&w[0]) * 0.98),
+            "{pts:?}"
+        );
+
+        // The I/O-bound class degrades faster than the compute-bound
+        // class — the shared-ION story the scheduler exists to tell.
+        let io_growth = pts[2].io_bsld / pts[0].io_bsld;
+        let cpu_growth = pts[2].cpu_bsld / pts[0].cpu_bsld;
+        assert!(
+            io_growth > cpu_growth,
+            "io grew {io_growth:.3}x vs cpu {cpu_growth:.3}x\n{pts:?}"
+        );
+
+        // Superlinear for the I/O-bound class: quadrupling the load
+        // from the reference point more than quadruples the excess
+        // slowdown over 1.0. The compute-bound class degrades gently —
+        // even at peak load its excess is under a tenth of the
+        // I/O-bound class's.
+        let io_excess = |p: &LoadFactorPoint| p.io_bsld - 1.0;
+        let cpu_excess = |p: &LoadFactorPoint| p.cpu_bsld - 1.0;
+        assert!(io_excess(&pts[2]) > 4.0 * io_excess(&pts[1]), "{pts:?}");
+        assert!(cpu_excess(&pts[2]) < 0.1 * io_excess(&pts[2]), "{pts:?}");
+
+        // The whole chain is deterministic.
+        let again = load_factor_points(&loads, Scale::Smoke);
+        assert_eq!(pts, again);
+
+        // The Sweep wrapper carries the same data for the CLI.
+        let sweep = load_factor_sweep(&loads, Scale::Smoke);
+        assert_eq!(sweep.parameter, "load_factor");
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.render().contains("load=400%"));
     }
 
     #[test]

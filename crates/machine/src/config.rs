@@ -21,6 +21,13 @@ pub struct MachineConfig {
     pub io_nodes: u32,
     /// Disk array characteristics (identical across I/O nodes).
     pub disk: DiskParams,
+    /// Per-node mesh-placement overrides, indexed by node id. A `None`
+    /// entry (and every node beyond the table) falls back to the
+    /// default row-major fill, so dedicated-mode runs — which never
+    /// populate this — are untouched. The batch scheduler fills it as
+    /// it carves sub-mesh partitions out of the shared machine.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub placement: Vec<Option<(u32, u32)>>,
 }
 
 impl MachineConfig {
@@ -34,6 +41,7 @@ impl MachineConfig {
             compute_nodes,
             io_nodes: 16,
             disk: DiskParams::raid3_4_8gb(),
+            placement: Vec::new(),
         }
     }
 
@@ -53,6 +61,7 @@ impl MachineConfig {
             compute_nodes,
             io_nodes: 8,
             disk,
+            placement: Vec::new(),
         }
     }
 
@@ -72,6 +81,7 @@ impl MachineConfig {
             compute_nodes,
             io_nodes: 4,
             disk,
+            placement: Vec::new(),
         }
     }
 
@@ -83,15 +93,32 @@ impl MachineConfig {
             compute_nodes: 4,
             io_nodes: 2,
             disk: DiskParams::raid3_4_8gb(),
+            placement: Vec::new(),
         }
     }
 
-    /// Mesh coordinates of a compute node. Compute nodes fill the mesh
-    /// in row-major order from the origin.
+    /// Mesh coordinates of a compute node. A scheduler-registered
+    /// [`MachineConfig::placement`] entry wins; otherwise compute nodes
+    /// fill the mesh in row-major order from the origin. A partition
+    /// anchored at the origin with full-mesh-width rows therefore
+    /// places its nodes exactly where a dedicated run would — the
+    /// property the single-job bit-identity guarantee rests on.
     pub fn compute_position(&self, node: NodeId) -> (u32, u32) {
+        if let Some(Some(pos)) = self.placement.get(node.index()) {
+            return *pos;
+        }
         let cols = self.mesh.cols.max(1);
         let i = node.0 % (self.mesh.rows * self.mesh.cols).max(1);
         (i % cols, i / cols)
+    }
+
+    /// Register (or clear, with `None`) the mesh position of one node,
+    /// growing the placement table as needed.
+    pub fn place_node(&mut self, node: NodeId, pos: Option<(u32, u32)>) {
+        if self.placement.len() <= node.index() {
+            self.placement.resize(node.index() + 1, None);
+        }
+        self.placement[node.index()] = pos;
     }
 
     /// Mesh coordinates of an I/O node. The Paragon placed I/O nodes
@@ -176,5 +203,31 @@ mod tests {
     fn default_is_paragon() {
         let m = MachineConfig::default();
         assert_eq!(m.compute_nodes, 128);
+    }
+
+    #[test]
+    fn placement_overrides_and_falls_back() {
+        let mut m = MachineConfig::tiny();
+        assert_eq!(m.compute_position(NodeId(5)), (1, 1));
+        m.place_node(NodeId(5), Some((3, 0)));
+        assert_eq!(m.compute_position(NodeId(5)), (3, 0));
+        // Nodes without an entry (or with a cleared one) keep the
+        // row-major fallback.
+        assert_eq!(m.compute_position(NodeId(2)), (2, 0));
+        m.place_node(NodeId(5), None);
+        assert_eq!(m.compute_position(NodeId(5)), (1, 1));
+    }
+
+    #[test]
+    fn empty_placement_serializes_identically_to_before() {
+        let m = MachineConfig::tiny();
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(!json.contains("placement"), "{json}");
+        let mut m2 = MachineConfig::tiny();
+        m2.place_node(NodeId(0), Some((0, 0)));
+        let json2 = serde_json::to_string(&m2).unwrap();
+        assert!(json2.contains("placement"), "{json2}");
+        let back: MachineConfig = serde_json::from_str(&json2).unwrap();
+        assert_eq!(back.compute_position(NodeId(0)), (0, 0));
     }
 }

@@ -163,6 +163,15 @@ impl Pfs {
         &self.cfg
     }
 
+    /// Register (or clear) the mesh placement of one compute node —
+    /// the batch scheduler calls this as it allocates and frees
+    /// sub-mesh partitions, so client↔I/O-node message times reflect
+    /// where each job actually sits on the shared mesh. Dedicated runs
+    /// never call it and keep the row-major default.
+    pub fn place_compute_node(&mut self, node: NodeId, pos: Option<(u32, u32)>) {
+        self.cfg.machine.place_node(node, pos);
+    }
+
     /// Create an empty file striped over all I/O nodes.
     pub fn create_file(&mut self, name: &str) -> FileId {
         self.create_file_with_size(name, 0)

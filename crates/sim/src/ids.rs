@@ -44,6 +44,28 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// A scheduled job: one workload instance admitted by the batch
+/// scheduler. Dedicated-mode runs have exactly one implicit job; the
+/// multi-job driver tags every process, file and trace event with the
+/// job it belongs to so shared-machine analytics can be split per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// Index into dense per-job tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
 /// A file managed by the simulated parallel file system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
@@ -73,6 +95,8 @@ mod tests {
         assert_eq!(Pid(7).index(), 7);
         assert_eq!(NodeId(3).index(), 3);
         assert_eq!(FileId(9).index(), 9);
+        assert_eq!(JobId(5).index(), 5);
+        assert!(JobId(1) < JobId(2));
     }
 
     #[test]
@@ -80,5 +104,6 @@ mod tests {
         assert_eq!(Pid(1).to_string(), "pid1");
         assert_eq!(NodeId(2).to_string(), "node2");
         assert_eq!(FileId(3).to_string(), "file3");
+        assert_eq!(JobId(4).to_string(), "job4");
     }
 }

@@ -34,7 +34,7 @@ pub mod timeline;
 pub use calendar::{Calendar, CalendarPool, Reservation};
 pub use event::{EventQueue, ScheduledEvent};
 pub use hash::{DetHashMap, DetHashSet, FxBuildHasher, FxHasher};
-pub use ids::{FileId, NodeId, Pid};
+pub use ids::{FileId, JobId, NodeId, Pid};
 pub use rendezvous::{RendezvousOutcome, RendezvousTable};
 pub use rng::DetRng;
 pub use time::Time;

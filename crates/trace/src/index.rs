@@ -58,10 +58,11 @@
 //! types, which is exact wherever the naive scan itself is defined.
 
 use crate::event::IoEvent;
+use crate::jobmap::JobMap;
 use crate::summary::OpStats;
 use rayon::prelude::*;
 use sioscope_pfs::{IoMode, OpKind};
-use sioscope_sim::{FileId, Pid, Time};
+use sioscope_sim::{FileId, JobId, Pid, Time};
 use std::collections::BTreeMap;
 
 /// Below this many events everything is built single-threaded; rayon's
@@ -397,6 +398,9 @@ pub struct TraceIndex {
     by_kind: BTreeMap<OpKind, KindIndex>,
     by_file: BTreeMap<FileId, FileIndex>,
     by_pid: BTreeMap<Pid, PidIndex>,
+    /// Per-job sub-indexes, present only when the index was built with
+    /// a [`JobMap`] (multi-tenant traces). Mirrors `by_pid`.
+    by_job: BTreeMap<JobId, PidIndex>,
     /// Time-bucketed offset table over `starts`: `bucket_first[b]` is
     /// the first column position with `start ≥ t_min + b·width`.
     bucket_first: Vec<u32>,
@@ -521,6 +525,25 @@ impl TraceIndex {
             .collect();
 
         index.build_bucket_table();
+        index
+    }
+
+    /// Build the index and additionally attribute events to jobs via
+    /// `map`, populating the per-job sub-indexes. Events whose pid lies
+    /// outside every range of `map` stay unattributed (they remain in
+    /// every other view of the index).
+    pub fn build_with_jobs(events: &[IoEvent], map: &JobMap) -> Self {
+        let mut index = TraceIndex::build(events);
+        let mut job_postings: BTreeMap<JobId, Vec<u32>> = BTreeMap::new();
+        for (pos, &pid) in index.pids.iter().enumerate() {
+            if let Some(job) = map.job_of(pid) {
+                job_postings.entry(job).or_default().push(pos as u32);
+            }
+        }
+        index.by_job = job_postings
+            .into_iter()
+            .map(|(j, idxs)| (j, PidIndex::build(&index.kinds, &index.durs, idxs)))
+            .collect();
         index
     }
 
@@ -791,6 +814,42 @@ impl TraceIndex {
             .map(|&(count, dur)| (count, Time::from_nanos(dur as u64)))
     }
 
+    /// The jobs present in the trace, ascending — empty unless the
+    /// index was built with [`TraceIndex::build_with_jobs`].
+    pub fn jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.by_job.keys().copied()
+    }
+
+    /// Number of events attributed to `job`.
+    pub fn job_event_count(&self, job: JobId) -> usize {
+        self.by_job.get(&job).map_or(0, |j| j.idxs.len())
+    }
+
+    /// Total client-observed I/O time of `job`'s events.
+    pub fn job_total_duration(&self, job: JobId) -> Time {
+        let total = self.by_job.get(&job).map_or(0, |j| j.total_dur);
+        debug_assert!(total <= u128::from(u64::MAX), "duration sum overflows u64");
+        Time::from_nanos(total as u64)
+    }
+
+    /// `(count, total_duration)` of `job`'s events of `kind`.
+    pub fn job_duration_of(&self, job: JobId, kind: OpKind) -> Option<(u64, Time)> {
+        self.by_job
+            .get(&job)
+            .and_then(|j| j.by_kind.get(&kind))
+            .map(|&(count, dur)| (count, Time::from_nanos(dur as u64)))
+    }
+
+    /// `job`'s events in canonical order.
+    pub fn events_of_job(&self, job: JobId) -> impl Iterator<Item = IoEvent> + '_ {
+        self.by_job
+            .get(&job)
+            .map(|j| j.idxs.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&i| self.event(i as usize))
+    }
+
     /// First canonical position with `start ≥ t`: a bucket lookup in
     /// the time-offset table plus a binary search within one bucket.
     pub fn first_at_or_after(&self, t: Time) -> usize {
@@ -992,6 +1051,30 @@ mod tests {
         assert_eq!(idx.first_at_or_after(Time::from_secs(5)), 0);
         assert_eq!(idx.sizes_of(OpKind::Read), Vec::<u64>::new());
         assert_eq!(idx.starting_in(Time::ZERO, Time::MAX).count(), 0);
+    }
+
+    #[test]
+    fn job_sub_index_mirrors_per_pid_attribution() {
+        let mut map = JobMap::new();
+        map.insert(0, 1, JobId(0)); // pid 0
+        map.insert(1, 2, JobId(1)); // pid 1
+        let idx = TraceIndex::build_with_jobs(&sample(), &map);
+        assert_eq!(idx.jobs().collect::<Vec<_>>(), vec![JobId(0), JobId(1)]);
+        assert_eq!(idx.job_event_count(JobId(0)), 5);
+        assert_eq!(idx.job_event_count(JobId(1)), 1);
+        assert_eq!(idx.job_total_duration(JobId(0)), Time::from_secs(7));
+        assert_eq!(idx.job_total_duration(JobId(1)), Time::from_secs(4));
+        assert_eq!(
+            idx.job_duration_of(JobId(0), OpKind::Read),
+            Some((2, Time::from_secs(4)))
+        );
+        assert_eq!(idx.job_duration_of(JobId(1), OpKind::Write), None);
+        assert!(idx
+            .events_of_job(JobId(1))
+            .all(|e| e.pid == Pid(1) && e.bytes == 999));
+        // Unmapped pids stay unattributed; plain build has no jobs.
+        assert_eq!(idx.job_event_count(JobId(9)), 0);
+        assert_eq!(TraceIndex::build(&sample()).jobs().count(), 0);
     }
 
     #[test]

@@ -28,10 +28,12 @@ pub mod binary;
 pub mod event;
 pub mod export;
 pub mod index;
+pub mod jobmap;
 pub mod recorder;
 pub mod summary;
 
 pub use event::IoEvent;
 pub use index::TraceIndex;
+pub use jobmap::JobMap;
 pub use recorder::TraceRecorder;
 pub use summary::{FileRegionSummary, LifetimeSummary, OpStats, TimeWindowSummary};

@@ -37,3 +37,4 @@ pub use checkpoint::{young_interval, CheckpointPolicy, Recoverable};
 pub use escat::{EscatConfig, EscatDataset, EscatVersion};
 pub use prism::{PrismConfig, PrismVersion};
 pub use program::{FileSpec, PhaseDesc, Stmt, Workload};
+pub use sioscope_pfs::mode::OsRelease;

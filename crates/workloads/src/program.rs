@@ -82,7 +82,7 @@ pub struct PhaseDesc {
 
 /// A complete runnable workload: one program per node plus the file
 /// table and descriptive metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workload {
     /// Workload name, e.g. `"ESCAT-C/ethylene"`.
     pub name: String,

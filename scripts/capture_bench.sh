@@ -6,9 +6,11 @@
 #
 # Runs the bench suite, then collates target/criterion into the named
 # BENCH_<n>.json via the bench_baseline binary. One `--bench hotpath`
-# run produces both baseline groups — `hotpath` (simulator) and
-# `analysis` (trace analytics engine); the collated document uses the
-# multi-group sioscope-bench-baseline/2 schema. Extra arguments are
+# run produces all three baseline groups — `hotpath` (simulator),
+# `analysis` (trace analytics engine), and `sched` (partition
+# allocator churn plus the multi-job contention schedule); the
+# collated document uses the multi-group sioscope-bench-baseline/2
+# schema. Extra arguments are
 # passed through (e.g. --compare OLD --bench full_registry_cold
 # --min-speedup 1.5 to enforce the perf bar).
 set -eu
