@@ -16,8 +16,9 @@
 //! a machine-readable summary of the shape checks goes to
 //! `DIR/checks.json` the same way — a killed run never leaves a
 //! truncated artifact. `--resume` skips experiments whose artifact
-//! already exists in `DIR`, so an interrupted generation picks up
-//! where it stopped. `--sweeps` appends the machine-configuration
+//! already exists in `DIR` *and* holds trustworthy contents (a `.json`
+//! artifact must parse; an empty or corrupt file is regenerated), so
+//! an interrupted generation picks up where it stopped. `--sweeps` appends the machine-configuration
 //! sweeps of the paper's future-work agenda (§7) plus the
 //! recovery-engine axes; `--sweeps=io_nodes,mtbf` selects a subset.
 //!
@@ -25,14 +26,13 @@
 //! arguments, `3` an I/O failure (the failing path is printed), `4`
 //! artifacts ran but shape checks disagreed with the paper.
 
-use sioscope::experiments::{run_experiment, Experiment, Scale};
+use sioscope::experiments::{run_experiment, Experiment};
 use sioscope::report;
-use sioscope::sweeps::{self, SweepId};
+use sioscope::sweeps::{run_sweep, SweepId};
 use sioscope_bench::{
-    exit_with, scale_from_env, try_experiments_from_args, try_sweeps_from_args, write_atomic,
-    CliError,
+    artifact_resumable, exit_with, scale_from_env, try_experiments_from_args, try_sweeps_from_args,
+    write_atomic, CliError,
 };
-use sioscope_workloads::{CheckpointPolicy, EscatConfig, EscatVersion, PrismConfig, PrismVersion};
 use std::path::PathBuf;
 
 struct Cli {
@@ -101,40 +101,6 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
     })
 }
 
-fn run_sweep(id: SweepId, scale: Scale) -> sweeps::Sweep {
-    let escat_b = match scale {
-        Scale::Smoke => EscatConfig::tiny(EscatVersion::B).build(),
-        Scale::Full => EscatConfig::ethylene(EscatVersion::B).build(),
-    };
-    let prism_a = match scale {
-        Scale::Smoke => PrismConfig::tiny(PrismVersion::A).build(),
-        Scale::Full => PrismConfig::test_problem(PrismVersion::A).build(),
-    };
-    match id {
-        SweepId::IoNodes => sweeps::io_node_sweep(&escat_b, &[2, 4, 8, 16, 32]),
-        SweepId::StripeUnit => sweeps::stripe_sweep(&escat_b, &[16 << 10, 64 << 10, 256 << 10]),
-        SweepId::DiskBandwidth => sweeps::disk_bandwidth_sweep(&prism_a, &[2, 8, 32]),
-        SweepId::DegradedArrays => sweeps::degraded_array_sweep(&prism_a, &[0, 4, 8]),
-        SweepId::FaultIntensity => sweeps::fault_intensity_sweep(&prism_a, &[0, 2, 4, 8], 0xF417),
-        SweepId::Mtbf => {
-            let cfg = match scale {
-                Scale::Smoke => EscatConfig::tiny(EscatVersion::C),
-                Scale::Full => EscatConfig::ethylene(EscatVersion::C),
-            };
-            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
-            sweeps::mtbf_sweep(&rec, &[25, 50, 100, 200, 400], 0x4EC0)
-        }
-        SweepId::CheckpointInterval => {
-            let cfg = match scale {
-                Scale::Smoke => PrismConfig::tiny(PrismVersion::B),
-                Scale::Full => PrismConfig::test_problem(PrismVersion::B),
-            };
-            sweeps::checkpoint_interval_sweep(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
-        }
-        SweepId::LoadFactor => sweeps::load_factor_sweep(&[25, 50, 100, 200, 400], scale),
-    }
-}
-
 fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse(&args)?;
@@ -154,7 +120,7 @@ fn real_main() -> Result<(), CliError> {
             .map(|dir| dir.join(format!("{}.txt", e.id())));
         if cli.resume {
             if let Some(path) = &artifact {
-                if path.is_file() {
+                if artifact_resumable(path) {
                     println!("-- {} already written, skipping (--resume)", e.id());
                     continue;
                 }
@@ -187,7 +153,7 @@ fn real_main() -> Result<(), CliError> {
                 .map(|dir| dir.join(format!("sweep-{}.txt", id.id())));
             if cli.resume {
                 if let Some(p) = &path {
-                    if p.is_file() {
+                    if artifact_resumable(p) {
                         println!("-- sweep {} already written, skipping (--resume)", id.id());
                         continue;
                     }

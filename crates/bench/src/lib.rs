@@ -12,95 +12,31 @@
 use sioscope::experiments::{Experiment, Scale};
 use sioscope::sweeps::SweepId;
 use std::collections::BTreeMap;
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// A CLI failure with a stable exit code, so scripts and CI can tell
-/// *why* a run failed without parsing stderr:
-///
-/// * `2` — unusable arguments (unknown flag, unknown id, missing value);
-/// * `3` — an I/O failure, always naming the path involved;
-/// * `4` — artifacts ran but their checks failed (shape/golden
-///   mismatch against the paper's published values).
-#[derive(Debug)]
-pub enum CliError {
-    /// Arguments could not be understood (exit 2).
-    BadArgs(String),
-    /// Reading or writing `path` failed (exit 3).
-    Io {
-        /// The file or directory the operation failed on.
-        path: PathBuf,
-        /// The underlying error.
-        source: std::io::Error,
-    },
-    /// Artifacts disagree with their expected values (exit 4).
-    GoldenMismatch(String),
-}
+// The CLI error/exit-code contract and the crash-safe artifact write
+// now live in `sioscope-campaign` (the campaign cache is built on
+// them); re-exported here so every existing `sioscope_bench::` import
+// keeps working.
+pub use sioscope_campaign::cliutil::{exit_with, tmp_sibling, write_atomic, CliError};
 
-impl CliError {
-    /// An [`CliError::Io`] for `path`.
-    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
-        CliError::Io {
-            path: path.into(),
-            source,
-        }
+/// Whether an artifact at `path` can be trusted by `--resume`: it must
+/// be a readable, non-empty file, and a `.json` artifact must actually
+/// parse — a file that exists but holds truncated or corrupt JSON is
+/// regenerated, not skipped. (Artifacts written through
+/// [`write_atomic`] are never truncated by a crash, but artifacts from
+/// older runs, other tools, or interrupted copies can be.)
+pub fn artifact_resumable(path: &Path) -> bool {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    if contents.is_empty() {
+        return false;
     }
-
-    /// The process exit code this failure maps to.
-    pub fn exit_code(&self) -> i32 {
-        match self {
-            CliError::BadArgs(_) => 2,
-            CliError::Io { .. } => 3,
-            CliError::GoldenMismatch(_) => 4,
-        }
+    if path.extension().is_some_and(|e| e == "json") {
+        return sioscope_campaign::json::Json::parse(&contents).is_ok();
     }
-}
-
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CliError::BadArgs(msg) => write!(f, "{msg}"),
-            CliError::Io { path, source } => {
-                write!(f, "I/O error on {}: {source}", path.display())
-            }
-            CliError::GoldenMismatch(msg) => write!(f, "{msg}"),
-        }
-    }
-}
-
-impl std::error::Error for CliError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            CliError::Io { source, .. } => Some(source),
-            _ => None,
-        }
-    }
-}
-
-/// Report `err` on stderr and exit with its code. The single exit
-/// point of the CLI binaries' error paths.
-pub fn exit_with(err: CliError) -> ! {
-    eprintln!("error: {err}");
-    std::process::exit(err.exit_code());
-}
-
-/// The scratch sibling `write_atomic` stages into: `<name>.tmp` next
-/// to the destination (same directory, hence same filesystem, hence an
-/// atomic rename).
-pub fn tmp_sibling(path: &Path) -> PathBuf {
-    let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
-    path.with_file_name(name)
-}
-
-/// Crash-safe artifact write: stage the contents into a `.tmp` sibling
-/// and atomically rename it over the destination. A run killed
-/// mid-write leaves either the old artifact or a `.tmp` straggler —
-/// never a truncated artifact that a later `--resume` would trust.
-pub fn write_atomic(path: &Path, contents: impl AsRef<[u8]>) -> Result<(), CliError> {
-    let tmp = tmp_sibling(path);
-    std::fs::write(&tmp, contents.as_ref()).map_err(|e| CliError::io(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| CliError::io(path, e))
+    true
 }
 
 /// Resolve the scale requested via the `SIOSCOPE_SCALE` environment
@@ -501,6 +437,33 @@ mod tests {
         let err = write_atomic(path, "x").unwrap_err();
         assert_eq!(err.exit_code(), 3);
         assert!(err.to_string().contains("nonexistent-sioscope-dir"));
+    }
+
+    #[test]
+    fn resume_trusts_only_parseable_artifacts() {
+        let dir = std::env::temp_dir().join(format!("sioscope-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing and empty files are never resumable.
+        assert!(!artifact_resumable(&dir.join("missing.txt")));
+        let empty = dir.join("empty.txt");
+        std::fs::write(&empty, "").unwrap();
+        assert!(!artifact_resumable(&empty));
+
+        // Non-JSON artifacts only need contents.
+        let txt = dir.join("escat-table2.txt");
+        std::fs::write(&txt, "rendered table\n").unwrap();
+        assert!(artifact_resumable(&txt));
+
+        // JSON artifacts must parse: a truncated checks.json from a
+        // pre-write_atomic run (or an interrupted copy) is regenerated.
+        let json = dir.join("checks.json");
+        std::fs::write(&json, r#"[{"experiment": "escat-table2", "pass": true}]"#).unwrap();
+        assert!(artifact_resumable(&json));
+        std::fs::write(&json, r#"[{"experiment": "escat-ta"#).unwrap();
+        assert!(!artifact_resumable(&json));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! assert!(!result.trace.is_empty());
 //! ```
 
+pub mod canon;
 pub mod experiments;
 pub mod paper;
 pub mod recovery;

@@ -18,7 +18,9 @@ use sioscope_faults::{FaultGen, FaultSchedule};
 use sioscope_pfs::PfsConfig;
 use sioscope_sched::QueuePolicy;
 use sioscope_sim::Time;
-use sioscope_workloads::{CheckpointPolicy, PrismConfig, Recoverable, Workload};
+use sioscope_workloads::{
+    CheckpointPolicy, EscatConfig, EscatVersion, PrismConfig, PrismVersion, Recoverable, Workload,
+};
 use std::fmt::Write as _;
 
 /// Every machine-configuration sweep, as a stable identifier.
@@ -484,10 +486,47 @@ pub fn load_factor_sweep(loads: &[u32], scale: Scale) -> Sweep {
     }
 }
 
+/// Run one registered sweep at the given scale with its canonical
+/// parameter grid — the single entry point the `repro` binary and the
+/// campaign engine share, so "the `io_nodes` sweep" means the same
+/// runs everywhere.
+pub fn run_sweep(id: SweepId, scale: Scale) -> Sweep {
+    let escat_b = match scale {
+        Scale::Smoke => EscatConfig::tiny(EscatVersion::B).build(),
+        Scale::Full => EscatConfig::ethylene(EscatVersion::B).build(),
+    };
+    let prism_a = match scale {
+        Scale::Smoke => PrismConfig::tiny(PrismVersion::A).build(),
+        Scale::Full => PrismConfig::test_problem(PrismVersion::A).build(),
+    };
+    match id {
+        SweepId::IoNodes => io_node_sweep(&escat_b, &[2, 4, 8, 16, 32]),
+        SweepId::StripeUnit => stripe_sweep(&escat_b, &[16 << 10, 64 << 10, 256 << 10]),
+        SweepId::DiskBandwidth => disk_bandwidth_sweep(&prism_a, &[2, 8, 32]),
+        SweepId::DegradedArrays => degraded_array_sweep(&prism_a, &[0, 4, 8]),
+        SweepId::FaultIntensity => fault_intensity_sweep(&prism_a, &[0, 2, 4, 8], 0xF417),
+        SweepId::Mtbf => {
+            let cfg = match scale {
+                Scale::Smoke => EscatConfig::tiny(EscatVersion::C),
+                Scale::Full => EscatConfig::ethylene(EscatVersion::C),
+            };
+            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+            mtbf_sweep(&rec, &[25, 50, 100, 200, 400], 0x4EC0)
+        }
+        SweepId::CheckpointInterval => {
+            let cfg = match scale {
+                Scale::Smoke => PrismConfig::tiny(PrismVersion::B),
+                Scale::Full => PrismConfig::test_problem(PrismVersion::B),
+            };
+            checkpoint_interval_sweep(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
+        }
+        SweepId::LoadFactor => load_factor_sweep(&[25, 50, 100, 200, 400], scale),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sioscope_workloads::{EscatConfig, EscatVersion, PrismConfig, PrismVersion};
 
     #[test]
     fn sweep_ids_round_trip() {

@@ -1,0 +1,154 @@
+//! The campaign engine's headline guarantee, end to end: a cold
+//! campaign, a fully cached re-run, and a single-worker run of the
+//! same spec produce **bit-identical** aggregated report bytes — the
+//! cache and the thread pool are performance details, not inputs.
+
+use sioscope_campaign::{run_campaign, CampaignSpec, ExecOptions};
+use std::path::PathBuf;
+
+/// Small but cross-kind: workload x seed plus a contention run.
+const SPEC: &str = r#"
+[campaign]
+name = "determinism-guard"
+scale = "smoke"
+
+[workloads]
+ids = ["escat-b"]
+fault_events = [0, 2]
+seeds = [0]
+
+[contention]
+policies = ["fcfs"]
+"#;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("sioscope-campaign-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(jobs: usize, cache_dir: &PathBuf) -> ExecOptions {
+    ExecOptions {
+        jobs,
+        no_cache: false,
+        cache_dir: cache_dir.clone(),
+    }
+}
+
+#[test]
+fn cold_cached_and_single_worker_reports_are_bit_identical() {
+    let dir = fresh_dir("tri");
+    let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+
+    let cold = run_campaign(&spec, &opts(4, &dir)).unwrap();
+    assert_eq!(cold.hits(), 0, "first pass must be all misses");
+
+    let cached = run_campaign(&spec, &opts(4, &dir)).unwrap();
+    assert_eq!(
+        cached.hits(),
+        cached.runs.len(),
+        "second pass must be served entirely from the cache"
+    );
+
+    let serial_dir = fresh_dir("serial");
+    let serial = run_campaign(&spec, &opts(1, &serial_dir)).unwrap();
+    assert_eq!(serial.hits(), 0);
+
+    let no_cache = run_campaign(
+        &spec,
+        &ExecOptions {
+            jobs: 2,
+            no_cache: true,
+            cache_dir: fresh_dir("bypass"),
+        },
+    )
+    .unwrap();
+
+    assert_eq!(cold.render(), cached.render(), "cold vs cached");
+    assert_eq!(cold.render(), serial.render(), "parallel vs --jobs 1");
+    assert_eq!(cold.render(), no_cache.render(), "cached vs --no-cache");
+    assert!(
+        cold.runs.iter().all(|r| r.entry.is_ok()),
+        "{}",
+        cold.render()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&serial_dir).ok();
+}
+
+#[test]
+fn corrupted_cache_entries_are_recomputed_not_trusted() {
+    let dir = fresh_dir("corrupt");
+    let spec = CampaignSpec::from_toml_str(SPEC).unwrap();
+    let cold = run_campaign(&spec, &opts(2, &dir)).unwrap();
+
+    // Truncate one entry and hand-tamper another: both must read as
+    // misses and be recomputed to the same bytes.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), cold.runs.len());
+    let truncated = &entries[0];
+    let text = std::fs::read_to_string(truncated).unwrap();
+    std::fs::write(truncated, &text[..text.len() / 3]).unwrap();
+    let tampered = &entries[1];
+    let text = std::fs::read_to_string(tampered).unwrap();
+    std::fs::write(tampered, text.replace("\"ok\"", "\"failed: edited\"")).unwrap();
+
+    let healed = run_campaign(&spec, &opts(2, &dir)).unwrap();
+    assert_eq!(
+        healed.hits(),
+        cold.runs.len() - 1,
+        "only the truncated entry recomputes; the tampered status rides a valid entry"
+    );
+    // The tampered-but-valid entry *is* trusted (the cache is not a
+    // tamper-evident store), so statuses can differ — but recomputing
+    // the truncated entry must reproduce the original bytes for it.
+    let truncated_hash = truncated.file_stem().unwrap().to_str().unwrap();
+    let cold_entry = cold.runs.iter().find(|r| r.hash == truncated_hash).unwrap();
+    let healed_entry = healed
+        .runs
+        .iter()
+        .find(|r| r.hash == truncated_hash)
+        .unwrap();
+    assert_eq!(cold_entry.entry, healed_entry.entry);
+    assert!(!healed_entry.cache_hit);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spec_reordering_cannot_move_a_content_address() {
+    let reordered = r#"
+[contention]
+policies = ["fcfs"]
+
+[workloads]
+seeds = [0x0]
+fault_events = [2, 0]
+ids = ["escat-b"]
+
+[campaign]
+scale = "smoke"
+name = "determinism-guard"
+"#;
+    let a = CampaignSpec::from_toml_str(SPEC).unwrap();
+    let b = CampaignSpec::from_toml_str(reordered).unwrap();
+    // fault_events listed in a different order: same *set* of runs,
+    // expansion order follows the listing for axes, so compare the
+    // canonical sets and the per-run hashes.
+    let hashes = |spec: &CampaignSpec| {
+        let mut h: Vec<String> = spec
+            .expand()
+            .iter()
+            .map(|r| sioscope_campaign::config_hash(&r.canon()))
+            .collect();
+        h.sort();
+        h
+    };
+    assert_eq!(hashes(&a), hashes(&b));
+}
