@@ -4,6 +4,8 @@
 //! ```text
 //! # Simulate and export a trace:
 //! cargo run -p sioscope-bench --bin characterize --release -- --demo trace.siot
+//! # The same request stream through a modern tier:
+//! cargo run -p sioscope-bench --bin characterize --release -- --backend object --demo trace.siot
 //! # Characterize any exported trace (binary .siot or .json):
 //! cargo run -p sioscope-bench --bin characterize --release -- trace.siot
 //! ```
@@ -33,29 +35,57 @@ fn load(path: &Path) -> TraceRecorder {
     result.unwrap_or_else(|e| exit_with(CliError::io(path, e)))
 }
 
-fn write_demo(path: &Path) {
-    use sioscope::simulator::{run, SimOptions};
-    use sioscope_pfs::PfsConfig;
+fn write_demo(path: &Path, backend: sioscope_pfs::BackendKind) {
+    use sioscope::simulator::{run_backend, SimOptions};
+    use sioscope_pfs::{
+        BackendConfig, BackendKind, BurstBufferConfig, ObjectStoreConfig, PfsConfig,
+    };
     use sioscope_workloads::{EscatConfig, EscatVersion};
     let w = EscatConfig::tiny(EscatVersion::B).build();
-    let cfg = PfsConfig::caltech(w.nodes, w.os);
-    let r = run(&w, cfg, SimOptions::default()).expect("demo runs");
+    let cfg = match backend {
+        BackendKind::Pfs => BackendConfig::Pfs(PfsConfig::caltech(w.nodes, w.os)),
+        BackendKind::Object => BackendConfig::Object(ObjectStoreConfig::modern(w.nodes)),
+        BackendKind::Burst => {
+            BackendConfig::Burst(BurstBufferConfig::over(PfsConfig::caltech(w.nodes, w.os)))
+        }
+    };
+    let r = run_backend(&w, &cfg, SimOptions::default()).expect("demo runs");
     if let Err(e) = sioscope_trace::binary::write_file(&r.trace, path) {
         exit_with(CliError::io(path, e));
     }
     println!(
-        "wrote demo trace ({} events from {}) to {}",
+        "wrote demo trace ({} events from {} on the {} tier) to {}",
         r.trace.len(),
         r.name,
+        backend.id(),
         path.display()
     );
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --backend <id> selects the storage tier the --demo simulation
+    // runs against (characterization itself is tier-agnostic).
+    let mut backend = sioscope_pfs::BackendKind::Pfs;
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        let id = match args.get(i + 1) {
+            Some(id) => id.clone(),
+            None => exit_with(CliError::BadArgs(
+                "--backend requires a tier id (pfs, object, burst)".into(),
+            )),
+        };
+        backend = match sioscope_pfs::BackendKind::from_id(&id) {
+            Some(b) => b,
+            None => exit_with(CliError::BadArgs(format!(
+                "unknown backend `{id}` (expected one of: pfs, object, burst)"
+            ))),
+        };
+        args.drain(i..=i + 1);
+    }
     if args.is_empty() {
         exit_with(CliError::BadArgs(
-            "usage: characterize [--demo] <trace.siot|trace.json>".into(),
+            "usage: characterize [--backend <pfs|object|burst>] [--demo] <trace.siot|trace.json>"
+                .into(),
         ));
     }
     let (demo, path) = if args[0] == "--demo" {
@@ -67,7 +97,7 @@ fn main() {
         (false, Path::new(&args[0]).to_path_buf())
     };
     if demo {
-        write_demo(&path);
+        write_demo(&path, backend);
     }
     let trace = load(&path);
     let events = trace.events();

@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use rayon::prelude::*;
-use sioscope::canon::{self, PolicyId, WorkloadId};
+use sioscope::canon::{self, BackendKind, PolicyId, WorkloadId};
 use sioscope::experiments::{run_experiment, Experiment};
 use sioscope::sweeps::{run_sweep, SweepId};
 
@@ -61,6 +61,12 @@ pub fn validate_spec(spec: &CampaignSpec) -> Result<(), CliError> {
         WorkloadId::from_id(id).ok_or_else(|| {
             let known: Vec<&str> = WorkloadId::all().iter().map(|w| w.id()).collect();
             bad("workload", id, known.join(", "))
+        })?;
+    }
+    for id in &spec.backends {
+        BackendKind::from_id(id).ok_or_else(|| {
+            let known: Vec<&str> = BackendKind::all().iter().map(|b| b.id()).collect();
+            bad("backend", id, known.join(", "))
         })?;
     }
     for id in &spec.policies {
@@ -182,13 +188,16 @@ fn run_resolved(run: &RunSpec) -> Result<(String, BTreeMap<String, u64>), String
     match run {
         RunSpec::Workload {
             id,
+            backend,
             scale,
             fault_events,
             seed,
         } => {
             let id = WorkloadId::from_id(id).ok_or_else(|| format!("unknown workload `{id}`"))?;
+            let backend = BackendKind::from_id(backend)
+                .ok_or_else(|| format!("unknown backend `{backend}`"))?;
             let scale = resolve_scale(scale)?;
-            let metrics = canon::workload_run(id, scale, *fault_events, *seed)?;
+            let metrics = canon::workload_run_backend(id, scale, backend, *fault_events, *seed)?;
             Ok(("ok".to_string(), metrics))
         }
         RunSpec::Contention {
@@ -335,6 +344,9 @@ mod tests {
         let spec_policies: Vec<&str> = crate::spec::POLICY_IDS.to_vec();
         let core_policies: Vec<&str> = PolicyId::all().iter().map(|p| p.id()).collect();
         assert_eq!(spec_policies, core_policies);
+        let spec_backends: Vec<&str> = crate::spec::BACKEND_IDS.to_vec();
+        let core_backends: Vec<&str> = BackendKind::all().iter().map(|b| b.id()).collect();
+        assert_eq!(spec_backends, core_backends);
         for s in crate::spec::SCALE_IDS {
             assert!(canon::scale_from_id(s).is_some(), "scale `{s}`");
         }
@@ -346,6 +358,7 @@ mod tests {
         // must produce a failed entry, not a crashed campaign.
         let run = RunSpec::Workload {
             id: "escat-b".into(),
+            backend: "pfs".into(),
             scale: "smoke".into(),
             fault_events: 0,
             seed: 0,

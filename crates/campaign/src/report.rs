@@ -156,6 +156,7 @@ mod tests {
     fn run(seed: u64, status: &str, hit: bool, wall_ns: u64) -> RunReport {
         let spec = RunSpec::Workload {
             id: "escat-b".into(),
+            backend: "pfs".into(),
             scale: "smoke".into(),
             fault_events: 0,
             seed,

@@ -28,6 +28,11 @@ pub const WORKLOAD_IDS: [&str; 9] = [
     "prism-c",
 ];
 
+/// Storage backend tiers a workload run can target. `sioscope`'s
+/// `BackendKind` registry resolves these to concrete backend configs;
+/// the integration tests pin the two lists together.
+pub const BACKEND_IDS: [&str; 3] = ["pfs", "object", "burst"];
+
 /// Scheduler policy ids for contention runs.
 pub const POLICY_IDS: [&str; 2] = ["fcfs", "easy-backfill"];
 
@@ -57,10 +62,13 @@ fn err(msg: impl Into<String>) -> SpecError {
 /// block in the derived `Ord`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RunSpec {
-    /// Simulate one workload end-to-end under a fault schedule.
+    /// Simulate one workload end-to-end under a fault schedule, on
+    /// one storage tier.
     Workload {
         /// Workload id from [`WORKLOAD_IDS`].
         id: String,
+        /// Storage backend id from [`BACKEND_IDS`].
+        backend: String,
         /// Scale id from [`SCALE_IDS`].
         scale: String,
         /// Number of injected fault events.
@@ -97,19 +105,21 @@ pub enum RunSpec {
 
 impl RunSpec {
     /// The canonical serialization the content address is computed
-    /// over: one line, fixed field order, `v=1` schema tag. This is
+    /// over: one line, fixed field order, per-kind schema tag. This is
     /// the *only* input to [`crate::config_hash`] — nothing about
     /// source formatting, spec file layout, or execution environment
-    /// reaches it.
+    /// reaches it. Workload lines are `v=2` (the backend axis was
+    /// added to the schema); the other kinds remain `v=1`.
     pub fn canon(&self) -> String {
         match self {
             RunSpec::Workload {
                 id,
+                backend,
                 scale,
                 fault_events,
                 seed,
             } => {
-                format!("v=1;kind=workload;id={id};scale={scale};faults={fault_events};seed={seed}")
+                format!("v=2;kind=workload;id={id};backend={backend};scale={scale};faults={fault_events};seed={seed}")
             }
             RunSpec::Contention {
                 policy,
@@ -131,10 +141,11 @@ impl RunSpec {
         match self {
             RunSpec::Workload {
                 id,
+                backend,
                 fault_events,
                 seed,
                 ..
-            } => format!("workload {id} faults={fault_events} seed={seed}"),
+            } => format!("workload {id} backend={backend} faults={fault_events} seed={seed}"),
             RunSpec::Contention {
                 policy,
                 load_pct,
@@ -156,6 +167,9 @@ pub struct CampaignSpec {
     pub scale: String,
     /// Workload matrix ids (validated against [`WORKLOAD_IDS`]).
     pub workload_ids: Vec<String>,
+    /// Storage tiers crossed with every workload (validated against
+    /// [`BACKEND_IDS`]; defaults to just `pfs`).
+    pub backends: Vec<String>,
     /// Fault-event counts crossed with every workload.
     pub fault_events: Vec<u32>,
     /// Seeds crossed with every workload.
@@ -211,6 +225,7 @@ impl CampaignSpec {
             name,
             scale,
             workload_ids: Vec::new(),
+            backends: Vec::new(),
             fault_events: Vec::new(),
             workload_seeds: Vec::new(),
             policies: Vec::new(),
@@ -221,11 +236,20 @@ impl CampaignSpec {
         };
 
         if let Some(w) = doc.table("workloads") {
-            reject_unknown(w, "workloads", &["ids", "fault_events", "seeds"])?;
+            reject_unknown(
+                w,
+                "workloads",
+                &["ids", "backends", "fault_events", "seeds"],
+            )?;
             spec.workload_ids = str_array(w, "workloads", "ids")?
                 .ok_or_else(|| err("workloads table present but `ids` missing"))?;
             for id in &spec.workload_ids {
                 validate_id("workloads.ids", id, &WORKLOAD_IDS)?;
+            }
+            spec.backends =
+                str_array(w, "workloads", "backends")?.unwrap_or_else(|| vec!["pfs".to_string()]);
+            for id in &spec.backends {
+                validate_id("workloads.backends", id, &BACKEND_IDS)?;
             }
             spec.fault_events =
                 u32_array(w, "workloads", "fault_events", 64)?.unwrap_or_else(|| vec![0]);
@@ -280,17 +304,20 @@ impl CampaignSpec {
             }
         };
         for id in &self.workload_ids {
-            for &fault_events in &self.fault_events {
-                for &seed in &self.workload_seeds {
-                    push(
-                        &mut runs,
-                        RunSpec::Workload {
-                            id: id.clone(),
-                            scale: self.scale.clone(),
-                            fault_events,
-                            seed,
-                        },
-                    );
+            for backend in &self.backends {
+                for &fault_events in &self.fault_events {
+                    for &seed in &self.workload_seeds {
+                        push(
+                            &mut runs,
+                            RunSpec::Workload {
+                                id: id.clone(),
+                                backend: backend.clone(),
+                                scale: self.scale.clone(),
+                                fault_events,
+                                seed,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -466,7 +493,7 @@ mod tests {
         assert_eq!(runs.len(), 8 + 4 + 1 + 1);
         assert_eq!(
             runs[0].canon(),
-            "v=1;kind=workload;id=escat-b;scale=smoke;faults=0;seed=0"
+            "v=2;kind=workload;id=escat-b;backend=pfs;scale=smoke;faults=0;seed=0"
         );
         assert_eq!(
             runs[8].canon(),
@@ -534,6 +561,7 @@ mod tests {
             "policies = [\"fcfs\"]\n",
         ))
         .unwrap();
+        assert_eq!(spec.backends, vec!["pfs"]);
         assert_eq!(spec.fault_events, vec![0]);
         assert_eq!(spec.workload_seeds, vec![0]);
         assert_eq!(spec.load_pcts, vec![100]);
@@ -542,8 +570,47 @@ mod tests {
         assert_eq!(runs.len(), 2);
         assert_eq!(
             runs[0].canon(),
-            "v=1;kind=workload;id=prism-c;scale=full;faults=0;seed=0"
+            "v=2;kind=workload;id=prism-c;backend=pfs;scale=full;faults=0;seed=0"
         );
+    }
+
+    #[test]
+    fn backend_axis_expands_per_tier_and_validates() {
+        let spec = CampaignSpec::from_toml_str(concat!(
+            "[campaign]\n",
+            "name = \"tiers\"\n",
+            "scale = \"smoke\"\n",
+            "[workloads]\n",
+            "ids = [\"escat-b\"]\n",
+            "backends = [\"pfs\", \"object\", \"burst\"]\n",
+        ))
+        .unwrap();
+        let runs = spec.expand();
+        assert_eq!(runs.len(), 3);
+        let canons: Vec<String> = runs.iter().map(|r| r.canon()).collect();
+        assert_eq!(
+            canons,
+            vec![
+                "v=2;kind=workload;id=escat-b;backend=pfs;scale=smoke;faults=0;seed=0",
+                "v=2;kind=workload;id=escat-b;backend=object;scale=smoke;faults=0;seed=0",
+                "v=2;kind=workload;id=escat-b;backend=burst;scale=smoke;faults=0;seed=0",
+            ]
+        );
+        // Distinct tiers must hash distinctly: the canon lines differ.
+        let unique: BTreeSet<&String> = canons.iter().collect();
+        assert_eq!(unique.len(), canons.len());
+        assert!(runs[1].label().contains("backend=object"));
+
+        let e = CampaignSpec::from_toml_str(concat!(
+            "[campaign]\n",
+            "name = \"tiers\"\n",
+            "scale = \"smoke\"\n",
+            "[workloads]\n",
+            "ids = [\"escat-b\"]\n",
+            "backends = [\"nvme\"]\n",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("workloads.backends"), "{e}");
     }
 
     #[test]

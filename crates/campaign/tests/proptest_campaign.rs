@@ -6,7 +6,7 @@
 //!   population of run specs.
 
 use proptest::prelude::*;
-use sioscope_campaign::spec::{POLICY_IDS, SCALE_IDS, WORKLOAD_IDS};
+use sioscope_campaign::spec::{BACKEND_IDS, POLICY_IDS, SCALE_IDS, WORKLOAD_IDS};
 use sioscope_campaign::{config_hash, CampaignSpec, RunSpec};
 use std::collections::{BTreeMap, HashMap};
 
@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, HashMap};
 struct Axes {
     scale: &'static str,
     workloads: Vec<&'static str>,
+    backends: Vec<&'static str>,
     fault_events: Vec<u32>,
     seeds: Vec<u64>,
     policies: Vec<&'static str>,
@@ -25,6 +26,7 @@ fn axes() -> impl Strategy<Value = Axes> {
     (
         proptest::sample::select(SCALE_IDS.to_vec()),
         proptest::sample::subsequence(WORKLOAD_IDS.to_vec(), 1..=4),
+        proptest::sample::subsequence(BACKEND_IDS.to_vec(), 1..=3),
         proptest::collection::vec(0u32..=8, 1..=3),
         // TOML integers are i64, so spec-file seeds top out there.
         proptest::collection::vec(0u64..=i64::MAX as u64, 1..=3),
@@ -32,9 +34,10 @@ fn axes() -> impl Strategy<Value = Axes> {
         proptest::collection::vec(1u32..=400, 1..=3),
     )
         .prop_map(
-            |(scale, workloads, fault_events, seeds, policies, load_pcts)| Axes {
+            |(scale, workloads, backends, fault_events, seeds, policies, load_pcts)| Axes {
                 scale,
                 workloads,
+                backends,
                 fault_events,
                 seeds,
                 policies,
@@ -72,10 +75,11 @@ fn hex(values: &[u64]) -> String {
 fn render_two_ways(a: &Axes) -> (String, String) {
     let tidy = format!(
         "[campaign]\nname = \"prop\"\nscale = \"{}\"\n\
-         [workloads]\nids = [{}]\nfault_events = [{}]\nseeds = [{}]\n\
+         [workloads]\nids = [{}]\nbackends = [{}]\nfault_events = [{}]\nseeds = [{}]\n\
          [contention]\npolicies = [{}]\nload_pcts = [{}]\n",
         a.scale,
         quoted(&a.workloads),
+        quoted(&a.backends),
         ints(&a.fault_events),
         ints(&a.seeds),
         quoted(&a.policies),
@@ -85,12 +89,13 @@ fn render_two_ways(a: &Axes) -> (String, String) {
         "# same campaign, shuffled\n\
          [contention]\n  load_pcts = [ {} ]\n  policies = [{}]\n\n\
          [workloads]\nseeds = [{}]   # hex spellings\n\
-         fault_events = [\n  {}\n]\nids = [{}]\n\n\
+         fault_events = [\n  {}\n]\nbackends = [{}]\nids = [{}]\n\n\
          [campaign]\nscale = '{}'\nname = \"prop\"\n",
         ints(&a.load_pcts),
         quoted(&a.policies),
         hex(&a.seeds),
         ints(&a.fault_events),
+        quoted(&a.backends),
         quoted(&a.workloads),
         a.scale,
     );
@@ -119,6 +124,7 @@ proptest! {
         workload_runs in proptest::collection::vec(
             (
                 proptest::sample::select(WORKLOAD_IDS.to_vec()),
+                proptest::sample::select(BACKEND_IDS.to_vec()),
                 proptest::sample::select(SCALE_IDS.to_vec()),
                 0u32..=64,
                 any::<u64>(),
@@ -138,8 +144,9 @@ proptest! {
         let mut seen: HashMap<String, String> = HashMap::new();
         let runs = workload_runs
             .into_iter()
-            .map(|(id, scale, fault_events, seed)| RunSpec::Workload {
+            .map(|(id, backend, scale, fault_events, seed)| RunSpec::Workload {
                 id: id.to_string(),
+                backend: backend.to_string(),
                 scale: scale.to_string(),
                 fault_events,
                 seed,

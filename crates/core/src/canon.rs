@@ -19,9 +19,10 @@ use crate::experiments::contention::{
     contended_machine, mix_stream, run_stream, CLASS_TAU, COMPUTE_BOUND, IO_BOUND,
 };
 use crate::experiments::Scale;
-use crate::simulator::{run, SimOptions};
+use crate::simulator::{run, run_backend, SimOptions};
 use sioscope_faults::FaultGen;
-use sioscope_pfs::PfsConfig;
+pub use sioscope_pfs::BackendKind;
+use sioscope_pfs::{BackendConfig, BurstBufferConfig, ObjectStoreConfig, PfsConfig};
 use sioscope_sched::QueuePolicy;
 use sioscope_sim::Time;
 use sioscope_workloads::{EscatConfig, EscatVersion, PrismConfig, PrismVersion, Workload};
@@ -200,6 +201,84 @@ pub fn workload_run(
     ]))
 }
 
+/// Simulate one workload on a named storage tier and reduce the run
+/// to integer metrics.
+///
+/// The `pfs` tier delegates to [`workload_run`] verbatim, so its
+/// metrics (and therefore its content addresses' *values*) are
+/// bit-identical to the pre-backend path. The `object` tier adds
+/// `puts`/`gets` counters and rejects fault injection — the flat
+/// namespace models no I/O-node fault process. The `burst` tier
+/// absorbs every file into the host-side log over the same Caltech
+/// PFS, injecting faults into the *inner* PFS with a horizon from the
+/// same-tier fault-free run, and adds the drain accounting counters.
+pub fn workload_run_backend(
+    id: WorkloadId,
+    scale: Scale,
+    backend: BackendKind,
+    fault_events: u32,
+    seed: u64,
+) -> Result<BTreeMap<String, u64>, String> {
+    if backend == BackendKind::Pfs {
+        return workload_run(id, scale, fault_events, seed);
+    }
+    let workload = id.build(scale);
+    let cfg = match backend {
+        BackendKind::Pfs => unreachable!("handled above"),
+        BackendKind::Object => {
+            if fault_events > 0 {
+                return Err(format!(
+                    "{}: the object tier models no I/O-node faults",
+                    id.id()
+                ));
+            }
+            BackendConfig::Object(ObjectStoreConfig::modern(workload.nodes))
+        }
+        BackendKind::Burst => {
+            let pfs = PfsConfig::caltech(workload.nodes, workload.os);
+            let base = BackendConfig::Burst(BurstBufferConfig::over(pfs.clone()));
+            let pfs = if fault_events == 0 {
+                pfs
+            } else {
+                let horizon = run_backend(&workload, &base, SimOptions::default())
+                    .map_err(|e| format!("{} fault-free baseline: {e}", id.id()))?
+                    .exec_time;
+                let mut faulty = pfs;
+                faulty.faults = FaultGen::new(seed, horizon, faulty.machine.io_nodes)
+                    .with_events(fault_events as usize)
+                    .schedule();
+                faulty
+            };
+            BackendConfig::Burst(BurstBufferConfig::over(pfs))
+        }
+    };
+    let result = run_backend(&workload, &cfg, SimOptions::default())
+        .map_err(|e| format!("{}: {e}", id.id()))?;
+    let mut metrics = BTreeMap::from([
+        ("exec_time_ns".to_string(), result.exec_time.as_nanos()),
+        ("io_time_ns".to_string(), result.total_io_time().as_nanos()),
+        ("events".to_string(), result.events),
+        ("fault_transitions".to_string(), result.fault_transitions),
+        ("trace_events".to_string(), result.trace.len() as u64),
+    ]);
+    let s = result.backend_stats;
+    match backend {
+        BackendKind::Pfs => {}
+        BackendKind::Object => {
+            metrics.insert("puts".to_string(), s.puts);
+            metrics.insert("gets".to_string(), s.gets);
+        }
+        BackendKind::Burst => {
+            metrics.insert("bytes_logged".to_string(), s.bytes_logged);
+            metrics.insert("bytes_drained".to_string(), s.bytes_drained);
+            metrics.insert("bytes_resident".to_string(), s.bytes_resident);
+            metrics.insert("absorbed_ops".to_string(), s.absorbed_ops);
+            metrics.insert("drain_complete_ns".to_string(), s.drain_complete.as_nanos());
+        }
+    }
+    Ok(metrics)
+}
+
 /// Schedule the contention-mix stream on the shared machine under one
 /// policy, at a load factor given in percent of the reference arrival
 /// rate (200% = jobs arrive twice as fast), and reduce the outcome to
@@ -277,6 +356,62 @@ mod tests {
         assert!(faulty["fault_transitions"] > 0, "{faulty:?}");
         let clean = workload_run(WorkloadId::PrismA, Scale::Smoke, 0, 0xF417).unwrap();
         assert!(faulty["exec_time_ns"] >= clean["exec_time_ns"]);
+    }
+
+    #[test]
+    fn pfs_tier_is_the_legacy_entry_point() {
+        let direct = workload_run(WorkloadId::EscatB, Scale::Smoke, 2, 0xF417).unwrap();
+        let routed = workload_run_backend(
+            WorkloadId::EscatB,
+            Scale::Smoke,
+            BackendKind::Pfs,
+            2,
+            0xF417,
+        )
+        .unwrap();
+        assert_eq!(direct, routed);
+    }
+
+    #[test]
+    fn tiers_are_deterministic_and_distinct() {
+        for backend in [BackendKind::Object, BackendKind::Burst] {
+            let a = workload_run_backend(WorkloadId::PrismA, Scale::Smoke, backend, 0, 0).unwrap();
+            let b = workload_run_backend(WorkloadId::PrismA, Scale::Smoke, backend, 0, 0).unwrap();
+            assert_eq!(a, b, "{backend} must be deterministic");
+        }
+        let pfs =
+            workload_run_backend(WorkloadId::PrismA, Scale::Smoke, BackendKind::Pfs, 0, 0).unwrap();
+        let object =
+            workload_run_backend(WorkloadId::PrismA, Scale::Smoke, BackendKind::Object, 0, 0)
+                .unwrap();
+        let burst =
+            workload_run_backend(WorkloadId::PrismA, Scale::Smoke, BackendKind::Burst, 0, 0)
+                .unwrap();
+        assert!(object.contains_key("puts") && object.contains_key("gets"));
+        assert!(burst.contains_key("bytes_logged"));
+        assert_eq!(burst["bytes_logged"], burst["bytes_drained"]);
+        assert_ne!(pfs["exec_time_ns"], object["exec_time_ns"]);
+        assert_ne!(pfs["exec_time_ns"], burst["exec_time_ns"]);
+    }
+
+    #[test]
+    fn object_tier_rejects_fault_injection() {
+        let err = workload_run_backend(WorkloadId::EscatB, Scale::Smoke, BackendKind::Object, 1, 0)
+            .unwrap_err();
+        assert!(err.contains("no I/O-node faults"), "{err}");
+    }
+
+    #[test]
+    fn burst_tier_takes_faults_on_the_inner_pfs() {
+        let faulty = workload_run_backend(
+            WorkloadId::PrismA,
+            Scale::Smoke,
+            BackendKind::Burst,
+            2,
+            0xF417,
+        )
+        .unwrap();
+        assert!(faulty["fault_transitions"] > 0, "{faulty:?}");
     }
 
     #[test]

@@ -29,8 +29,11 @@
 //! | [`Experiment::RecoveryPrism`] | Checkpoint/restart — PRISM B time-to-solution under a compute-node crash |
 //! | [`Experiment::ContentionMix`] | Multi-tenant — I/O-bound vs compute-bound slowdown on shared I/O nodes |
 //! | [`Experiment::BackfillVsFcfs`] | Multi-tenant — EASY backfill against FCFS on a blocker stream |
+//! | [`Experiment::BackendEscat`] | Evolution — ESCAT B/C across pfs, object-store and burst-buffer tiers |
+//! | [`Experiment::BackendPrism`] | Evolution — PRISM A/C across pfs, object-store and burst-buffer tiers |
 
 pub mod ablation;
+pub mod backend;
 pub mod comparison;
 pub mod contention;
 pub mod escat;
@@ -74,6 +77,8 @@ pub enum Experiment {
     RecoveryPrism,
     ContentionMix,
     BackfillVsFcfs,
+    BackendEscat,
+    BackendPrism,
 }
 
 impl Experiment {
@@ -108,6 +113,8 @@ impl Experiment {
             RecoveryPrism,
             ContentionMix,
             BackfillVsFcfs,
+            BackendEscat,
+            BackendPrism,
         ]
     }
 
@@ -142,6 +149,8 @@ impl Experiment {
             RecoveryPrism => "recovery-prism",
             ContentionMix => "contention-mix",
             BackfillVsFcfs => "backfill-vs-fcfs",
+            BackendEscat => "backend-escat",
+            BackendPrism => "backend-prism",
         }
     }
 
@@ -185,6 +194,8 @@ impl Experiment {
             RecoveryPrism => "Recovery: PRISM B time-to-solution under a compute-node crash",
             ContentionMix => "Contention: I/O-bound vs compute-bound slowdown on shared I/O nodes",
             BackfillVsFcfs => "Scheduling: EASY backfill against FCFS on a blocker stream",
+            BackendEscat => "Evolution: ESCAT across pfs, object-store and burst-buffer tiers",
+            BackendPrism => "Evolution: PRISM across pfs, object-store and burst-buffer tiers",
         }
     }
 }
@@ -273,6 +284,8 @@ pub fn run_experiment(experiment: Experiment, scale: Scale) -> ExperimentOutput 
         RecoveryPrism => recovery::prism(scale),
         ContentionMix => contention::contention_mix(scale),
         BackfillVsFcfs => contention::backfill_vs_fcfs(scale),
+        BackendEscat => backend::escat(scale),
+        BackendPrism => backend::prism(scale),
     }
 }
 
@@ -293,8 +306,8 @@ mod tests {
         let ids: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
         // 5 tables + 9 figures + 6 ablations/counterfactuals + the
         // §6 comparison + 2 resilience + 2 recovery + 2 multi-tenant
-        // scheduling experiments.
-        assert_eq!(ids.len(), 27);
+        // scheduling experiments + 2 cross-tier backend comparisons.
+        assert_eq!(ids.len(), 29);
         for artifact in [
             "escat-table1",
             "escat-table2",

@@ -45,6 +45,6 @@ pub mod simulator;
 pub mod sweeps;
 
 pub use experiments::{Experiment, ExperimentOutput};
-pub use recovery::{run_with_recovery, RecoveryStats};
+pub use recovery::{run_with_recovery, run_with_recovery_backend, RecoveryStats};
 pub use schedule::{run_schedule, SchedError, ScheduleOutcome};
-pub use simulator::{run, RunResult, SimError, SimOptions};
+pub use simulator::{run, run_backend, RunResult, SimError, SimOptions};

@@ -21,12 +21,12 @@
 //! and the deterministic simulator, so same-seed recovery runs are
 //! bit-identical end to end.
 
-use crate::simulator::{run, RunResult, SimError, SimOptions};
+use crate::simulator::{run, run_backend, RunResult, SimError, SimOptions};
 use serde::{Deserialize, Serialize};
 use sioscope_faults::{FaultKind, FaultSchedule};
-use sioscope_pfs::{OpKind, PfsConfig};
+use sioscope_pfs::{BackendConfig, OpKind, PfsConfig};
 use sioscope_sim::{FileId, Time};
-use sioscope_workloads::Recoverable;
+use sioscope_workloads::{Recoverable, Workload};
 
 /// Accounting for one recovery story (one workload, one crash
 /// schedule, run to solution).
@@ -76,6 +76,47 @@ pub fn run_with_recovery(
     if !problems.is_empty() {
         return Err(SimError::InvalidFaults(problems));
     }
+    recovery_loop(rec, crashes, |workload| {
+        run(workload, pfs_cfg.clone(), options.clone())
+    })
+}
+
+/// [`run_with_recovery`] over an arbitrary storage tier. With a
+/// [`BackendConfig::Pfs`] tier this is equivalent to
+/// [`run_with_recovery`]; with a burst-buffer tier absorbing the
+/// checkpoint files, the foreground commit cost drops to log-append
+/// speed and the checkpoint-interval U-curve flattens.
+pub fn run_with_recovery_backend(
+    rec: &Recoverable,
+    crashes: &FaultSchedule,
+    cfg: &BackendConfig,
+    options: SimOptions,
+) -> Result<RunResult, SimError> {
+    // The object store has no I/O nodes; compute-crash validation
+    // still applies against the application shape.
+    let io_nodes = match cfg {
+        BackendConfig::Pfs(c) => c.machine.io_nodes,
+        BackendConfig::Burst(b) => b.pfs.machine.io_nodes,
+        BackendConfig::Object(_) => 0,
+    };
+    let problems = crashes.validate_for(io_nodes, rec.workload().nodes);
+    if !problems.is_empty() {
+        return Err(SimError::InvalidFaults(problems));
+    }
+    recovery_loop(rec, crashes, |workload| {
+        run_backend(workload, cfg, options.clone())
+    })
+}
+
+/// The attempt/rollback loop, generic over how one attempt executes.
+/// All recovery math (crash absorption, committed-marker rollback,
+/// rework and byte accounting) lives here exactly once, so PFS-direct
+/// and backend-routed recovery cannot drift apart.
+fn recovery_loop(
+    rec: &Recoverable,
+    crashes: &FaultSchedule,
+    mut attempt: impl FnMut(&Workload) -> Result<RunResult, SimError>,
+) -> Result<RunResult, SimError> {
     let mut crash_list: Vec<(Time, Time)> = crashes
         .events
         .iter()
@@ -103,7 +144,7 @@ pub fn run_with_recovery(
     loop {
         stats.attempts += 1;
         let workload = rec.slice_from(from);
-        let mut result = run(&workload, pfs_cfg.clone(), options.clone())?;
+        let mut result = attempt(&workload)?;
         let exec = result.exec_time;
         // Crashes at or before the attempt's launch instant fell into
         // the previous crash's rework window: absorbed.
@@ -129,8 +170,7 @@ pub fn run_with_recovery(
         let committed = result
             .checkpoint_commits
             .iter()
-            .filter(|(_, t)| *t <= local)
-            .next_back()
+            .rfind(|(_, t)| *t <= local)
             .copied();
         let base = committed.map(|(_, t)| t).unwrap_or(Time::ZERO);
         stats.rework += local.saturating_sub(base);
@@ -264,6 +304,61 @@ mod tests {
         assert_eq!(a.exec_time, b.exec_time);
         assert_eq!(a.trace.events(), b.trace.events());
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn backend_routed_recovery_matches_pfs_direct() {
+        let cfg = EscatConfig::tiny(EscatVersion::C);
+        let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+        let baseline = run(rec.workload(), tiny_pfs(cfg.nodes), SimOptions::default())
+            .unwrap()
+            .exec_time;
+        let crashes = crash_at(baseline.scale(0.6), Time::from_secs(1));
+        let direct =
+            run_with_recovery(&rec, &crashes, tiny_pfs(cfg.nodes), SimOptions::default()).unwrap();
+        let routed = run_with_recovery_backend(
+            &rec,
+            &crashes,
+            &BackendConfig::Pfs(tiny_pfs(cfg.nodes)),
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(direct.recovery, routed.recovery);
+        assert_eq!(direct.exec_time, routed.exec_time);
+        assert_eq!(direct.trace.events(), routed.trace.events());
+    }
+
+    #[test]
+    fn burst_buffer_cuts_foreground_checkpoint_cost() {
+        use sioscope_pfs::BurstBufferConfig;
+        let cfg = EscatConfig::tiny(EscatVersion::C);
+        let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+        let plain = run_with_recovery(
+            &rec,
+            &FaultSchedule::empty(),
+            tiny_pfs(cfg.nodes),
+            SimOptions::default(),
+        )
+        .unwrap();
+        let burst_cfg = BackendConfig::Burst(BurstBufferConfig::absorbing(
+            tiny_pfs(cfg.nodes),
+            rec.checkpoint_files().to_vec(),
+        ));
+        let buffered = run_with_recovery_backend(
+            &rec,
+            &FaultSchedule::empty(),
+            &burst_cfg,
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            buffered.exec_time < plain.exec_time,
+            "absorbing the checkpoint files must shed foreground commit cost: {} vs {}",
+            buffered.exec_time,
+            plain.exec_time
+        );
+        assert!(buffered.backend_stats.bytes_logged > 0);
+        assert!(buffered.backend_stats.conserves_bytes());
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::recovery::RecoveryStats;
 use crate::simulator::{run, RunResult, SimError, SimOptions};
 use sioscope_faults::{FaultKind, FaultSchedule};
 use sioscope_machine::MeshModel;
-use sioscope_pfs::{Pfs, PfsConfig, PfsError, ResilienceStats};
+use sioscope_pfs::{BackendStats, Pfs, PfsConfig, PfsError, ResilienceStats};
 use sioscope_sched::{
     AllocPolicy, JobOutcome, JobStream, Partition, PartitionAllocator, QueuePolicy, ScheduleStats,
 };
@@ -543,6 +543,7 @@ pub fn run_schedule(
                     fault_transitions: 0,
                     checkpoint_commits: job.commits.iter().map(|(&k, &t)| (k, t)).collect(),
                     recovery,
+                    backend_stats: BackendStats::default(),
                 });
                 queue.schedule(now, SEv::TryDispatch);
                 if let Some(a) = stream.next_arrival_after(spawned, now) {

@@ -7,7 +7,9 @@
 //! size, offset, node and operation kind.
 
 use sioscope_machine::MeshModel;
-use sioscope_pfs::{Pfs, PfsConfig, PfsError, ResilienceStats};
+use sioscope_pfs::{
+    BackendConfig, BackendStats, Pfs, PfsConfig, PfsError, ResilienceStats, StorageBackend,
+};
 use sioscope_sim::{EventQueue, FileId, Pid, RendezvousOutcome, RendezvousTable, Time};
 use sioscope_trace::{IoEvent, TraceRecorder};
 use sioscope_workloads::{Stmt, Workload};
@@ -119,6 +121,10 @@ pub struct RunResult {
     /// [`crate::recovery::run_with_recovery`]; all-zero for plain
     /// runs.
     pub recovery: crate::recovery::RecoveryStats,
+    /// Tier-specific counters from the storage backend (all-default
+    /// for the plain PFS; the burst buffer's log/drain accounting and
+    /// the object store's PUT/GET counts land here).
+    pub backend_stats: BackendStats,
 }
 
 impl RunResult {
@@ -199,11 +205,72 @@ pub fn run(
     pfs_cfg.machine.compute_nodes = workload.nodes;
     let mesh = MeshModel::new(pfs_cfg.machine.mesh);
     let mut pfs = Pfs::new(pfs_cfg);
+    // Monomorphized over the concrete `Pfs`: same calls, same code
+    // path, bit-identical to the pre-trait direct loop (pinned by
+    // `tests/backend_equivalence.rs`).
+    run_loop(workload, &mesh, &mut pfs, &options)
+}
 
+/// Run `workload` against the storage tier `cfg` selects.
+///
+/// For [`BackendConfig::Pfs`] this is equivalent to [`run`]; the
+/// object store has no fault model (a schedule that engages is
+/// rejected upstream by construction — the config carries none), and
+/// the burst buffer validates faults against its inner PFS machine.
+pub fn run_backend(
+    workload: &Workload,
+    cfg: &BackendConfig,
+    options: SimOptions,
+) -> Result<RunResult, SimError> {
+    let problems = workload.validate();
+    if !problems.is_empty() {
+        return Err(SimError::InvalidWorkload(problems));
+    }
+    let mut cfg = cfg.clone();
+    match &mut cfg {
+        BackendConfig::Pfs(c) => {
+            if c.faults.engages() {
+                let fault_problems = c.faults.validate_for(c.machine.io_nodes, workload.nodes);
+                if !fault_problems.is_empty() {
+                    return Err(SimError::InvalidFaults(fault_problems));
+                }
+            }
+            c.os = workload.os;
+        }
+        BackendConfig::Burst(b) => {
+            if b.pfs.faults.engages() {
+                let fault_problems = b
+                    .pfs
+                    .faults
+                    .validate_for(b.pfs.machine.io_nodes, workload.nodes);
+                if !fault_problems.is_empty() {
+                    return Err(SimError::InvalidFaults(fault_problems));
+                }
+            }
+            b.pfs.os = workload.os;
+        }
+        BackendConfig::Object(_) => {}
+    }
+    cfg.machine_mut().compute_nodes = workload.nodes;
+    let mesh = MeshModel::new(cfg.machine().mesh);
+    let mut backend = cfg.build();
+    run_loop(workload, &mesh, &mut *backend, &options)
+}
+
+/// The event loop, generic over the storage tier. Called with the
+/// concrete [`Pfs`] from [`run`] (monomorphized — no dynamic dispatch
+/// on the measured path) and with `dyn StorageBackend` from
+/// [`run_backend`].
+fn run_loop<B: StorageBackend + ?Sized>(
+    workload: &Workload,
+    mesh: &MeshModel,
+    backend: &mut B,
+    options: &SimOptions,
+) -> Result<RunResult, SimError> {
     // Create the file table; workload file index i == FileId(i).
-    for spec in &workload.files {
-        let id = pfs.create_file_with_size(&spec.name, spec.initial_size);
-        debug_assert_eq!(id.index(), pfs.file(id).expect("just created").id.index());
+    for (i, spec) in workload.files.iter().enumerate() {
+        let id = backend.create_file_with_size(&spec.name, spec.initial_size);
+        debug_assert_eq!(id.index(), i);
     }
 
     let n = workload.nodes as usize;
@@ -231,10 +298,8 @@ pub fn run(
     // engage contributes nothing, so fault-free runs keep identical
     // event counts.
     let mut fault_transitions = 0u64;
-    if let Some(state) = pfs.fault_state() {
-        for &t in state.transitions() {
-            queue.schedule(t, Ev::FaultTransition);
-        }
+    for t in backend.fault_transition_times() {
+        queue.schedule(t, Ev::FaultTransition);
     }
 
     // Kick every node off at t = 0.
@@ -274,7 +339,7 @@ pub fn run(
                 let fid = FileId(*file);
                 nodes[pid.index()].issue_time = now;
                 completions.clear();
-                match pfs.submit_into(now, pid, fid, op, &mut completions) {
+                match backend.submit_into(now, pid, fid, op, &mut completions) {
                     Ok(true) => {
                         for c in completions.drain(..) {
                             let issued = nodes[c.pid.index()].issue_time;
@@ -371,13 +436,17 @@ pub fn run(
     if !stuck.is_empty() {
         return Err(SimError::Deadlock {
             stuck,
-            forming_collectives: pfs.forming_collectives(),
+            forming_collectives: backend.forming_collectives(),
         });
     }
 
     trace.sort();
     let node_finish: Vec<Time> = nodes.iter().map(|s| s.finish_time).collect();
     let exec_time = node_finish.iter().copied().fold(Time::ZERO, Time::max);
+    // Flush background work (burst-buffer drains) so the stats are
+    // final; the drain instant lands in `backend_stats`, not in the
+    // foreground `exec_time`.
+    backend.quiesce(exec_time);
     Ok(RunResult {
         name: workload.name.clone(),
         version: workload.version.clone(),
@@ -385,10 +454,11 @@ pub fn run(
         node_finish,
         trace,
         events: queue.popped(),
-        resilience: pfs.resilience_stats(),
+        resilience: backend.resilience_stats(),
         fault_transitions,
         checkpoint_commits: checkpoint_commits.into_iter().collect(),
         recovery: crate::recovery::RecoveryStats::default(),
+        backend_stats: backend.stats(),
     })
 }
 
@@ -588,6 +658,56 @@ mod tests {
             }
             other => panic!("expected pfs error, got {other}"),
         }
+    }
+
+    #[test]
+    fn run_backend_pfs_tier_matches_run_exactly() {
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let direct = run(&w, tiny_pfs(w.nodes), SimOptions::default()).unwrap();
+        let routed = run_backend(
+            &w,
+            &BackendConfig::Pfs(tiny_pfs(w.nodes)),
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(direct.exec_time, routed.exec_time);
+        assert_eq!(direct.node_finish, routed.node_finish);
+        assert_eq!(direct.trace.events(), routed.trace.events());
+        assert_eq!(direct.events, routed.events);
+        assert_eq!(routed.backend_stats, BackendStats::default());
+    }
+
+    #[test]
+    fn all_three_tiers_complete_the_same_workload() {
+        use sioscope_pfs::{BurstBufferConfig, ObjectStoreConfig};
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let tiers = [
+            BackendConfig::Pfs(tiny_pfs(w.nodes)),
+            BackendConfig::Object(ObjectStoreConfig::modern(w.nodes)),
+            BackendConfig::Burst(BurstBufferConfig::over(tiny_pfs(w.nodes))),
+        ];
+        for cfg in tiers {
+            let kind = cfg.kind();
+            let r = run_backend(&w, &cfg, SimOptions::default())
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(r.exec_time > Time::ZERO, "{kind}");
+            assert!(!r.trace.is_empty(), "{kind}");
+            assert_eq!(r.trace.invariant_violations(), 0, "{kind}");
+            assert!(r.backend_stats.conserves_bytes(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn burst_buffer_absorbing_nothing_is_the_plain_pfs() {
+        use sioscope_pfs::{BurstAbsorb, BurstBufferConfig};
+        let w = EscatConfig::tiny(EscatVersion::C).build();
+        let plain = run(&w, tiny_pfs(w.nodes), SimOptions::default()).unwrap();
+        let mut cfg = BurstBufferConfig::over(tiny_pfs(w.nodes));
+        cfg.absorb = BurstAbsorb::Files(vec![]);
+        let buffered = run_backend(&w, &BackendConfig::Burst(cfg), SimOptions::default()).unwrap();
+        assert_eq!(plain.exec_time, buffered.exec_time);
+        assert_eq!(plain.trace.events(), buffered.trace.events());
+        assert_eq!(buffered.backend_stats.bytes_logged, 0);
     }
 
     #[test]

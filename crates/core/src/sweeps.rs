@@ -10,12 +10,12 @@ use crate::experiments::contention::{
     contended_machine, mix_stream, run_stream, CLASS_TAU, COMPUTE_BOUND, IO_BOUND,
 };
 use crate::experiments::Scale;
-use crate::recovery::run_with_recovery;
+use crate::recovery::{run_with_recovery, run_with_recovery_backend};
 use crate::simulator::{run, RunResult, SimOptions};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sioscope_faults::{FaultGen, FaultSchedule};
-use sioscope_pfs::PfsConfig;
+use sioscope_pfs::{BackendConfig, BurstBufferConfig, PfsConfig};
 use sioscope_sched::QueuePolicy;
 use sioscope_sim::Time;
 use sioscope_workloads::{
@@ -38,6 +38,7 @@ pub enum SweepId {
     FaultIntensity,
     Mtbf,
     CheckpointInterval,
+    CheckpointIntervalBurst,
     LoadFactor,
 }
 
@@ -53,6 +54,7 @@ impl SweepId {
             FaultIntensity,
             Mtbf,
             CheckpointInterval,
+            CheckpointIntervalBurst,
             LoadFactor,
         ]
     }
@@ -68,6 +70,7 @@ impl SweepId {
             FaultIntensity => "fault_intensity",
             Mtbf => "mtbf",
             CheckpointInterval => "checkpoint_interval",
+            CheckpointIntervalBurst => "checkpoint_interval_burst",
             LoadFactor => "load_factor",
         }
     }
@@ -399,6 +402,67 @@ pub fn checkpoint_interval_sweep_with(
     }
 }
 
+/// [`checkpoint_interval_sweep`] with a burst buffer absorbing the
+/// checkpoint files. The crash environment is derived from the *same*
+/// plain-PFS baseline with the same seed, so the two sweeps face
+/// identical crash schedules and their curves are directly
+/// comparable: with commits landing in the host-side log at
+/// near-zero foreground cost, the U-curve's left arm (dense
+/// checkpoints waste time committing) collapses and the curve
+/// flattens toward its replay-bounded floor.
+pub fn checkpoint_interval_sweep_burst(cfg: &PrismConfig, intervals: &[u32], seed: u64) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let baseline = run(&baseline_w, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("burst checkpoint sweep baseline: {e}"))
+        .exec_time;
+    let (horizon, rework) = crash_environment(baseline);
+    let crashes = FaultGen::new(seed, horizon, base_cfg.machine.io_nodes).compute_crash_schedule(
+        baseline.scale(0.8),
+        rework,
+        baseline_w.nodes,
+    );
+    checkpoint_interval_sweep_burst_with(cfg, intervals, &crashes)
+}
+
+/// [`checkpoint_interval_sweep_burst`] against a caller-supplied
+/// crash schedule.
+pub fn checkpoint_interval_sweep_burst_with(
+    cfg: &PrismConfig,
+    intervals: &[u32],
+    crashes: &FaultSchedule,
+) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let mut points: Vec<SweepPoint> = intervals
+        .par_iter()
+        .map(|&interval| {
+            let snapped = cfg.snap_interval(interval);
+            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: snapped });
+            let tier = BackendConfig::Burst(BurstBufferConfig::absorbing(
+                base_cfg.clone(),
+                rec.checkpoint_files().to_vec(),
+            ));
+            let r = run_with_recovery_backend(&rec, crashes, &tier, SimOptions::default())
+                .unwrap_or_else(|e| panic!("burst interval={snapped}: {e}"));
+            SweepPoint {
+                label: format!("every {snapped} steps"),
+                value: u64::from(snapped),
+                exec_time: r.recovery.time_to_solution,
+                io_time: r.total_io_time(),
+                events: r.events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    points.dedup_by_key(|p| p.value);
+    Sweep {
+        parameter: "checkpoint_interval_burst",
+        workload: baseline_w.name.clone(),
+        points,
+    }
+}
+
 /// One offered-load measurement behind [`load_factor_sweep`]: the
 /// per-class mean bounded slowdowns that the generic [`SweepPoint`]
 /// has no columns for.
@@ -520,6 +584,13 @@ pub fn run_sweep(id: SweepId, scale: Scale) -> Sweep {
             };
             checkpoint_interval_sweep(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
         }
+        SweepId::CheckpointIntervalBurst => {
+            let cfg = match scale {
+                Scale::Smoke => PrismConfig::tiny(PrismVersion::B),
+                Scale::Full => PrismConfig::test_problem(PrismVersion::B),
+            };
+            checkpoint_interval_sweep_burst(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
+        }
         SweepId::LoadFactor => load_factor_sweep(&[25, 50, 100, 200, 400], scale),
     }
 }
@@ -545,6 +616,7 @@ mod tests {
                 "fault_intensity",
                 "mtbf",
                 "checkpoint_interval",
+                "checkpoint_interval_burst",
                 "load_factor"
             ]
         );
@@ -713,6 +785,42 @@ mod tests {
         // Both points at least rode out the crash and the restart.
         let floor = crash_at.saturating_add(Time::from_secs(1));
         assert!(dense_tts >= floor, "{}", sweep.render());
+    }
+
+    #[test]
+    fn burst_buffer_flattens_the_checkpoint_u_curve() {
+        let cfg = PrismConfig::tiny(PrismVersion::B);
+        let intervals = [1, 2, 5, 10, 25];
+        let plain = checkpoint_interval_sweep(&cfg, &intervals, 0x0C7);
+        let burst = checkpoint_interval_sweep_burst(&cfg, &intervals, 0x0C7);
+        assert_eq!(burst.parameter, "checkpoint_interval_burst");
+        assert_eq!(plain.points.len(), burst.points.len());
+        let min_tts = |s: &Sweep| {
+            s.points
+                .iter()
+                .map(|p| p.exec_time)
+                .fold(Time::MAX, Time::min)
+        };
+        // The acceptance bar: with commits absorbed at log speed, the
+        // best burst interval beats the plain U-curve's minimum.
+        assert!(
+            min_tts(&burst) < min_tts(&plain),
+            "burst optimum must undercut the plain optimum:\nplain:\n{}\nburst:\n{}",
+            plain.render(),
+            burst.render()
+        );
+        // And point-by-point under the same crashes, absorbing the
+        // commit cost never makes an interval slower.
+        for (b, p) in burst.points.iter().zip(&plain.points) {
+            assert_eq!(b.value, p.value);
+            assert!(
+                b.exec_time <= p.exec_time,
+                "interval {}: {} vs {}",
+                b.value,
+                b.exec_time,
+                p.exec_time
+            );
+        }
     }
 
     #[test]

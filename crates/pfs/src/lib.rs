@@ -27,14 +27,21 @@
 //! file-system design principles the paper advocates in §7 — request
 //! aggregation, prefetching, and write-behind — so their effect can be
 //! quantified in ablation benchmarks.
+//!
+//! The PFS is one of three storage tiers behind the [`backend`] seam;
+//! [`object`] and [`burst`] are the modern comparison points the
+//! evolutionary experiments replay the same workloads against.
 
 pub mod adaptive;
+pub mod backend;
+pub mod burst;
 pub mod cache;
 pub mod costs;
 pub mod error;
 pub mod file;
 pub mod ioncache;
 pub mod mode;
+pub mod object;
 pub mod op;
 pub mod policy;
 pub mod resilience;
@@ -42,9 +49,12 @@ pub mod server;
 pub mod stripe;
 
 pub use adaptive::{AccessPattern, PatternDetector};
+pub use backend::{BackendConfig, BackendKind, BackendStats, StorageBackend};
+pub use burst::{BurstAbsorb, BurstBuffer, BurstBufferConfig};
 pub use costs::PfsCosts;
 pub use error::PfsError;
 pub use mode::IoMode;
+pub use object::{ObjectMeta, ObjectStore, ObjectStoreConfig};
 pub use op::{Completion, IoOp, OpKind, Outcome};
 pub use policy::PolicyConfig;
 pub use resilience::{ResilienceConfig, ResilienceStats};

@@ -1,0 +1,224 @@
+//! Property tests for the modern storage tiers, each checked against
+//! a naive in-memory oracle:
+//!
+//! * the object store's PUT/GET round trip — read-your-writes,
+//!   last-writer-wins metadata, monotone object size, and exact
+//!   PUT/GET accounting;
+//! * the burst buffer's drain — the conservation law
+//!   `bytes_logged == bytes_drained + bytes_resident` at every
+//!   observation point, and FIFO drain progress matching an oracle
+//!   that replays the same entries in submission order (which implies
+//!   per-file write order is preserved).
+
+use proptest::prelude::*;
+use sioscope_pfs::{
+    BurstAbsorb, BurstBuffer, BurstBufferConfig, IoOp, ObjectStore, ObjectStoreConfig, PfsConfig,
+    StorageBackend,
+};
+use sioscope_sim::{FileId, Pid, Time};
+use std::collections::BTreeMap;
+
+/// One generated client action, interpreted against live open state.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Open,
+    Close,
+    Seek(u64),
+    Put(u64),
+    Get(u64),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        1 => Just(Action::Open),
+        1 => Just(Action::Close),
+        2 => (0u64..1 << 16).prop_map(Action::Seek),
+        4 => (1u64..1 << 16).prop_map(Action::Put),
+        4 => (1u64..1 << 16).prop_map(Action::Get),
+    ]
+}
+
+fn steps() -> impl Strategy<Value = Vec<(u8, u8, Action)>> {
+    proptest::collection::vec((0u8..3, 0u8..2, action()), 1..48)
+}
+
+/// The naive oracle: plain maps, no calendars, no timing.
+#[derive(Default)]
+struct NaiveStore {
+    sizes: BTreeMap<u32, u64>,
+    pointers: BTreeMap<(u32, u32), u64>,
+    last_writer: BTreeMap<u32, u32>,
+    puts: u64,
+    gets: u64,
+}
+
+proptest! {
+    #[test]
+    fn object_put_get_round_trip_matches_the_naive_oracle(steps in steps()) {
+        let mut store = ObjectStore::new(ObjectStoreConfig::modern(4));
+        let mut oracle = NaiveStore::default();
+        for fid in 0..2u32 {
+            store.create_file_with_size(&format!("obj-{fid}"), 0);
+            oracle.sizes.insert(fid, 0);
+        }
+        let mut open: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        let mut now = Time::ZERO;
+        let mut last_put: BTreeMap<u32, Time> = BTreeMap::new();
+
+        for &(pid, fid, act) in &steps {
+            let key = (fid.into(), pid.into());
+            let is_open = open.get(&key).copied().unwrap_or(false);
+            // Interpret the action against live state so every submit
+            // is legal; the oracle mirrors the interpretation.
+            let op = match act {
+                Action::Open if is_open => continue,
+                Action::Open => IoOp::Open,
+                Action::Close if !is_open => continue,
+                Action::Close => IoOp::Close,
+                _ if !is_open => continue,
+                Action::Seek(offset) => IoOp::Seek { offset },
+                Action::Put(size) => IoOp::Write { size },
+                Action::Get(size) => IoOp::Read { size },
+            };
+            let mut out = Vec::new();
+            store
+                .submit_into(now, Pid(pid.into()), FileId(fid.into()), &op, &mut out)
+                .expect("interpreted ops are always legal");
+            prop_assert_eq!(out.len(), 1);
+            let c = out[0];
+            prop_assert!(c.finish >= now, "completions never precede submission");
+            now = now.max(c.finish);
+
+            match op {
+                IoOp::Open => {
+                    open.insert(key, true);
+                    oracle.pointers.insert(key, 0);
+                }
+                IoOp::Close => {
+                    open.insert(key, false);
+                }
+                IoOp::Seek { offset } => {
+                    oracle.pointers.insert(key, offset);
+                }
+                IoOp::Write { size } => {
+                    let ptr = oracle.pointers[&key];
+                    let sz = oracle.sizes.get_mut(&u32::from(fid)).unwrap();
+                    // Monotone growth: a PUT never shrinks an object.
+                    *sz = (*sz).max(ptr + size);
+                    oracle.pointers.insert(key, ptr + size);
+                    oracle.last_writer.insert(fid.into(), pid.into());
+                    oracle.puts += 1;
+                    last_put.insert(fid.into(), c.finish);
+                    prop_assert_eq!(c.bytes, size);
+                    prop_assert_eq!(c.offset, ptr);
+                }
+                IoOp::Read { size } => {
+                    let ptr = oracle.pointers[&key];
+                    let avail = oracle.sizes[&u32::from(fid)].saturating_sub(ptr);
+                    let expect = size.min(avail);
+                    oracle.pointers.insert(key, ptr + expect);
+                    oracle.gets += 1;
+                    // Read-your-writes: a GET sees every byte any
+                    // completed PUT placed below the size watermark.
+                    prop_assert_eq!(c.bytes, expect, "GET truncates at object size");
+                    prop_assert_eq!(c.offset, ptr);
+                }
+                _ => unreachable!(),
+            }
+
+            for fid in 0..2u32 {
+                let meta = store.object_meta(FileId(fid)).unwrap();
+                prop_assert_eq!(meta.size, oracle.sizes[&fid]);
+                prop_assert_eq!(
+                    meta.last_writer.map(|p| p.0),
+                    oracle.last_writer.get(&fid).copied(),
+                    "last writer wins"
+                );
+                if let Some(&t) = last_put.get(&fid) {
+                    prop_assert_eq!(meta.mtime, t, "mtime is the last PUT's completion");
+                }
+            }
+        }
+        prop_assert_eq!(store.stats().puts, oracle.puts);
+        prop_assert_eq!(store.stats().gets, oracle.gets);
+    }
+
+    #[test]
+    fn burst_drain_conserves_bytes_and_is_fifo(
+        writes in proptest::collection::vec((0u8..3, 0u8..2, 1u64..1 << 22), 1..32),
+        probe_gap_ns in 0u64..3_000_000_000,
+    ) {
+        let mut cfg = BurstBufferConfig::over(PfsConfig::tiny());
+        cfg.absorb = BurstAbsorb::All;
+        let drain_bps = cfg.drain_bandwidth_bps;
+        let mut buffer = BurstBuffer::new(cfg);
+        for fid in 0..2u32 {
+            buffer.create_file_with_size(&format!("log-{fid}"), 0);
+        }
+        let mut now = Time::ZERO;
+        let mut opened: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        // The oracle replays the same entries strictly in submission
+        // order: (len, ready). Any reordering in the real drain shows
+        // up as a progress mismatch at some probe instant.
+        let mut entries: Vec<(u64, Time)> = Vec::new();
+        let mut logged = 0u64;
+
+        for &(pid, fid, size) in &writes {
+            let (p, f) = (Pid(pid.into()), FileId(fid.into()));
+            if !opened.get(&(fid.into(), pid.into())).copied().unwrap_or(false) {
+                let mut out = Vec::new();
+                buffer.submit_into(now, p, f, &IoOp::Open, &mut out).unwrap();
+                opened.insert((fid.into(), pid.into()), true);
+            }
+            let mut out = Vec::new();
+            buffer
+                .submit_into(now, p, f, &IoOp::Write { size }, &mut out)
+                .unwrap();
+            entries.push((size, out[0].finish));
+            logged += size;
+            let s = buffer.stats();
+            prop_assert!(s.conserves_bytes(), "conservation after every append: {s:?}");
+            prop_assert_eq!(s.bytes_logged, logged);
+            now = now + Time::from_nanos(probe_gap_ns / writes.len() as u64);
+        }
+
+        // Probe the lazy drain mid-flight: progress must match the
+        // FIFO oracle exactly at an arbitrary instant.
+        let probe = now + Time::from_nanos(probe_gap_ns);
+        let (pid0, fid0, _) = writes[0];
+        let mut out = Vec::new();
+        buffer
+            .submit_into(probe, Pid(pid0.into()), FileId(fid0.into()), &IoOp::Seek { offset: 0 }, &mut out)
+            .unwrap();
+        let oracle_drained_by = |t: Time| -> u64 {
+            let mut clock = Time::ZERO;
+            let mut drained = 0;
+            for &(len, ready) in &entries {
+                let finish = clock.max(ready)
+                    + Time::from_nanos(
+                        ((u128::from(len) * 1_000_000_000u128) / u128::from(drain_bps)) as u64,
+                    );
+                if finish > t {
+                    break;
+                }
+                clock = finish;
+                drained += len;
+            }
+            drained
+        };
+        let s = buffer.stats();
+        prop_assert!(s.conserves_bytes());
+        prop_assert_eq!(s.bytes_drained, oracle_drained_by(probe), "FIFO drain progress");
+
+        // Quiesce retires everything; the drain end matches the
+        // oracle's full replay.
+        let quiet = buffer.quiesce(probe);
+        let s = buffer.stats();
+        prop_assert!(s.conserves_bytes());
+        prop_assert_eq!(s.bytes_logged, logged);
+        prop_assert_eq!(s.bytes_drained, logged);
+        prop_assert_eq!(s.bytes_resident, 0);
+        prop_assert!(quiet >= probe);
+        prop_assert!(quiet >= s.drain_complete);
+    }
+}

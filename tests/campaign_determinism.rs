@@ -121,6 +121,79 @@ fn corrupted_cache_entries_are_recomputed_not_trusted() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The SPEC matrix widened across all three storage tiers. The object
+/// tier models no fault process, so this spec stays fault-free.
+const MIXED_BACKEND_SPEC: &str = r#"
+[campaign]
+name = "backend-tiers"
+scale = "smoke"
+
+[workloads]
+ids = ["escat-b"]
+backends = ["pfs", "object", "burst"]
+seeds = [0]
+"#;
+
+#[test]
+fn backend_tiers_hash_distinctly_and_cache_cold_equals_cached() {
+    let spec = CampaignSpec::from_toml_str(MIXED_BACKEND_SPEC).unwrap();
+    let runs = spec.expand();
+    assert_eq!(runs.len(), 3, "one run per tier");
+
+    // The backend is part of the canonical line, so each tier gets its
+    // own content address — a cached pfs result can never be served
+    // for an object or burst run.
+    let mut hashes: Vec<String> = runs
+        .iter()
+        .map(|r| sioscope_campaign::config_hash(&r.canon()))
+        .collect();
+    hashes.sort();
+    hashes.dedup();
+    assert_eq!(hashes.len(), 3, "tiers must not share content addresses");
+
+    let dir = fresh_dir("tiers");
+    let cold = run_campaign(&spec, &opts(2, &dir)).unwrap();
+    assert_eq!(cold.hits(), 0);
+    assert!(
+        cold.runs.iter().all(|r| r.entry.is_ok()),
+        "{}",
+        cold.render()
+    );
+    // Tiers produce genuinely different physics: exec times differ.
+    let execs: std::collections::BTreeSet<u64> = cold
+        .runs
+        .iter()
+        .map(|r| r.entry.metrics["exec_time_ns"])
+        .collect();
+    assert_eq!(execs.len(), 3, "each tier must time differently");
+
+    let cached = run_campaign(&spec, &opts(2, &dir)).unwrap();
+    assert_eq!(cached.hits(), cached.runs.len());
+    assert_eq!(cold.render(), cached.render(), "cold vs cached");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn backend_axis_is_toml_order_independent() {
+    let reordered = r#"
+[workloads]
+seeds = [0x0]
+backends = ["pfs", "object", "burst"]
+ids = ["escat-b"]
+
+[campaign]
+scale = "smoke"
+name = "backend-tiers"
+"#;
+    let a = CampaignSpec::from_toml_str(MIXED_BACKEND_SPEC).unwrap();
+    let b = CampaignSpec::from_toml_str(reordered).unwrap();
+    assert_eq!(a, b);
+    let canons =
+        |spec: &CampaignSpec| -> Vec<String> { spec.expand().iter().map(|r| r.canon()).collect() };
+    assert_eq!(canons(&a), canons(&b));
+}
+
 #[test]
 fn spec_reordering_cannot_move_a_content_address() {
     let reordered = r#"
