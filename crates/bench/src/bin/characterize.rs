@@ -6,6 +6,8 @@
 //! cargo run -p sioscope-bench --bin characterize --release -- --demo trace.siot
 //! # The same request stream through a modern tier:
 //! cargo run -p sioscope-bench --bin characterize --release -- --backend object --demo trace.siot
+//! # Fault-engaged demo (tier-checked; prints resilience counters):
+//! cargo run -p sioscope-bench --bin characterize --release -- --backend object --faults md-shard-outage@0.3 --demo trace.siot
 //! # Characterize any exported trace (binary .siot or .json):
 //! cargo run -p sioscope-bench --bin characterize --release -- trace.siot
 //! ```
@@ -35,21 +37,51 @@ fn load(path: &Path) -> TraceRecorder {
     result.unwrap_or_else(|e| exit_with(CliError::io(path, e)))
 }
 
-fn write_demo(path: &Path, backend: sioscope_pfs::BackendKind) {
+fn write_demo(path: &Path, backend: sioscope_pfs::BackendKind, fault_spec: Option<&str>) {
     use sioscope::simulator::{run_backend, SimOptions};
+    use sioscope_bench::{fault_mismatch_error, parse_fault_spec};
+    use sioscope_faults::FaultSchedule;
     use sioscope_pfs::{
         BackendConfig, BackendKind, BurstBufferConfig, ObjectStoreConfig, PfsConfig,
     };
     use sioscope_workloads::{EscatConfig, EscatVersion};
     let w = EscatConfig::tiny(EscatVersion::B).build();
-    let cfg = match backend {
-        BackendKind::Pfs => BackendConfig::Pfs(PfsConfig::caltech(w.nodes, w.os)),
-        BackendKind::Object => BackendConfig::Object(ObjectStoreConfig::modern(w.nodes)),
+    let cfg = |faults: FaultSchedule| match backend {
+        BackendKind::Pfs => {
+            let mut c = PfsConfig::caltech(w.nodes, w.os);
+            c.faults = faults;
+            BackendConfig::Pfs(c)
+        }
+        BackendKind::Object => {
+            let mut c = ObjectStoreConfig::modern(w.nodes);
+            c.faults = faults;
+            BackendConfig::Object(c)
+        }
         BackendKind::Burst => {
-            BackendConfig::Burst(BurstBufferConfig::over(PfsConfig::caltech(w.nodes, w.os)))
+            let mut c = BurstBufferConfig::over(PfsConfig::caltech(w.nodes, w.os));
+            c.faults = faults;
+            BackendConfig::Burst(c)
         }
     };
-    let r = run_backend(&w, &cfg, SimOptions::default()).expect("demo runs");
+    let faults = match fault_spec {
+        None => FaultSchedule::empty(),
+        Some(spec) => {
+            // The horizon the spec's fractional placements scale to:
+            // the fault-free run of the same demo.
+            let horizon = run_backend(&w, &cfg(FaultSchedule::empty()), SimOptions::default())
+                .expect("fault-free demo run")
+                .exec_time;
+            let faults = parse_fault_spec(spec, horizon).unwrap_or_else(|e| exit_with(e));
+            // Fail fast, exit 2, naming the tier's valid fault set —
+            // before any faulted simulation runs.
+            let problems = cfg(faults.clone()).validate_faults(w.nodes);
+            if !problems.is_empty() {
+                exit_with(fault_mismatch_error(backend, &problems));
+            }
+            faults
+        }
+    };
+    let r = run_backend(&w, &cfg(faults), SimOptions::default()).expect("demo runs");
     if let Err(e) = sioscope_trace::binary::write_file(&r.trace, path) {
         exit_with(CliError::io(path, e));
     }
@@ -60,6 +92,30 @@ fn write_demo(path: &Path, backend: sioscope_pfs::BackendKind) {
         backend.id(),
         path.display()
     );
+    if fault_spec.is_some() {
+        // Per-tier resilience counters: on the object tier these are
+        // the metadata failover ladder, on the burst tier the
+        // write-through fallback, on the PFS the retry/reroute policy.
+        let z = r.resilience;
+        println!(
+            "resilience ({} tier): {} timeouts, {} retries, {} reroutes, {} degraded reads, {} aborts, {} writethroughs ({} fault transitions)",
+            backend.id(),
+            z.timeouts,
+            z.retries,
+            z.reroutes,
+            z.degraded_reads,
+            z.aborts,
+            z.writethroughs,
+            r.fault_transitions,
+        );
+        let s = r.backend_stats;
+        if backend == BackendKind::Burst {
+            println!(
+                "burst ledger: {} B logged = {} drained + {} resident + {} lost; {} passthrough ops",
+                s.bytes_logged, s.bytes_drained, s.bytes_resident, s.bytes_lost, s.passthrough_ops
+            );
+        }
+    }
 }
 
 fn main() {
@@ -82,9 +138,23 @@ fn main() {
         };
         args.drain(i..=i + 1);
     }
+    // --faults <spec> injects a fault schedule into the --demo run:
+    // a comma list of label@frac events (e.g. `ion-crash@0.3`), each
+    // validated against the chosen tier's fault vocabulary before
+    // anything simulates.
+    let mut fault_spec: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--faults") {
+        match args.get(i + 1) {
+            Some(spec) => fault_spec = Some(spec.clone()),
+            None => exit_with(CliError::BadArgs(
+                "--faults requires a schedule spec (label@frac, comma-separated)".into(),
+            )),
+        }
+        args.drain(i..=i + 1);
+    }
     if args.is_empty() {
         exit_with(CliError::BadArgs(
-            "usage: characterize [--backend <pfs|object|burst>] [--demo] <trace.siot|trace.json>"
+            "usage: characterize [--backend <pfs|object|burst>] [--faults <label@frac,...>] [--demo] <trace.siot|trace.json>"
                 .into(),
         ));
     }
@@ -96,8 +166,14 @@ fn main() {
     } else {
         (false, Path::new(&args[0]).to_path_buf())
     };
+    if fault_spec.is_some() && !demo {
+        exit_with(CliError::BadArgs(
+            "--faults only applies to a --demo simulation (an exported trace has no fault process)"
+                .into(),
+        ));
+    }
     if demo {
-        write_demo(&path, backend);
+        write_demo(&path, backend, fault_spec.as_deref());
     }
     let trace = load(&path);
     let events = trace.events();

@@ -11,6 +11,9 @@
 
 use sioscope::experiments::{Experiment, Scale};
 use sioscope::sweeps::SweepId;
+use sioscope_faults::{FaultKind, FaultSchedule, Tier};
+use sioscope_pfs::BackendKind;
+use sioscope_sim::Time;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -19,6 +22,118 @@ use std::path::Path;
 // them); re-exported here so every existing `sioscope_bench::` import
 // keeps working.
 pub use sioscope_campaign::cliutil::{exit_with, tmp_sibling, write_atomic, CliError};
+
+/// The fault-validation tier a storage backend interprets its
+/// schedules against (the burst tier's *inner* PFS schedule is
+/// validated separately, against [`Tier::Pfs`]).
+pub fn backend_tier(kind: BackendKind) -> Tier {
+    match kind {
+        BackendKind::Pfs => Tier::Pfs,
+        BackendKind::Object => Tier::Object,
+        BackendKind::Burst => Tier::Burst,
+    }
+}
+
+/// The usage error (exit code 2) for a fault schedule the chosen tier
+/// cannot express: every problem, then the tier's valid fault set.
+pub fn fault_mismatch_error(kind: BackendKind, problems: &[String]) -> CliError {
+    let tier = backend_tier(kind);
+    CliError::BadArgs(format!(
+        "fault schedule invalid for the {} tier:\n  {}\nvalid faults on {}: {}",
+        kind.id(),
+        problems.join("\n  "),
+        tier,
+        tier.valid_fault_labels().join(", ")
+    ))
+}
+
+/// Every fault label any tier can express, for diagnostics.
+const ALL_FAULT_LABELS: [&str; 10] = [
+    "latent-sector",
+    "spindle-failure",
+    "ion-crash",
+    "ion-slowdown",
+    "link-congestion",
+    "compute-crash",
+    "md-shard-outage",
+    "degraded-service",
+    "drain-stall",
+    "burst-crash",
+];
+
+/// Parse a `--faults` spec: a comma list of `label@frac` events, each
+/// placed at `frac`× the run horizon with canned parameters (windows
+/// span 20% of the horizon, slowdown factors are 2×). The spec is
+/// *not* tier-checked here — that is the job of
+/// `BackendConfig::validate_faults`, so a cross-tier schedule fails
+/// through [`fault_mismatch_error`] naming the valid set rather than
+/// being rejected ad hoc at parse time.
+pub fn parse_fault_spec(spec: &str, horizon: Time) -> Result<FaultSchedule, CliError> {
+    let window = horizon.scale(0.2).max(Time::from_millis(1));
+    let mut schedule = FaultSchedule::empty();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (label, frac) = match part.split_once('@') {
+            Some((l, f)) => {
+                let frac: f64 = f.parse().map_err(|_| {
+                    CliError::BadArgs(format!("bad fault placement `{part}` (want label@frac)"))
+                })?;
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(CliError::BadArgs(format!(
+                        "fault placement `{part}` outside [0, 1]"
+                    )));
+                }
+                (l, frac)
+            }
+            None => (part, 0.5),
+        };
+        let kind = match label {
+            "latent-sector" => FaultKind::LatentSector {
+                ion: 0,
+                duration: window,
+                penalty: Time::from_millis(5),
+            },
+            "spindle-failure" => FaultKind::SpindleFailure {
+                ion: 0,
+                rebuild: Some(window),
+            },
+            "ion-crash" => FaultKind::IonCrash {
+                ion: 0,
+                restart: window,
+            },
+            "ion-slowdown" => FaultKind::IonSlowdown {
+                ion: 0,
+                duration: window,
+                factor: 2.0,
+            },
+            "link-congestion" => FaultKind::LinkCongestion {
+                duration: window,
+                factor: 2.0,
+            },
+            "compute-crash" => FaultKind::ComputeNodeCrash {
+                node: 0,
+                rework: window,
+            },
+            "md-shard-outage" => FaultKind::MetadataShardOutage {
+                shard: 0,
+                duration: window,
+            },
+            "degraded-service" => FaultKind::DegradedService {
+                duration: window,
+                factor: 2.0,
+            },
+            "drain-stall" => FaultKind::DrainStall { duration: window },
+            "burst-crash" => FaultKind::BurstNodeCrash { repair: window },
+            other => {
+                return Err(CliError::BadArgs(format!(
+                    "unknown fault label `{other}`; known labels: {}",
+                    ALL_FAULT_LABELS.join(", ")
+                )))
+            }
+        };
+        schedule.push(horizon.scale(frac), kind);
+    }
+    Ok(schedule)
+}
 
 /// Whether an artifact at `path` can be trusted by `--resume`: it must
 /// be a readable, non-empty file, and a `.json` artifact must actually
@@ -464,6 +579,48 @@ mod tests {
         assert!(!artifact_resumable(&json));
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_spec_parses_and_places_events() {
+        let horizon = Time::from_secs(10);
+        let s = parse_fault_spec("ion-crash@0.5,drain-stall", horizon).unwrap();
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].at, Time::from_secs(5));
+        assert!(s.engages());
+
+        let err = parse_fault_spec("warp-core-breach@0.5", horizon).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("known labels"));
+
+        let err = parse_fault_spec("ion-crash@1.5", horizon).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn fault_mismatch_is_a_usage_error_naming_the_valid_set() {
+        let problems = vec!["event 0: drain-stall is not a fault of the pfs tier".to_string()];
+        let err = fault_mismatch_error(BackendKind::Pfs, &problems);
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("valid faults on pfs"));
+        assert!(msg.contains("ion-crash"));
+        let burst = fault_mismatch_error(BackendKind::Burst, &problems).to_string();
+        assert!(burst.contains("drain-stall") && burst.contains("burst-crash"));
+    }
+
+    #[test]
+    fn cross_tier_spec_fails_fast_through_backend_validation() {
+        use sioscope_pfs::{BackendConfig, ObjectStoreConfig};
+        let faults = parse_fault_spec("drain-stall@0.2", Time::from_secs(10)).unwrap();
+        let mut obj = ObjectStoreConfig::modern(4);
+        obj.faults = faults;
+        let cfg = BackendConfig::Object(obj);
+        let problems = cfg.validate_faults(4);
+        assert!(!problems.is_empty());
+        let err = fault_mismatch_error(BackendKind::Object, &problems);
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("valid faults on object"));
     }
 
     #[test]

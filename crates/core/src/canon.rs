@@ -207,11 +207,14 @@ pub fn workload_run(
 /// The `pfs` tier delegates to [`workload_run`] verbatim, so its
 /// metrics (and therefore its content addresses' *values*) are
 /// bit-identical to the pre-backend path. The `object` tier adds
-/// `puts`/`gets` counters and rejects fault injection — the flat
-/// namespace models no I/O-node fault process. The `burst` tier
-/// absorbs every file into the host-side log over the same Caltech
-/// PFS, injecting faults into the *inner* PFS with a horizon from the
-/// same-tier fault-free run, and adds the drain accounting counters.
+/// `puts`/`gets` counters; `fault_events > 0` draws *object-tier*
+/// faults (metadata-shard outages, degraded-service windows) from the
+/// seed's object stream. The `burst` tier absorbs every file into the
+/// host-side log over the same Caltech PFS and adds the drain
+/// accounting counters; `fault_events > 0` draws *burst-tier* faults
+/// (drain stalls, burst-node crashes) from the seed's burst stream.
+/// Either way the fault horizon is the same-tier fault-free execution
+/// time, mirroring the PFS path.
 pub fn workload_run_backend(
     id: WorkloadId,
     scale: Scale,
@@ -223,33 +226,34 @@ pub fn workload_run_backend(
         return workload_run(id, scale, fault_events, seed);
     }
     let workload = id.build(scale);
+    // The fault horizon is the tier's own fault-free execution time.
+    let horizon = |base: &BackendConfig| -> Result<Time, String> {
+        run_backend(&workload, base, SimOptions::default())
+            .map(|r| r.exec_time)
+            .map_err(|e| format!("{} fault-free baseline: {e}", id.id()))
+    };
     let cfg = match backend {
         BackendKind::Pfs => unreachable!("handled above"),
         BackendKind::Object => {
+            let mut obj = ObjectStoreConfig::modern(workload.nodes);
             if fault_events > 0 {
-                return Err(format!(
-                    "{}: the object tier models no I/O-node faults",
-                    id.id()
-                ));
+                let h = horizon(&BackendConfig::Object(obj.clone()))?;
+                obj.faults = FaultGen::new(seed, h, workload.nodes)
+                    .with_events(fault_events as usize)
+                    .object_schedule(obj.md_shards.max(1) as u32);
             }
-            BackendConfig::Object(ObjectStoreConfig::modern(workload.nodes))
+            BackendConfig::Object(obj)
         }
         BackendKind::Burst => {
             let pfs = PfsConfig::caltech(workload.nodes, workload.os);
-            let base = BackendConfig::Burst(BurstBufferConfig::over(pfs.clone()));
-            let pfs = if fault_events == 0 {
-                pfs
-            } else {
-                let horizon = run_backend(&workload, &base, SimOptions::default())
-                    .map_err(|e| format!("{} fault-free baseline: {e}", id.id()))?
-                    .exec_time;
-                let mut faulty = pfs;
-                faulty.faults = FaultGen::new(seed, horizon, faulty.machine.io_nodes)
+            let mut burst = BurstBufferConfig::over(pfs);
+            if fault_events > 0 {
+                let h = horizon(&BackendConfig::Burst(burst.clone()))?;
+                burst.faults = FaultGen::new(seed, h, burst.pfs.machine.io_nodes)
                     .with_events(fault_events as usize)
-                    .schedule();
-                faulty
-            };
-            BackendConfig::Burst(BurstBufferConfig::over(pfs))
+                    .burst_schedule();
+            }
+            BackendConfig::Burst(burst)
         }
     };
     let result = run_backend(&workload, &cfg, SimOptions::default())
@@ -274,7 +278,16 @@ pub fn workload_run_backend(
             metrics.insert("bytes_resident".to_string(), s.bytes_resident);
             metrics.insert("absorbed_ops".to_string(), s.absorbed_ops);
             metrics.insert("drain_complete_ns".to_string(), s.drain_complete.as_nanos());
+            if fault_events > 0 {
+                metrics.insert("bytes_lost".to_string(), s.bytes_lost);
+            }
         }
+    }
+    if fault_events > 0 {
+        metrics.insert(
+            "resilience_actions".to_string(),
+            result.resilience.total_actions(),
+        );
     }
     Ok(metrics)
 }
@@ -395,14 +408,26 @@ mod tests {
     }
 
     #[test]
-    fn object_tier_rejects_fault_injection() {
-        let err = workload_run_backend(WorkloadId::EscatB, Scale::Smoke, BackendKind::Object, 1, 0)
-            .unwrap_err();
-        assert!(err.contains("no I/O-node faults"), "{err}");
+    fn object_tier_takes_object_faults() {
+        let faulty = workload_run_backend(
+            WorkloadId::EscatB,
+            Scale::Smoke,
+            BackendKind::Object,
+            3,
+            0xF417,
+        )
+        .unwrap();
+        assert!(faulty["fault_transitions"] > 0, "{faulty:?}");
+        assert!(faulty.contains_key("resilience_actions"), "{faulty:?}");
+        let clean =
+            workload_run_backend(WorkloadId::EscatB, Scale::Smoke, BackendKind::Object, 0, 0)
+                .unwrap();
+        assert!(faulty["exec_time_ns"] >= clean["exec_time_ns"]);
+        assert!(!clean.contains_key("resilience_actions"));
     }
 
     #[test]
-    fn burst_tier_takes_faults_on_the_inner_pfs() {
+    fn burst_tier_takes_burst_faults() {
         let faulty = workload_run_backend(
             WorkloadId::PrismA,
             Scale::Smoke,
@@ -412,6 +437,15 @@ mod tests {
         )
         .unwrap();
         assert!(faulty["fault_transitions"] > 0, "{faulty:?}");
+        assert!(
+            faulty.contains_key("bytes_lost"),
+            "faulted burst runs report the loss ledger: {faulty:?}"
+        );
+        assert_eq!(
+            faulty["bytes_logged"],
+            faulty["bytes_drained"] + faulty["bytes_resident"] + faulty["bytes_lost"],
+            "conservation law: {faulty:?}"
+        );
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //! | [`Experiment::BackfillVsFcfs`] | Multi-tenant — EASY backfill against FCFS on a blocker stream |
 //! | [`Experiment::BackendEscat`] | Evolution — ESCAT B/C across pfs, object-store and burst-buffer tiers |
 //! | [`Experiment::BackendPrism`] | Evolution — PRISM A/C across pfs, object-store and burst-buffer tiers |
+//! | [`Experiment::FaultyObject`] | Robustness — object tier under metadata-shard outages and degraded service |
+//! | [`Experiment::FaultyBurst`] | Robustness — burst tier under drain stalls and a burst-node crash |
 
 pub mod ablation;
 pub mod backend;
@@ -79,6 +81,8 @@ pub enum Experiment {
     BackfillVsFcfs,
     BackendEscat,
     BackendPrism,
+    FaultyObject,
+    FaultyBurst,
 }
 
 impl Experiment {
@@ -115,6 +119,8 @@ impl Experiment {
             BackfillVsFcfs,
             BackendEscat,
             BackendPrism,
+            FaultyObject,
+            FaultyBurst,
         ]
     }
 
@@ -151,6 +157,8 @@ impl Experiment {
             BackfillVsFcfs => "backfill-vs-fcfs",
             BackendEscat => "backend-escat",
             BackendPrism => "backend-prism",
+            FaultyObject => "faulty-object",
+            FaultyBurst => "faulty-burst",
         }
     }
 
@@ -196,6 +204,10 @@ impl Experiment {
             BackfillVsFcfs => "Scheduling: EASY backfill against FCFS on a blocker stream",
             BackendEscat => "Evolution: ESCAT across pfs, object-store and burst-buffer tiers",
             BackendPrism => "Evolution: PRISM across pfs, object-store and burst-buffer tiers",
+            FaultyObject => {
+                "Robustness: object tier under metadata-shard outages and degraded service"
+            }
+            FaultyBurst => "Robustness: burst tier under drain stalls and a burst-node crash",
         }
     }
 }
@@ -286,6 +298,8 @@ pub fn run_experiment(experiment: Experiment, scale: Scale) -> ExperimentOutput 
         BackfillVsFcfs => contention::backfill_vs_fcfs(scale),
         BackendEscat => backend::escat(scale),
         BackendPrism => backend::prism(scale),
+        FaultyObject => backend::faulty_object(scale),
+        FaultyBurst => backend::faulty_burst(scale),
     }
 }
 
@@ -306,8 +320,9 @@ mod tests {
         let ids: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
         // 5 tables + 9 figures + 6 ablations/counterfactuals + the
         // §6 comparison + 2 resilience + 2 recovery + 2 multi-tenant
-        // scheduling experiments + 2 cross-tier backend comparisons.
-        assert_eq!(ids.len(), 29);
+        // scheduling experiments + 2 cross-tier backend comparisons
+        // + 2 tier-fault robustness experiments.
+        assert_eq!(ids.len(), 31);
         for artifact in [
             "escat-table1",
             "escat-table2",

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod canon;
+pub mod chaos;
 pub mod experiments;
 pub mod paper;
 pub mod recovery;
@@ -44,6 +45,7 @@ pub mod schedule;
 pub mod simulator;
 pub mod sweeps;
 
+pub use chaos::{chaos_case, chaos_soak, ChaosVerdict};
 pub use experiments::{Experiment, ExperimentOutput};
 pub use recovery::{run_with_recovery, run_with_recovery_backend, RecoveryStats};
 pub use schedule::{run_schedule, SchedError, ScheduleOutcome};

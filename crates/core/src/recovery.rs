@@ -165,13 +165,17 @@ fn recovery_loop(
         stats.crashes += 1;
         // The crash instant in this attempt's local clock.
         let local = at.saturating_sub(wall);
-        // Latest marker committed strictly by the crash; commit times
-        // are monotone in the marker index within an attempt.
+        // Latest marker committed strictly by the crash AND durable —
+        // a commit whose bytes a burst-node crash destroyed while
+        // resident in the log reports `Time::MAX` and can never be
+        // rolled back to. Commit times are monotone in the marker
+        // index within an attempt.
         let committed = result
             .checkpoint_commits
             .iter()
-            .rfind(|(_, t)| *t <= local)
-            .copied();
+            .zip(result.durable_commits.iter())
+            .rfind(|((_, t), (_, d))| *t <= local && *d <= local)
+            .map(|((k, t), _)| (*k, *t));
         let base = committed.map(|(_, t)| t).unwrap_or(Time::ZERO);
         stats.rework += local.saturating_sub(base);
         stats.restart_latency += rework;

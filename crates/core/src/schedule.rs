@@ -209,6 +209,7 @@ fn resilience_delta(now: &ResilienceStats, base: &ResilienceStats) -> Resilience
         reroutes: now.reroutes - base.reroutes,
         degraded_reads: now.degraded_reads - base.degraded_reads,
         aborts: now.aborts - base.aborts,
+        writethroughs: now.writethroughs - base.writethroughs,
     }
 }
 
@@ -542,6 +543,9 @@ pub fn run_schedule(
                     resilience: resilience_delta(&pfs.resilience_stats(), &job.res_base),
                     fault_transitions: 0,
                     checkpoint_commits: job.commits.iter().map(|(&k, &t)| (k, t)).collect(),
+                    // The shared PFS has no volatile staging tier:
+                    // every commit is durable at its commit instant.
+                    durable_commits: job.commits.iter().map(|(&k, &t)| (k, t)).collect(),
                     recovery,
                     backend_stats: BackendStats::default(),
                 });

@@ -117,6 +117,13 @@ pub struct RunResult {
     /// marker, where the time is the latest instant any node passed
     /// the marker. Empty for marker-free workloads.
     pub checkpoint_commits: Vec<(u32, Time)>,
+    /// Durability verdict per checkpoint commit, parallel to
+    /// `checkpoint_commits`: the instant the commit's data is durable
+    /// on stable storage, or [`Time::MAX`] if a burst-node crash
+    /// destroyed bytes the commit covered (the checkpoint can never be
+    /// restored from). Tiers without volatile staging report the
+    /// commit instant itself.
+    pub durable_commits: Vec<(u32, Time)>,
     /// Recovery accounting, filled in by
     /// [`crate::recovery::run_with_recovery`]; all-zero for plain
     /// runs.
@@ -213,10 +220,11 @@ pub fn run(
 
 /// Run `workload` against the storage tier `cfg` selects.
 ///
-/// For [`BackendConfig::Pfs`] this is equivalent to [`run`]; the
-/// object store has no fault model (a schedule that engages is
-/// rejected upstream by construction — the config carries none), and
-/// the burst buffer validates faults against its inner PFS machine.
+/// For [`BackendConfig::Pfs`] this is equivalent to [`run`]. Every
+/// fault schedule the config carries is validated against its own
+/// tier's fault vocabulary before the run starts — a PFS fault on the
+/// object store (or vice versa) is an [`SimError::InvalidFaults`],
+/// never a silently dropped event.
 pub fn run_backend(
     workload: &Workload,
     cfg: &BackendConfig,
@@ -227,28 +235,13 @@ pub fn run_backend(
         return Err(SimError::InvalidWorkload(problems));
     }
     let mut cfg = cfg.clone();
+    let fault_problems = cfg.validate_faults(workload.nodes);
+    if !fault_problems.is_empty() {
+        return Err(SimError::InvalidFaults(fault_problems));
+    }
     match &mut cfg {
-        BackendConfig::Pfs(c) => {
-            if c.faults.engages() {
-                let fault_problems = c.faults.validate_for(c.machine.io_nodes, workload.nodes);
-                if !fault_problems.is_empty() {
-                    return Err(SimError::InvalidFaults(fault_problems));
-                }
-            }
-            c.os = workload.os;
-        }
-        BackendConfig::Burst(b) => {
-            if b.pfs.faults.engages() {
-                let fault_problems = b
-                    .pfs
-                    .faults
-                    .validate_for(b.pfs.machine.io_nodes, workload.nodes);
-                if !fault_problems.is_empty() {
-                    return Err(SimError::InvalidFaults(fault_problems));
-                }
-            }
-            b.pfs.os = workload.os;
-        }
+        BackendConfig::Pfs(c) => c.os = workload.os,
+        BackendConfig::Burst(b) => b.pfs.os = workload.os,
         BackendConfig::Object(_) => {}
     }
     cfg.machine_mut().compute_nodes = workload.nodes;
@@ -447,6 +440,12 @@ fn run_loop<B: StorageBackend + ?Sized>(
     // final; the drain instant lands in `backend_stats`, not in the
     // foreground `exec_time`.
     backend.quiesce(exec_time);
+    // Durability verdicts, queried in commit order (the cursor
+    // contract: each query covers the window since the last).
+    let durable_commits: Vec<(u32, Time)> = checkpoint_commits
+        .iter()
+        .map(|(&k, &t)| (k, backend.durable_instant(t)))
+        .collect();
     Ok(RunResult {
         name: workload.name.clone(),
         version: workload.version.clone(),
@@ -457,6 +456,7 @@ fn run_loop<B: StorageBackend + ?Sized>(
         resilience: backend.resilience_stats(),
         fault_transitions,
         checkpoint_commits: checkpoint_commits.into_iter().collect(),
+        durable_commits,
         recovery: crate::recovery::RecoveryStats::default(),
         backend_stats: backend.stats(),
     })

@@ -39,6 +39,7 @@ pub enum SweepId {
     Mtbf,
     CheckpointInterval,
     CheckpointIntervalBurst,
+    CheckpointIntervalBurstCrash,
     LoadFactor,
 }
 
@@ -55,6 +56,7 @@ impl SweepId {
             Mtbf,
             CheckpointInterval,
             CheckpointIntervalBurst,
+            CheckpointIntervalBurstCrash,
             LoadFactor,
         ]
     }
@@ -71,6 +73,7 @@ impl SweepId {
             Mtbf => "mtbf",
             CheckpointInterval => "checkpoint_interval",
             CheckpointIntervalBurst => "checkpoint_interval_burst",
+            CheckpointIntervalBurstCrash => "checkpoint_interval_burst_crash",
             LoadFactor => "load_factor",
         }
     }
@@ -463,6 +466,74 @@ pub fn checkpoint_interval_sweep_burst_with(
     }
 }
 
+/// [`checkpoint_interval_sweep_burst`] with *burst-tier* faults
+/// injected on top of the same compute-crash schedule: drain stalls
+/// and a burst-node crash that destroys resident (not yet drained)
+/// checkpoint bytes. A commit whose bytes died in the log is not
+/// durable — the recovery driver must roll back past it — so the
+/// flattened burst U-curve un-flattens: dense checkpointing regains
+/// value because each commit bounds how much the log can lose.
+pub fn checkpoint_interval_sweep_burst_crash(
+    cfg: &PrismConfig,
+    intervals: &[u32],
+    seed: u64,
+) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let baseline = run(&baseline_w, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("burst-crash checkpoint sweep baseline: {e}"))
+        .exec_time;
+    let (horizon, rework) = crash_environment(baseline);
+    let fgen = FaultGen::new(seed, horizon, base_cfg.machine.io_nodes);
+    let crashes = fgen.compute_crash_schedule(baseline.scale(0.8), rework, baseline_w.nodes);
+    // The same seeded burst-fault scenario at every point, placed over
+    // one attempt's horizon so the faults land mid-attempt.
+    let burst_faults = FaultGen::new(seed, baseline, base_cfg.machine.io_nodes)
+        .with_events(3)
+        .burst_schedule();
+    checkpoint_interval_sweep_burst_crash_with(cfg, intervals, &crashes, &burst_faults)
+}
+
+/// [`checkpoint_interval_sweep_burst_crash`] against caller-supplied
+/// compute-crash and burst-fault schedules. Exposed so tests can place
+/// a burst-node crash exactly where checkpoint bytes are resident.
+pub fn checkpoint_interval_sweep_burst_crash_with(
+    cfg: &PrismConfig,
+    intervals: &[u32],
+    crashes: &FaultSchedule,
+    burst_faults: &FaultSchedule,
+) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let mut points: Vec<SweepPoint> = intervals
+        .par_iter()
+        .map(|&interval| {
+            let snapped = cfg.snap_interval(interval);
+            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: snapped });
+            let mut burst =
+                BurstBufferConfig::absorbing(base_cfg.clone(), rec.checkpoint_files().to_vec());
+            burst.faults = burst_faults.clone();
+            let tier = BackendConfig::Burst(burst);
+            let r = run_with_recovery_backend(&rec, crashes, &tier, SimOptions::default())
+                .unwrap_or_else(|e| panic!("burst-crash interval={snapped}: {e}"));
+            SweepPoint {
+                label: format!("every {snapped} steps"),
+                value: u64::from(snapped),
+                exec_time: r.recovery.time_to_solution,
+                io_time: r.total_io_time(),
+                events: r.events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    points.dedup_by_key(|p| p.value);
+    Sweep {
+        parameter: "checkpoint_interval_burst_crash",
+        workload: baseline_w.name.clone(),
+        points,
+    }
+}
+
 /// One offered-load measurement behind [`load_factor_sweep`]: the
 /// per-class mean bounded slowdowns that the generic [`SweepPoint`]
 /// has no columns for.
@@ -591,6 +662,13 @@ pub fn run_sweep(id: SweepId, scale: Scale) -> Sweep {
             };
             checkpoint_interval_sweep_burst(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
         }
+        SweepId::CheckpointIntervalBurstCrash => {
+            let cfg = match scale {
+                Scale::Smoke => PrismConfig::tiny(PrismVersion::B),
+                Scale::Full => PrismConfig::test_problem(PrismVersion::B),
+            };
+            checkpoint_interval_sweep_burst_crash(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
+        }
         SweepId::LoadFactor => load_factor_sweep(&[25, 50, 100, 200, 400], scale),
     }
 }
@@ -617,6 +695,7 @@ mod tests {
                 "mtbf",
                 "checkpoint_interval",
                 "checkpoint_interval_burst",
+                "checkpoint_interval_burst_crash",
                 "load_factor"
             ]
         );
@@ -820,6 +899,32 @@ mod tests {
                 b.exec_time,
                 p.exec_time
             );
+        }
+    }
+
+    #[test]
+    fn burst_faults_never_improve_the_flattened_u_curve() {
+        let cfg = PrismConfig::tiny(PrismVersion::B);
+        let intervals = [1, 5, 25];
+        let clean = checkpoint_interval_sweep_burst(&cfg, &intervals, 0x0C7);
+        let faulted = checkpoint_interval_sweep_burst_crash(&cfg, &intervals, 0x0C7);
+        assert_eq!(faulted.parameter, "checkpoint_interval_burst_crash");
+        assert_eq!(clean.points.len(), faulted.points.len());
+        for (f, c) in faulted.points.iter().zip(&clean.points) {
+            assert_eq!(f.value, c.value);
+            assert!(
+                f.exec_time >= c.exec_time,
+                "burst faults never speed recovery up at interval {}: {} vs {}",
+                f.value,
+                f.exec_time,
+                c.exec_time
+            );
+        }
+        // Deterministic: same seed, same curve.
+        let again = checkpoint_interval_sweep_burst_crash(&cfg, &intervals, 0x0C7);
+        for (a, b) in faulted.points.iter().zip(&again.points) {
+            assert_eq!(a.exec_time, b.exec_time);
+            assert_eq!(a.events, b.events);
         }
     }
 

@@ -22,6 +22,13 @@ const FAULT_STREAM_SALT: u64 = 0xFA17_5EED_0BAD_D15C;
 /// perturbs the I/O-side fault draws of the same seed.
 const CRASH_STREAM_SALT: u64 = 0xC0DE_CAA5_4E57_A27B;
 
+/// Salt for the object-tier fault stream: one seed names one scenario
+/// *per tier*, each drawn from its own independent stream.
+const OBJECT_STREAM_SALT: u64 = 0x0B1E_C7FA_CADE_5A1D;
+
+/// Salt for the burst-tier fault stream.
+const BURST_STREAM_SALT: u64 = 0xB0B5_7CAF_E11A_5EED;
+
 /// A deterministic fault-scenario generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultGen {
@@ -106,6 +113,62 @@ impl FaultGen {
     /// floored at `min`.
     fn window(&self, rng: &mut DetRng, lo: f64, hi: f64, min: Time) -> Time {
         self.horizon.scale(lo + (hi - lo) * rng.unit()).max(min)
+    }
+
+    /// An *object-tier* scenario: the first [`FaultGen::events`]
+    /// events of a stream over metadata-shard outages and
+    /// degraded-service windows, targeting a store with `md_shards`
+    /// metadata shards. Same nesting guarantee as
+    /// [`FaultGen::schedule`], independently salted so one seed names
+    /// uncorrelated scenarios on each tier. Generated schedules always
+    /// pass `validate_for_tier(Tier::Object, md_shards, _)`.
+    pub fn object_schedule(&self, md_shards: u32) -> FaultSchedule {
+        let mut rng = DetRng::new(self.seed ^ OBJECT_STREAM_SALT);
+        let mut sched = FaultSchedule::empty();
+        if md_shards == 0 {
+            return sched;
+        }
+        let min_window = Time::from_millis(50);
+        for _ in 0..self.events {
+            let at = self.horizon.scale(0.9 * rng.unit());
+            let kind = if rng.chance(0.5) {
+                FaultKind::MetadataShardOutage {
+                    shard: rng.range_inclusive(0, u64::from(md_shards - 1)) as u32,
+                    duration: self.window(&mut rng, 0.05, 0.20, min_window),
+                }
+            } else {
+                FaultKind::DegradedService {
+                    duration: self.window(&mut rng, 0.10, 0.30, min_window),
+                    factor: 1.5 + 2.5 * rng.unit(),
+                }
+            };
+            sched.push(at, kind);
+        }
+        sched
+    }
+
+    /// A *burst-tier* scenario: drain stalls and (rarer) burst-node
+    /// crashes with repair windows. Same nesting and salting contract
+    /// as [`FaultGen::object_schedule`]. Generated schedules always
+    /// pass `validate_for_tier(Tier::Burst, _, _)`.
+    pub fn burst_schedule(&self) -> FaultSchedule {
+        let mut rng = DetRng::new(self.seed ^ BURST_STREAM_SALT);
+        let mut sched = FaultSchedule::empty();
+        let min_window = Time::from_millis(50);
+        for _ in 0..self.events {
+            let at = self.horizon.scale(0.9 * rng.unit());
+            let kind = if rng.chance(0.7) {
+                FaultKind::DrainStall {
+                    duration: self.window(&mut rng, 0.10, 0.40, min_window),
+                }
+            } else {
+                FaultKind::BurstNodeCrash {
+                    repair: self.window(&mut rng, 0.05, 0.20, min_window),
+                }
+            };
+            sched.push(at, kind);
+        }
+        sched
     }
 
     /// An MTBF-style compute-crash scenario: inter-crash gaps are
@@ -261,5 +324,59 @@ mod tests {
         let labels: std::collections::HashSet<&str> =
             s.events.iter().map(|e| e.kind.label()).collect();
         assert_eq!(labels.len(), 5, "64 draws should hit all 5 classes");
+    }
+
+    #[test]
+    fn tier_streams_are_nested_valid_and_independent() {
+        use crate::schedule::Tier;
+        let deep_obj = gen(12).object_schedule(4);
+        let deep_burst = gen(12).burst_schedule();
+        for k in 0..12 {
+            assert_eq!(gen(k).object_schedule(4).events[..], deep_obj.events[..k]);
+            assert_eq!(gen(k).burst_schedule().events[..], deep_burst.events[..k]);
+        }
+        for seed in 0..20u64 {
+            let mut g = gen(16);
+            g.seed = seed;
+            let o = g.object_schedule(4);
+            assert!(
+                o.validate_for_tier(Tier::Object, 4, u32::MAX).is_empty(),
+                "seed {seed}: {:?}",
+                o.validate_for_tier(Tier::Object, 4, u32::MAX)
+            );
+            let b = g.burst_schedule();
+            assert!(
+                b.validate_for_tier(Tier::Burst, 0, u32::MAX).is_empty(),
+                "seed {seed}: {:?}",
+                b.validate_for_tier(Tier::Burst, 0, u32::MAX)
+            );
+        }
+        // Each tier stream is independently salted: drawing one does
+        // not disturb the others, and the PFS stream is unchanged.
+        let g = gen(10);
+        let io_only = g.schedule();
+        let _ = g.object_schedule(4);
+        let _ = g.burst_schedule();
+        assert_eq!(io_only, g.schedule());
+    }
+
+    #[test]
+    fn tier_streams_cover_their_fault_classes() {
+        let obj = gen(64).object_schedule(4);
+        let labels: std::collections::HashSet<&str> =
+            obj.events.iter().map(|e| e.kind.label()).collect();
+        assert!(labels.contains("md-shard-outage"));
+        assert!(labels.contains("degraded-service"));
+        let burst = gen(64).burst_schedule();
+        let labels: std::collections::HashSet<&str> =
+            burst.events.iter().map(|e| e.kind.label()).collect();
+        assert!(labels.contains("drain-stall"));
+        assert!(labels.contains("burst-crash"));
+        assert!(gen(0).object_schedule(4).is_empty());
+        assert!(gen(0).burst_schedule().is_empty());
+        let mut g = gen(5);
+        g.io_nodes = 0;
+        assert!(!g.object_schedule(4).is_empty(), "md shards, not io nodes");
+        assert!(g.object_schedule(0).is_empty());
     }
 }

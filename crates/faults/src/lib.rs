@@ -34,5 +34,5 @@ pub mod schedule;
 pub mod state;
 
 pub use generator::FaultGen;
-pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
-pub use state::{ComputeCrash, FaultState};
+pub use schedule::{FaultEvent, FaultKind, FaultSchedule, Tier};
+pub use state::{BurstFaultState, ComputeCrash, FaultState, ObjectFaultState};

@@ -76,6 +76,95 @@ pub enum FaultKind {
         /// ready to rerun the application (reboot + reschedule).
         rework: Time,
     },
+    /// An object-store metadata shard outage: for the window's
+    /// duration the shard answers nothing and the store's resilience
+    /// policy decides whether to retry, re-route to the replica
+    /// shard, or stall until the shard returns.
+    MetadataShardOutage {
+        /// Afflicted metadata shard.
+        shard: u32,
+        /// How long the shard is dark.
+        duration: Time,
+    },
+    /// A degraded-service window on the object store: every PUT/GET
+    /// served during the window pays `factor`× its normal service
+    /// latency (compaction storms, recovery traffic, noisy
+    /// neighbours). Sizes and ordering are untouched, so the PUT/GET
+    /// semantics oracle still holds under this fault.
+    DegradedService {
+        /// Window length.
+        duration: Time,
+        /// Service-latency multiplier, `> 1.0` to slow down.
+        factor: f64,
+    },
+    /// A burst-buffer drain stall: the background drain channel to
+    /// the inner PFS makes no progress for the window (drain daemon
+    /// wedged, PFS backpressure). Absorbed writes still complete at
+    /// log speed; the resident backlog just drains later.
+    DrainStall {
+        /// Window length.
+        duration: Time,
+    },
+    /// A burst-buffer node crash: every logged byte not yet drained
+    /// to the inner PFS at the crash instant is *lost*, and while the
+    /// log rebuilds (`repair`) writes fall through to the inner PFS
+    /// directly. The recovery driver consumes the durability side of
+    /// this: a checkpoint committed to the log but never drained
+    /// cannot be restored from.
+    BurstNodeCrash {
+        /// Time from the crash to the log absorbing writes again.
+        repair: Time,
+    },
+}
+
+/// The storage tier a fault schedule is interpreted against. Lives
+/// here (not in the PFS crate) because the fault crate sits below the
+/// storage crates in the dependency order; `sioscope-pfs` maps its
+/// `BackendKind` onto this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// The 1996-style parallel file system (also the inner PFS of a
+    /// burst buffer).
+    Pfs,
+    /// The flat-namespace object store.
+    Object,
+    /// The host-side burst-buffer log (its inner PFS validates its
+    /// own schedule as [`Tier::Pfs`]).
+    Burst,
+}
+
+impl Tier {
+    /// Short stable id, matching the `BackendKind` ids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier::Pfs => "pfs",
+            Tier::Object => "object",
+            Tier::Burst => "burst",
+        }
+    }
+
+    /// The labels of every fault class this tier can express,
+    /// verbatim for fail-fast diagnostics.
+    pub fn valid_fault_labels(&self) -> &'static [&'static str] {
+        match self {
+            Tier::Pfs => &[
+                "latent-sector",
+                "spindle-failure",
+                "ion-crash",
+                "ion-slowdown",
+                "link-congestion",
+                "compute-crash",
+            ],
+            Tier::Object => &["md-shard-outage", "degraded-service", "compute-crash"],
+            Tier::Burst => &["drain-stall", "burst-crash", "compute-crash"],
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 impl FaultKind {
@@ -86,7 +175,34 @@ impl FaultKind {
             | FaultKind::SpindleFailure { ion, .. }
             | FaultKind::IonCrash { ion, .. }
             | FaultKind::IonSlowdown { ion, .. } => Some(ion),
-            FaultKind::LinkCongestion { .. } | FaultKind::ComputeNodeCrash { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// The metadata shard this fault pins down, if it is shard-scoped
+    /// (disjoint from [`FaultKind::ion`]).
+    pub fn shard(&self) -> Option<u32> {
+        match *self {
+            FaultKind::MetadataShardOutage { shard, .. } => Some(shard),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this fault class is expressible on `tier`.
+    /// Compute-node crashes are tier-agnostic: the storage layer
+    /// never sees them, the recovery driver does.
+    pub fn valid_on(&self, tier: Tier) -> bool {
+        match self {
+            FaultKind::ComputeNodeCrash { .. } => true,
+            FaultKind::LatentSector { .. }
+            | FaultKind::SpindleFailure { .. }
+            | FaultKind::IonCrash { .. }
+            | FaultKind::IonSlowdown { .. }
+            | FaultKind::LinkCongestion { .. } => tier == Tier::Pfs,
+            FaultKind::MetadataShardOutage { .. } | FaultKind::DegradedService { .. } => {
+                tier == Tier::Object
+            }
+            FaultKind::DrainStall { .. } | FaultKind::BurstNodeCrash { .. } => tier == Tier::Burst,
         }
     }
 
@@ -108,6 +224,10 @@ impl FaultKind {
             FaultKind::IonSlowdown { .. } => "ion-slowdown",
             FaultKind::LinkCongestion { .. } => "link-congestion",
             FaultKind::ComputeNodeCrash { .. } => "compute-crash",
+            FaultKind::MetadataShardOutage { .. } => "md-shard-outage",
+            FaultKind::DegradedService { .. } => "degraded-service",
+            FaultKind::DrainStall { .. } => "drain-stall",
+            FaultKind::BurstNodeCrash { .. } => "burst-crash",
         }
     }
 }
@@ -190,14 +310,47 @@ impl FaultSchedule {
 
     /// [`FaultSchedule::validate`] with the compute-partition size
     /// known: additionally rejects compute-node crashes that name a
-    /// pid outside `0..compute_nodes`.
+    /// pid outside `0..compute_nodes`. PFS semantics: any fault class
+    /// the 1996-style file system cannot express is rejected.
     pub fn validate_for(&self, io_nodes: u32, compute_nodes: u32) -> Vec<String> {
+        self.validate_for_tier(Tier::Pfs, io_nodes, compute_nodes)
+    }
+
+    /// Backend-aware validation. `scope_nodes` bounds the tier's
+    /// node-scoped faults — I/O nodes on `pfs`, metadata shards on
+    /// `object`, unused on `burst` — and `compute_nodes` bounds
+    /// compute-node crash victims. A fault class the tier cannot
+    /// express is a hard problem whose message names the tier's valid
+    /// fault set, so CLIs can fail fast with exit code 2.
+    pub fn validate_for_tier(
+        &self,
+        tier: Tier,
+        scope_nodes: u32,
+        compute_nodes: u32,
+    ) -> Vec<String> {
         let mut problems = Vec::new();
         for (i, ev) in self.events.iter().enumerate() {
+            if !ev.kind.valid_on(tier) {
+                problems.push(format!(
+                    "event {i}: {} is not a fault of the {tier} tier \
+                     (valid on {tier}: {})",
+                    ev.kind.label(),
+                    tier.valid_fault_labels().join(", ")
+                ));
+                continue;
+            }
             if let Some(ion) = ev.kind.ion() {
-                if ion >= io_nodes {
+                if ion >= scope_nodes {
                     problems.push(format!(
-                        "event {i}: {} targets I/O node {ion}, machine has {io_nodes}",
+                        "event {i}: {} targets I/O node {ion}, machine has {scope_nodes}",
+                        ev.kind.label()
+                    ));
+                }
+            }
+            if let Some(shard) = ev.kind.shard() {
+                if shard >= scope_nodes {
+                    problems.push(format!(
+                        "event {i}: {} targets metadata shard {shard}, store has {scope_nodes}",
                         ev.kind.label()
                     ));
                 }
@@ -252,6 +405,31 @@ impl FaultSchedule {
                     }
                     if rework.is_zero() {
                         problems.push(format!("event {i}: compute-crash with zero rework time"));
+                    }
+                }
+                FaultKind::MetadataShardOutage { duration, .. } => {
+                    if duration.is_zero() {
+                        problems.push(format!("event {i}: md-shard-outage window is empty"));
+                    }
+                }
+                FaultKind::DegradedService { duration, factor } => {
+                    if duration.is_zero() {
+                        problems.push(format!("event {i}: degraded-service window is empty"));
+                    }
+                    if !factor.is_finite() || factor <= 1.0 {
+                        problems.push(format!(
+                            "event {i}: degraded-service factor {factor} is not > 1"
+                        ));
+                    }
+                }
+                FaultKind::DrainStall { duration } => {
+                    if duration.is_zero() {
+                        problems.push(format!("event {i}: drain-stall window is empty"));
+                    }
+                }
+                FaultKind::BurstNodeCrash { repair } => {
+                    if repair.is_zero() {
+                        problems.push(format!("event {i}: burst-crash with zero repair time"));
                     }
                 }
             }
@@ -370,6 +548,112 @@ mod tests {
         assert_eq!(kinds[5].ion(), None);
         assert_eq!(kinds[5].compute_node(), Some(0));
         assert_eq!(kinds[0].compute_node(), None);
+    }
+
+    #[test]
+    fn tier_validation_rejects_cross_tier_faults() {
+        let mut s = FaultSchedule::empty();
+        s.push(
+            Time::from_secs(1),
+            FaultKind::LatentSector {
+                ion: 0,
+                duration: Time::from_secs(1),
+                penalty: Time::from_millis(1),
+            },
+        );
+        s.push(
+            Time::from_secs(2),
+            FaultKind::MetadataShardOutage {
+                shard: 0,
+                duration: Time::from_secs(1),
+            },
+        );
+        s.push(
+            Time::from_secs(3),
+            FaultKind::BurstNodeCrash {
+                repair: Time::from_secs(1),
+            },
+        );
+        s.push(
+            Time::from_secs(4),
+            FaultKind::ComputeNodeCrash {
+                node: 0,
+                rework: Time::from_secs(1),
+            },
+        );
+        // Each tier accepts exactly its own class plus compute-crash.
+        for (tier, rejected) in [(Tier::Pfs, 2), (Tier::Object, 2), (Tier::Burst, 2)] {
+            let problems = s.validate_for_tier(tier, 4, 8);
+            assert_eq!(problems.len(), rejected, "{tier}: {problems:?}");
+            for p in &problems {
+                assert!(p.contains(&format!("valid on {tier}:")), "{p}");
+            }
+        }
+        // The legacy PFS entry point rejects the new tier variants too.
+        assert_eq!(s.validate_for(4, 8).len(), 2);
+    }
+
+    #[test]
+    fn tier_validation_checks_structure_and_shard_bounds() {
+        let mut s = FaultSchedule::empty();
+        s.push(
+            Time::ZERO,
+            FaultKind::MetadataShardOutage {
+                shard: 7,
+                duration: Time::ZERO,
+            },
+        );
+        s.push(
+            Time::from_secs(1),
+            FaultKind::DegradedService {
+                duration: Time::from_secs(1),
+                factor: 0.5,
+            },
+        );
+        let problems = s.validate_for_tier(Tier::Object, 4, 8);
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems[0].contains("metadata shard 7"));
+
+        let mut b = FaultSchedule::empty();
+        b.push(
+            Time::ZERO,
+            FaultKind::DrainStall {
+                duration: Time::ZERO,
+            },
+        );
+        b.push(
+            Time::from_secs(1),
+            FaultKind::BurstNodeCrash { repair: Time::ZERO },
+        );
+        let problems = b.validate_for_tier(Tier::Burst, 0, 8);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn tier_labels_and_fault_sets_are_stable() {
+        assert_eq!(Tier::Pfs.label(), "pfs");
+        assert_eq!(Tier::Object.label(), "object");
+        assert_eq!(Tier::Burst.label(), "burst");
+        assert_eq!(Tier::Pfs.valid_fault_labels().len(), 6);
+        assert!(Tier::Object
+            .valid_fault_labels()
+            .contains(&"md-shard-outage"));
+        assert!(Tier::Burst.valid_fault_labels().contains(&"burst-crash"));
+        for tier in [Tier::Pfs, Tier::Object, Tier::Burst] {
+            assert!(tier.valid_fault_labels().contains(&"compute-crash"));
+        }
+        let outage = FaultKind::MetadataShardOutage {
+            shard: 3,
+            duration: Time::from_secs(1),
+        };
+        assert_eq!(outage.label(), "md-shard-outage");
+        assert_eq!(outage.shard(), Some(3));
+        assert_eq!(outage.ion(), None);
+        let crash = FaultKind::BurstNodeCrash {
+            repair: Time::from_secs(1),
+        };
+        assert_eq!(crash.label(), "burst-crash");
+        assert_eq!(crash.shard(), None);
     }
 
     #[test]

@@ -111,6 +111,14 @@ impl FaultState {
                         rework,
                     });
                 }
+                // Object- and burst-tier faults are invisible to the
+                // PFS; validation rejects them on this tier, and the
+                // compiled forms live in [`ObjectFaultState`] and
+                // [`BurstFaultState`].
+                FaultKind::MetadataShardOutage { .. }
+                | FaultKind::DegradedService { .. }
+                | FaultKind::DrainStall { .. }
+                | FaultKind::BurstNodeCrash { .. } => {}
             }
         }
         state
@@ -229,6 +237,240 @@ impl FaultState {
 
     fn index(&self, ion: u32) -> Option<usize> {
         (ion < self.io_nodes).then_some(ion as usize)
+    }
+}
+
+/// Compiled runtime form of an *object-tier* fault schedule:
+/// per-metadata-shard outage windows plus a global degraded-service
+/// timeline. Built once before the run; query-only afterwards, so two
+/// runs over the same schedule see byte-identical disturbances.
+#[derive(Debug, Clone)]
+pub struct ObjectFaultState {
+    md_shards: u32,
+    /// Per-shard outage windows `[start, end)` — the shard answers
+    /// nothing.
+    down: Vec<Vec<(Time, Time)>>,
+    /// Global PUT/GET service-latency timeline.
+    degraded: PiecewiseFactor,
+    /// Sorted, deduplicated window boundaries (the fault calendar).
+    transitions: Vec<Time>,
+    /// Compute-node crashes, sorted; invisible to the store itself,
+    /// consumed by the recovery driver (see [`FaultState`]'s field of
+    /// the same name for the rationale).
+    compute_crashes: Vec<ComputeCrash>,
+}
+
+impl ObjectFaultState {
+    /// Compile a schedule against a store with `md_shards` metadata
+    /// shards. Events targeting out-of-range shards are dropped
+    /// (callers run [`FaultSchedule::validate_for_tier`] first).
+    pub fn new(schedule: &FaultSchedule, md_shards: u32) -> Self {
+        let mut state = ObjectFaultState {
+            md_shards,
+            down: vec![Vec::new(); md_shards as usize],
+            degraded: PiecewiseFactor::identity(),
+            transitions: Vec::new(),
+            compute_crashes: Vec::new(),
+        };
+        for ev in &schedule.events {
+            match ev.kind {
+                FaultKind::MetadataShardOutage { shard, duration } => {
+                    if shard < md_shards {
+                        state.down[shard as usize].push((ev.at, ev.at.saturating_add(duration)));
+                    }
+                }
+                FaultKind::DegradedService { duration, factor } => {
+                    state
+                        .degraded
+                        .push_window(ev.at, ev.at.saturating_add(duration), factor);
+                }
+                FaultKind::ComputeNodeCrash { node, rework } => {
+                    state.compute_crashes.push(ComputeCrash {
+                        at: ev.at,
+                        node,
+                        rework,
+                    });
+                }
+                _ => {}
+            }
+        }
+        state
+            .compute_crashes
+            .sort_by_key(|c| (c.at, c.node, c.rework));
+        let mut ts = Vec::new();
+        let mut push = |t: Time| {
+            if t != Time::MAX {
+                ts.push(t);
+            }
+        };
+        for windows in &state.down {
+            for &(start, end) in windows {
+                push(start);
+                push(end);
+            }
+        }
+        for t in state.degraded.transitions() {
+            push(t);
+        }
+        ts.sort_unstable();
+        ts.dedup();
+        state.transitions = ts;
+        state
+    }
+
+    /// Number of metadata shards this state was compiled for.
+    pub fn md_shards(&self) -> u32 {
+        self.md_shards
+    }
+
+    /// If `shard` is dark at `t`, the instant it comes back (latest
+    /// end among covering outage windows).
+    pub fn shard_down_until(&self, shard: u32, t: Time) -> Option<Time> {
+        let windows = self.down.get(shard as usize)?;
+        windows
+            .iter()
+            .filter(|&&(s, e)| t >= s && t < e)
+            .map(|&(_, e)| e)
+            .max()
+    }
+
+    /// `true` iff `shard` is dark at instant `t`.
+    pub fn is_shard_down(&self, shard: u32, t: Time) -> bool {
+        self.shard_down_until(shard, t).is_some()
+    }
+
+    /// The deterministic replica re-route target: the lowest-numbered
+    /// shard that is up at `t` and differs from `not`. `None` when the
+    /// whole metadata service is dark.
+    pub fn first_healthy_shard(&self, t: Time, not: u32) -> Option<u32> {
+        (0..self.md_shards).find(|&s| s != not && !self.is_shard_down(s, t))
+    }
+
+    /// The PUT/GET service-latency factor at instant `t`.
+    pub fn service_factor(&self, t: Time) -> f64 {
+        self.degraded.at(t)
+    }
+
+    /// Instants at which any window opens or closes, sorted and
+    /// deduplicated.
+    pub fn transitions(&self) -> &[Time] {
+        &self.transitions
+    }
+
+    /// All compute-node crashes, sorted by instant.
+    pub fn compute_crashes(&self) -> &[ComputeCrash] {
+        &self.compute_crashes
+    }
+}
+
+/// Compiled runtime form of a *burst-tier* fault schedule: merged
+/// drain-stall windows plus burst-node crash windows `(at, repaired)`.
+#[derive(Debug, Clone)]
+pub struct BurstFaultState {
+    /// Drain-stall windows, sorted by start, overlaps merged — so a
+    /// forward scan clears them in one pass.
+    stalls: Vec<(Time, Time)>,
+    /// Burst-node crashes as `[at, repaired)` windows, sorted.
+    crashes: Vec<(Time, Time)>,
+    /// Sorted, deduplicated window boundaries (the fault calendar).
+    transitions: Vec<Time>,
+    /// Compute-node crashes, sorted; consumed by the recovery driver.
+    compute_crashes: Vec<ComputeCrash>,
+}
+
+impl BurstFaultState {
+    /// Compile a burst-tier schedule. No node bound: the log is one
+    /// host-side device.
+    pub fn new(schedule: &FaultSchedule) -> Self {
+        let mut stalls = Vec::new();
+        let mut crashes = Vec::new();
+        let mut compute_crashes = Vec::new();
+        for ev in &schedule.events {
+            match ev.kind {
+                FaultKind::DrainStall { duration } => {
+                    stalls.push((ev.at, ev.at.saturating_add(duration)));
+                }
+                FaultKind::BurstNodeCrash { repair } => {
+                    crashes.push((ev.at, ev.at.saturating_add(repair)));
+                }
+                FaultKind::ComputeNodeCrash { node, rework } => {
+                    compute_crashes.push(ComputeCrash {
+                        at: ev.at,
+                        node,
+                        rework,
+                    });
+                }
+                _ => {}
+            }
+        }
+        stalls.sort_unstable();
+        let mut merged: Vec<(Time, Time)> = Vec::with_capacity(stalls.len());
+        for (s, e) in stalls {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        crashes.sort_unstable();
+        compute_crashes.sort_by_key(|c| (c.at, c.node, c.rework));
+        let mut ts = Vec::new();
+        for &(start, end) in merged.iter().chain(crashes.iter()) {
+            if start != Time::MAX {
+                ts.push(start);
+            }
+            if end != Time::MAX {
+                ts.push(end);
+            }
+        }
+        ts.sort_unstable();
+        ts.dedup();
+        BurstFaultState {
+            stalls: merged,
+            crashes,
+            transitions: ts,
+            compute_crashes,
+        }
+    }
+
+    /// The earliest instant `>= t` at which the drain channel makes
+    /// progress: pushes `t` past every covering stall window. Merged
+    /// windows have strictly positive gaps, so clearing one window
+    /// never lands inside the next.
+    pub fn drain_clear(&self, t: Time) -> Time {
+        let mut t = t;
+        let mut i = self.stalls.partition_point(|&(_, e)| e <= t);
+        while i < self.stalls.len() && self.stalls[i].0 <= t {
+            t = self.stalls[i].1;
+            i += 1;
+        }
+        t
+    }
+
+    /// Burst-node crashes as `[at, repaired)` windows, sorted.
+    pub fn crashes(&self) -> &[(Time, Time)] {
+        &self.crashes
+    }
+
+    /// If the log node is down (crashed, not yet repaired) at `t`,
+    /// the repair instant — the window in which writes fall through
+    /// to the inner PFS.
+    pub fn log_down_until(&self, t: Time) -> Option<Time> {
+        self.crashes
+            .iter()
+            .filter(|&&(s, e)| t >= s && t < e)
+            .map(|&(_, e)| e)
+            .max()
+    }
+
+    /// Instants at which any window opens or closes, sorted and
+    /// deduplicated.
+    pub fn transitions(&self) -> &[Time] {
+        &self.transitions
+    }
+
+    /// All compute-node crashes, sorted by instant.
+    pub fn compute_crashes(&self) -> &[ComputeCrash] {
+        &self.compute_crashes
     }
 }
 
@@ -439,5 +681,148 @@ mod tests {
         assert!(s.transitions().is_empty());
         assert!(!s.is_down(99, sec(2)));
         assert!(s.disk_disturbance(99, sec(2)).is_none());
+    }
+
+    fn object_state(events: Vec<FaultEvent>) -> ObjectFaultState {
+        ObjectFaultState::new(
+            &FaultSchedule {
+                events,
+                engage_when_empty: false,
+            },
+            4,
+        )
+    }
+
+    #[test]
+    fn object_state_compiles_shard_outages_and_degraded_windows() {
+        let s = object_state(vec![
+            FaultEvent {
+                at: sec(10),
+                kind: FaultKind::MetadataShardOutage {
+                    shard: 1,
+                    duration: sec(5),
+                },
+            },
+            FaultEvent {
+                at: sec(20),
+                kind: FaultKind::DegradedService {
+                    duration: sec(10),
+                    factor: 3.0,
+                },
+            },
+        ]);
+        assert_eq!(s.md_shards(), 4);
+        assert!(!s.is_shard_down(1, sec(9)));
+        assert_eq!(s.shard_down_until(1, sec(10)), Some(sec(15)));
+        assert_eq!(s.shard_down_until(1, sec(14)), Some(sec(15)));
+        assert!(!s.is_shard_down(1, sec(15)));
+        assert!(!s.is_shard_down(0, sec(12)));
+        assert_eq!(s.first_healthy_shard(sec(12), 1), Some(0));
+        assert_eq!(s.service_factor(sec(19)), 1.0);
+        assert_eq!(s.service_factor(sec(25)), 3.0);
+        assert_eq!(s.service_factor(sec(30)), 1.0);
+        assert_eq!(s.transitions(), &[sec(10), sec(15), sec(20), sec(30)]);
+        // PFS-tier events never reach the object state.
+        let t = object_state(vec![FaultEvent {
+            at: sec(1),
+            kind: FaultKind::IonCrash {
+                ion: 0,
+                restart: sec(5),
+            },
+        }]);
+        assert!(t.transitions().is_empty());
+    }
+
+    #[test]
+    fn object_state_drops_out_of_range_shards_and_sorts_crashes() {
+        let s = object_state(vec![
+            FaultEvent {
+                at: sec(1),
+                kind: FaultKind::MetadataShardOutage {
+                    shard: 99,
+                    duration: sec(5),
+                },
+            },
+            FaultEvent {
+                at: sec(9),
+                kind: FaultKind::ComputeNodeCrash {
+                    node: 2,
+                    rework: sec(1),
+                },
+            },
+            FaultEvent {
+                at: sec(3),
+                kind: FaultKind::ComputeNodeCrash {
+                    node: 0,
+                    rework: sec(1),
+                },
+            },
+        ]);
+        // Out-of-range shard dropped; compute crashes sorted and kept
+        // out of the transition calendar.
+        assert!(s.transitions().is_empty());
+        assert_eq!(s.compute_crashes().len(), 2);
+        assert_eq!(s.compute_crashes()[0].at, sec(3));
+        // Every shard dark => no re-route target.
+        let dark = object_state(
+            (0..4)
+                .map(|shard| FaultEvent {
+                    at: Time::ZERO,
+                    kind: FaultKind::MetadataShardOutage {
+                        shard,
+                        duration: sec(10),
+                    },
+                })
+                .collect(),
+        );
+        assert_eq!(dark.first_healthy_shard(sec(5), 0), None);
+        assert_eq!(dark.first_healthy_shard(sec(10), 0), Some(1));
+    }
+
+    fn burst_state(events: Vec<FaultEvent>) -> BurstFaultState {
+        BurstFaultState::new(&FaultSchedule {
+            events,
+            engage_when_empty: false,
+        })
+    }
+
+    #[test]
+    fn burst_state_merges_stalls_and_clears_forward() {
+        let s = burst_state(vec![
+            FaultEvent {
+                at: sec(10),
+                kind: FaultKind::DrainStall { duration: sec(5) },
+            },
+            FaultEvent {
+                at: sec(12),
+                kind: FaultKind::DrainStall { duration: sec(8) },
+            },
+            FaultEvent {
+                at: sec(30),
+                kind: FaultKind::DrainStall { duration: sec(2) },
+            },
+        ]);
+        // Overlapping [10,15) and [12,20) merge into [10,20).
+        assert_eq!(s.drain_clear(sec(5)), sec(5));
+        assert_eq!(s.drain_clear(sec(10)), sec(20));
+        assert_eq!(s.drain_clear(sec(19)), sec(20));
+        assert_eq!(s.drain_clear(sec(20)), sec(20));
+        assert_eq!(s.drain_clear(sec(31)), sec(32));
+        assert_eq!(s.transitions(), &[sec(10), sec(20), sec(30), sec(32)]);
+    }
+
+    #[test]
+    fn burst_state_reports_crash_windows() {
+        let s = burst_state(vec![FaultEvent {
+            at: sec(40),
+            kind: FaultKind::BurstNodeCrash { repair: sec(6) },
+        }]);
+        assert_eq!(s.crashes(), &[(sec(40), sec(46))]);
+        assert_eq!(s.log_down_until(sec(39)), None);
+        assert_eq!(s.log_down_until(sec(40)), Some(sec(46)));
+        assert_eq!(s.log_down_until(sec(45)), Some(sec(46)));
+        assert_eq!(s.log_down_until(sec(46)), None);
+        assert_eq!(s.transitions(), &[sec(40), sec(46)]);
+        assert_eq!(s.drain_clear(sec(41)), sec(41));
     }
 }

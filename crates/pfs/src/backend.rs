@@ -24,6 +24,7 @@ use crate::object::{ObjectStore, ObjectStoreConfig};
 use crate::op::{Completion, IoOp};
 use crate::resilience::ResilienceStats;
 use crate::server::{Pfs, PfsConfig};
+use sioscope_faults::Tier;
 use sioscope_machine::MachineConfig;
 use sioscope_sim::{FileId, Pid, Time};
 use std::fmt;
@@ -78,6 +79,16 @@ pub trait StorageBackend {
         ResilienceStats::default()
     }
 
+    /// The instant at which data committed by `now` is durable, or
+    /// [`Time::MAX`] if some of it was destroyed (a burst-node crash
+    /// ate resident log bytes) and the commit can never be restored.
+    /// Queries form a cursor: each call covers the window since the
+    /// previous call. Backends with no volatile staging are durable
+    /// immediately.
+    fn durable_instant(&mut self, now: Time) -> Time {
+        now
+    }
+
     /// Flush any asynchronous background work (burst-buffer drains) to
     /// completion, returning the instant the backend is fully quiet.
     /// Backends with no background activity are quiet immediately.
@@ -100,8 +111,11 @@ pub struct BackendStats {
     pub bytes_logged: u64,
     /// Bytes drained from the log to the backing store.
     pub bytes_drained: u64,
-    /// Bytes still resident in the log (`logged - drained`).
+    /// Bytes still resident in the log (`logged - drained - lost`).
     pub bytes_resident: u64,
+    /// Bytes destroyed by a burst-node crash while resident in the
+    /// log — logged, never drained, never recoverable.
+    pub bytes_lost: u64,
     /// Operations absorbed locally instead of hitting the backing
     /// store.
     pub absorbed_ops: u64,
@@ -117,10 +131,10 @@ pub struct BackendStats {
 }
 
 impl BackendStats {
-    /// The burst-buffer conservation law: every logged byte is either
-    /// drained or still resident.
+    /// The burst-buffer conservation law: every logged byte is
+    /// drained, still resident, or destroyed by a burst-node crash.
     pub fn conserves_bytes(&self) -> bool {
-        self.bytes_logged == self.bytes_drained + self.bytes_resident
+        self.bytes_logged == self.bytes_drained + self.bytes_resident + self.bytes_lost
     }
 }
 
@@ -204,6 +218,36 @@ impl BackendConfig {
             BackendConfig::Pfs(c) => &mut c.machine,
             BackendConfig::Object(c) => &mut c.machine,
             BackendConfig::Burst(c) => &mut c.pfs.machine,
+        }
+    }
+
+    /// Validate every fault schedule this configuration carries
+    /// against its own tier: the PFS schedule against the I/O-node
+    /// complement, the object schedule against the metadata-shard
+    /// count, the burst schedule against the burst tier's fault
+    /// classes (plus the inner PFS schedule against the PFS tier).
+    /// One message per problem; empty = valid.
+    pub fn validate_faults(&self, compute_nodes: u32) -> Vec<String> {
+        match self {
+            BackendConfig::Pfs(c) => {
+                c.faults
+                    .validate_for_tier(Tier::Pfs, c.machine.io_nodes, compute_nodes)
+            }
+            BackendConfig::Object(c) => {
+                c.faults
+                    .validate_for_tier(Tier::Object, c.md_shards.max(1) as u32, compute_nodes)
+            }
+            BackendConfig::Burst(c) => {
+                let mut msgs = c.faults.validate_for_tier(Tier::Burst, 0, compute_nodes);
+                msgs.extend(
+                    c.pfs
+                        .faults
+                        .validate_for_tier(Tier::Pfs, c.pfs.machine.io_nodes, compute_nodes)
+                        .into_iter()
+                        .map(|m| format!("inner pfs: {m}")),
+                );
+                msgs
+            }
         }
     }
 
@@ -296,5 +340,50 @@ mod tests {
         assert!(s.conserves_bytes());
         s.bytes_resident = 39;
         assert!(!s.conserves_bytes());
+        s.bytes_lost = 1;
+        assert!(s.conserves_bytes(), "lost bytes balance the ledger");
+    }
+
+    #[test]
+    fn fault_validation_is_tier_aware() {
+        use sioscope_faults::{FaultKind, FaultSchedule};
+
+        let mut pfs_faults = FaultSchedule::empty();
+        pfs_faults.push(
+            Time::from_secs(1),
+            FaultKind::DrainStall {
+                duration: Time::from_secs(2),
+            },
+        );
+        let mut pfs_cfg = PfsConfig::tiny();
+        pfs_cfg.faults = pfs_faults.clone();
+        let msgs = BackendConfig::Pfs(pfs_cfg).validate_faults(4);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("not a fault of the pfs tier"), "{msgs:?}");
+
+        let mut obj_cfg = ObjectStoreConfig::modern(4);
+        obj_cfg.faults = pfs_faults.clone();
+        let msgs = BackendConfig::Object(obj_cfg).validate_faults(4);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("object tier"), "{msgs:?}");
+
+        // The burst config carries two schedules; each is checked
+        // against its own tier, inner messages prefixed.
+        let mut burst_cfg = BurstBufferConfig::over(PfsConfig::tiny());
+        burst_cfg.faults = pfs_faults;
+        burst_cfg.pfs.faults.push(
+            Time::from_secs(1),
+            FaultKind::DrainStall {
+                duration: Time::from_secs(2),
+            },
+        );
+        let msgs = BackendConfig::Burst(burst_cfg.clone()).validate_faults(4);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].starts_with("inner pfs:"), "{msgs:?}");
+
+        burst_cfg.pfs.faults = FaultSchedule::empty();
+        assert!(BackendConfig::Burst(burst_cfg)
+            .validate_faults(4)
+            .is_empty());
     }
 }

@@ -15,8 +15,19 @@
 //! bit-identical to the plain PFS (the differential suite pins this).
 //!
 //! Accounting obeys a conservation law checked by proptests:
-//! `bytes_logged == bytes_drained + bytes_resident`, and the drain
-//! preserves per-file write order (it is a single global FIFO).
+//! `bytes_logged == bytes_drained + bytes_resident + bytes_lost`, and
+//! the drain preserves per-file write order (it is a single global
+//! FIFO).
+//!
+//! Burst-tier faults (ParaLog's failure modes): a *drain stall*
+//! freezes the background channel for a window — stall windows delay
+//! transfer starts, never in-flight transfers — and a *burst-node
+//! crash* destroys every resident (not yet drained) byte and takes
+//! the log down for a repair window, during which absorbed writes
+//! fall through synchronously to the PFS drain channel (counted as
+//! `writethroughs`). A checkpoint whose interval logged a lost byte
+//! is never restorable; [`StorageBackend::durable_instant`] surfaces
+//! that to the recovery driver.
 
 use crate::backend::{BackendKind, BackendStats, StorageBackend};
 use crate::error::PfsError;
@@ -24,6 +35,7 @@ use crate::mode::IoMode;
 use crate::op::{Completion, IoOp};
 use crate::resilience::ResilienceStats;
 use crate::server::{Pfs, PfsConfig};
+use sioscope_faults::{BurstFaultState, FaultSchedule};
 use sioscope_sim::{Calendar, DetHashMap, FileId, Pid, Time};
 use std::collections::VecDeque;
 
@@ -50,6 +62,10 @@ pub struct BurstBufferConfig {
     pub log_bandwidth_bps: u64,
     /// Background drain bandwidth to the PFS, bytes per second.
     pub drain_bandwidth_bps: u64,
+    /// Injected *burst-tier* fault scenario (drain stalls, burst-node
+    /// crashes). Faults of the inner PFS live in `pfs.faults`; the
+    /// two schedules are validated against their own tiers.
+    pub faults: FaultSchedule,
 }
 
 impl BurstBufferConfig {
@@ -62,6 +78,7 @@ impl BurstBufferConfig {
             log_latency: Time::from_micros(5),
             log_bandwidth_bps: 2_000_000_000,
             drain_bandwidth_bps: 300_000_000,
+            faults: FaultSchedule::empty(),
         }
     }
 
@@ -73,13 +90,20 @@ impl BurstBufferConfig {
     }
 }
 
-/// One logged write awaiting drain.
+/// One logged write awaiting retirement.
 #[derive(Debug, Clone, Copy)]
 struct DrainEntry {
     len: u64,
-    /// Instant the entry became visible to the drain (its log-append
-    /// completion).
-    ready: Time,
+    /// Instant the entry leaves the pending set: its drain completion,
+    /// or the crash instant that destroyed it. Computed eagerly at
+    /// append time from the same FIFO recurrence the lazy scan used —
+    /// `start = clock.max(ready)` (pushed past stall windows),
+    /// `finish = start + xfer` — so fault-free retirement instants are
+    /// bit-identical to the old on-demand computation.
+    retire: Time,
+    /// `true` iff a burst-node crash struck while the entry was
+    /// resident (`ready <= crash < finish`): its bytes are lost.
+    lost: bool,
 }
 
 /// The burst buffer: an absorbing log plus the inner PFS.
@@ -98,14 +122,31 @@ pub struct BurstBuffer {
     logs: DetHashMap<Pid, Calendar>,
     /// Global drain FIFO (preserves per-file write order).
     pending: VecDeque<DrainEntry>,
-    /// Instant the drain channel frees up.
-    drain_clock: Time,
+    /// Virtual drain clock: the instant the channel frees up after
+    /// every append scheduled so far (advanced at append time).
+    drain_virtual: Time,
+    /// Compiled burst-tier fault windows; `None` when the schedule
+    /// does not engage.
+    faults: Option<BurstFaultState>,
+    /// Log-append completion instants of lost entries, for the
+    /// per-commit durability verdict.
+    lost_readies: Vec<Time>,
+    /// High-water mark of [`StorageBackend::durable_instant`] queries:
+    /// each commit's durability window is `(cursor, commit]`.
+    durable_cursor: Time,
+    /// Burst-local failover counters (write-throughs); merged with the
+    /// inner PFS's stats on report.
+    resilience: ResilienceStats,
     stats: BackendStats,
 }
 
 impl BurstBuffer {
     /// Build the buffer and its inner PFS.
     pub fn new(cfg: BurstBufferConfig) -> Self {
+        let faults = cfg
+            .faults
+            .engages()
+            .then(|| BurstFaultState::new(&cfg.faults));
         BurstBuffer {
             absorb: cfg.absorb,
             log_latency: cfg.log_latency,
@@ -116,7 +157,11 @@ impl BurstBuffer {
             sizes: DetHashMap::default(),
             logs: DetHashMap::default(),
             pending: VecDeque::new(),
-            drain_clock: Time::ZERO,
+            drain_virtual: Time::ZERO,
+            faults,
+            lost_readies: Vec::new(),
+            durable_cursor: Time::ZERO,
+            resilience: ResilienceStats::default(),
             stats: BackendStats::default(),
         }
     }
@@ -138,18 +183,57 @@ impl BurstBuffer {
         Time::from_nanos(ns as u64)
     }
 
-    /// Retire every pending drain entry that finishes by `now`.
+    /// Schedule one appended entry on the drain channel: push the
+    /// start past stall windows, then check whether a burst-node
+    /// crash destroys the entry while resident. Returns the entry's
+    /// retirement instant and lost verdict, advancing the virtual
+    /// clock (a crash frees the channel at the crash instant).
+    fn schedule_drain(&mut self, ready: Time, len: u64) -> (Time, bool) {
+        let xfer = Self::xfer(len, self.drain_bandwidth_bps);
+        match &self.faults {
+            None => {
+                let start = self.drain_virtual.max(ready);
+                let finish = start + xfer;
+                self.drain_virtual = finish;
+                (finish, false)
+            }
+            Some(state) => {
+                let start = state.drain_clear(self.drain_virtual.max(ready));
+                let finish = start.saturating_add(xfer);
+                let crash = state
+                    .crashes()
+                    .iter()
+                    .find(|&&(at, _)| ready <= at && at < finish);
+                match crash {
+                    Some(&(at, _)) => {
+                        self.drain_virtual = self.drain_virtual.max(at);
+                        self.lost_readies.push(ready);
+                        (at, true)
+                    }
+                    None => {
+                        self.drain_virtual = finish;
+                        (finish, false)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retire every pending entry whose retirement instant is by
+    /// `now`: drained entries move to `bytes_drained`, lost entries to
+    /// `bytes_lost` at their crash instant.
     fn advance_drain(&mut self, now: Time) {
         while let Some(front) = self.pending.front().copied() {
-            let start = self.drain_clock.max(front.ready);
-            let finish = start + Self::xfer(front.len, self.drain_bandwidth_bps);
-            if finish > now {
+            if front.retire > now {
                 break;
             }
-            self.drain_clock = finish;
-            self.stats.bytes_drained += front.len;
             self.stats.bytes_resident -= front.len;
-            self.stats.drain_complete = finish;
+            if front.lost {
+                self.stats.bytes_lost += front.len;
+            } else {
+                self.stats.bytes_drained += front.len;
+                self.stats.drain_complete = front.retire;
+            }
             self.pending.pop_front();
         }
     }
@@ -275,32 +359,64 @@ impl StorageBackend for BurstBuffer {
                     return Err(PfsError::NotOpen { file: fid, pid });
                 }
                 let ptr = self.handles[&key];
+                // Log down (crashed, not yet repaired): the write
+                // falls through synchronously to the PFS drain
+                // channel — foreground pays drain-class bandwidth,
+                // but the bytes are durable on arrival and never
+                // enter the log's accounting.
+                let down = self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|state| state.log_down_until(now).is_some());
+                if down {
+                    let state = self.faults.as_ref().expect("checked above");
+                    let start = state.drain_clear(self.drain_virtual.max(now));
+                    let finish = start.saturating_add(Self::xfer(*size, self.drain_bandwidth_bps));
+                    self.drain_virtual = finish;
+                    self.resilience.writethroughs += 1;
+                    self.stats.passthrough_ops += 1;
+                    let sz = self.sizes.get_mut(&fid).expect("absorbed file size");
+                    *sz = (*sz).max(ptr + *size);
+                    self.handles.insert(key, ptr + *size);
+                    out.push(completion(finish, *size, ptr));
+                    return Ok(true);
+                }
                 let cal = self.logs.entry(pid).or_default();
                 let res = cal.reserve(
                     now + self.log_latency,
                     Self::xfer(*size, self.log_bandwidth_bps),
                 );
+                let ready = res.finish;
                 self.stats.bytes_logged += *size;
                 self.stats.bytes_resident += *size;
                 self.stats.absorbed_ops += 1;
+                let (retire, lost) = self.schedule_drain(ready, *size);
                 self.pending.push_back(DrainEntry {
                     len: *size,
-                    ready: res.finish,
+                    retire,
+                    lost,
                 });
                 let sz = self.sizes.get_mut(&fid).expect("absorbed file size");
                 *sz = (*sz).max(ptr + *size);
                 self.handles.insert(key, ptr + *size);
-                out.push(completion(res.finish, *size, ptr));
+                out.push(completion(ready, *size, ptr));
                 Ok(true)
             }
         }
     }
 
     fn fault_transition_times(&self) -> Vec<Time> {
-        self.inner
+        let mut ts = self
+            .inner
             .fault_state()
             .map(|s| s.transitions().to_vec())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if let Some(state) = &self.faults {
+            ts.extend_from_slice(state.transitions());
+            ts.sort_unstable();
+            ts.dedup();
+        }
+        ts
     }
 
     fn forming_collectives(&self) -> usize {
@@ -308,19 +424,39 @@ impl StorageBackend for BurstBuffer {
     }
 
     fn resilience_stats(&self) -> ResilienceStats {
-        self.inner.resilience_stats()
+        let mut rs = self.inner.resilience_stats();
+        rs.merge(&self.resilience);
+        rs
+    }
+
+    fn durable_instant(&mut self, now: Time) -> Time {
+        let from = self.durable_cursor;
+        self.durable_cursor = self.durable_cursor.max(now);
+        // A commit is durable unless one of the bytes logged in its
+        // window — appends completing in `(previous commit, now]` —
+        // was later destroyed by a burst-node crash while resident.
+        if self
+            .lost_readies
+            .iter()
+            .any(|&ready| ready > from && ready <= now)
+        {
+            Time::MAX
+        } else {
+            now
+        }
     }
 
     fn quiesce(&mut self, now: Time) -> Time {
         while let Some(front) = self.pending.pop_front() {
-            let start = self.drain_clock.max(front.ready);
-            let finish = start + Self::xfer(front.len, self.drain_bandwidth_bps);
-            self.drain_clock = finish;
-            self.stats.bytes_drained += front.len;
             self.stats.bytes_resident -= front.len;
-            self.stats.drain_complete = finish;
+            if front.lost {
+                self.stats.bytes_lost += front.len;
+            } else {
+                self.stats.bytes_drained += front.len;
+                self.stats.drain_complete = front.retire;
+            }
         }
-        now.max(self.drain_clock)
+        now.max(self.stats.drain_complete)
     }
 
     fn stats(&self) -> BackendStats {
@@ -331,6 +467,7 @@ impl StorageBackend for BurstBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sioscope_faults::FaultKind;
 
     fn buffer(absorb: BurstAbsorb) -> BurstBuffer {
         let mut cfg = BurstBufferConfig::over(PfsConfig::tiny());
@@ -397,6 +534,181 @@ mod tests {
         }
         assert_eq!(b.stats().bytes_logged, 0);
         assert_eq!(b.stats().passthrough_ops, 4);
+    }
+
+    #[test]
+    fn engaged_empty_burst_schedule_is_bit_neutral() {
+        let mut plain = buffer(BurstAbsorb::All);
+        let mut cfg = BurstBufferConfig::over(PfsConfig::tiny());
+        cfg.faults = FaultSchedule::engaged_empty();
+        let mut hooked = BurstBuffer::new(cfg);
+        let fid = plain.create_file_with_size("ckpt", 0);
+        assert_eq!(hooked.create_file_with_size("ckpt", 0), fid);
+        let p = Pid(0);
+        let ops = [
+            IoOp::Open,
+            IoOp::Write { size: 1 << 20 },
+            IoOp::Write { size: 1 << 18 },
+            IoOp::Seek { offset: 0 },
+            IoOp::Read { size: 4096 },
+            IoOp::Close,
+        ];
+        for op in &ops {
+            let a = one(&mut plain, Time::ZERO, p, fid, op).unwrap();
+            let b = one(&mut hooked, Time::ZERO, p, fid, op).unwrap();
+            assert_eq!(a, b, "engaged-empty run must be bit-identical");
+        }
+        assert_eq!(
+            plain.quiesce(Time::from_secs(1)),
+            hooked.quiesce(Time::from_secs(1))
+        );
+        assert_eq!(plain.stats(), hooked.stats());
+        assert!(hooked.resilience_stats().is_quiet());
+        let t = Time::from_secs(2);
+        assert_eq!(hooked.durable_instant(t), t, "nothing lost, all durable");
+    }
+
+    #[test]
+    fn drain_stall_delays_retirement_but_loses_nothing() {
+        let mut cfg = BurstBufferConfig::over(PfsConfig::tiny());
+        cfg.faults.push(
+            Time::ZERO,
+            FaultKind::DrainStall {
+                duration: Time::from_secs(2),
+            },
+        );
+        let mut stalled = BurstBuffer::new(cfg);
+        let mut plain = buffer(BurstAbsorb::All);
+        let fid = plain.create_file_with_size("ckpt", 0);
+        assert_eq!(stalled.create_file_with_size("ckpt", 0), fid);
+        let p = Pid(0);
+        for b in [&mut plain, &mut stalled] {
+            one(b, Time::ZERO, p, fid, &IoOp::Open).unwrap();
+            // Foreground append completes at log speed either way.
+            let w = one(b, Time::ZERO, p, fid, &IoOp::Write { size: 300_000_000 }).unwrap();
+            assert!(w.finish < Time::from_secs(1));
+        }
+        let soon = Time::from_secs(1);
+        let q_plain = plain.quiesce(soon);
+        let q_stalled = stalled.quiesce(soon);
+        // Plain drain: ~1 s at 300 MB/s. Stalled drain starts only
+        // once the 2 s window clears.
+        assert!(q_stalled > q_plain, "stall must delay the drain");
+        assert!(q_stalled >= Time::from_secs(3));
+        let s = stalled.stats();
+        assert_eq!(s.bytes_drained, 300_000_000);
+        assert_eq!(s.bytes_lost, 0);
+        assert!(s.conserves_bytes());
+    }
+
+    #[test]
+    fn burst_crash_destroys_resident_bytes_and_breaks_durability() {
+        let mut cfg = BurstBufferConfig::over(PfsConfig::tiny());
+        cfg.faults.push(
+            Time::from_millis(500),
+            FaultKind::BurstNodeCrash {
+                repair: Time::from_secs(10),
+            },
+        );
+        let mut b = BurstBuffer::new(cfg);
+        let fid = b.create_file_with_size("ckpt", 0);
+        let p = Pid(0);
+        one(&mut b, Time::ZERO, p, fid, &IoOp::Open).unwrap();
+        // Appended before the crash, still draining when it hits:
+        // ready ~0.15 s, drain finish ~1.15 s, crash at 0.5 s => lost.
+        let w = one(
+            &mut b,
+            Time::ZERO,
+            p,
+            fid,
+            &IoOp::Write { size: 300_000_000 },
+        )
+        .unwrap();
+        assert!(w.finish < Time::from_millis(500));
+        assert_eq!(
+            b.durable_instant(Time::from_millis(400)),
+            Time::MAX,
+            "commit covering the lost bytes can never be restored"
+        );
+
+        // While the log is down, writes fall through to the drain
+        // channel: durable on arrival, never logged.
+        let wt = one(
+            &mut b,
+            Time::from_secs(1),
+            p,
+            fid,
+            &IoOp::Write { size: 1 << 20 },
+        )
+        .unwrap();
+        assert!(wt.finish > Time::from_secs(1));
+        assert_eq!(b.resilience_stats().writethroughs, 1);
+
+        // After repair (10.5 s) the log absorbs again.
+        let w2 = one(
+            &mut b,
+            Time::from_secs(11),
+            p,
+            fid,
+            &IoOp::Write { size: 1 << 20 },
+        )
+        .unwrap();
+        assert!(w2.finish < Time::from_secs(12));
+        assert_eq!(
+            b.durable_instant(Time::from_secs(12)),
+            Time::from_secs(12),
+            "post-repair commits are durable again"
+        );
+
+        b.quiesce(Time::from_secs(60));
+        let s = b.stats();
+        assert_eq!(
+            s.bytes_lost, 300_000_000,
+            "resident bytes died in the crash"
+        );
+        assert_eq!(s.bytes_logged, 300_000_000 + (1 << 20));
+        assert_eq!(s.bytes_drained, 1 << 20);
+        assert_eq!(s.bytes_resident, 0);
+        assert!(s.conserves_bytes());
+        assert_eq!(s.passthrough_ops, 1, "the write-through bypassed the log");
+    }
+
+    #[test]
+    fn burst_fault_runs_replay_bit_identically() {
+        let run = || {
+            let mut cfg = BurstBufferConfig::over(PfsConfig::tiny());
+            cfg.faults.push(
+                Time::from_millis(200),
+                FaultKind::DrainStall {
+                    duration: Time::from_millis(700),
+                },
+            );
+            cfg.faults.push(
+                Time::from_millis(900),
+                FaultKind::BurstNodeCrash {
+                    repair: Time::from_secs(2),
+                },
+            );
+            let mut b = BurstBuffer::new(cfg);
+            let fid = b.create_file_with_size("ckpt", 0);
+            let p = Pid(0);
+            let mut finishes = Vec::new();
+            one(&mut b, Time::ZERO, p, fid, &IoOp::Open).unwrap();
+            for i in 0..6u64 {
+                let w = one(
+                    &mut b,
+                    Time::from_millis(i * 150),
+                    p,
+                    fid,
+                    &IoOp::Write { size: 64 << 20 },
+                )
+                .unwrap();
+                finishes.push(w.finish);
+            }
+            let quiet = b.quiesce(Time::from_secs(30));
+            (finishes, quiet, b.stats(), b.resilience_stats())
+        };
+        assert_eq!(run(), run(), "same schedule, same bits");
     }
 
     #[test]

@@ -28,6 +28,8 @@ use crate::backend::{BackendKind, BackendStats, StorageBackend};
 use crate::error::PfsError;
 use crate::mode::IoMode;
 use crate::op::{Completion, IoOp};
+use crate::resilience::{ResilienceConfig, ResilienceStats};
+use sioscope_faults::{FaultSchedule, ObjectFaultState};
 use sioscope_machine::MachineConfig;
 use sioscope_sim::{CalendarPool, DetHashMap, FileId, Pid, Time};
 
@@ -52,6 +54,14 @@ pub struct ObjectStoreConfig {
     pub client_overhead: Time,
     /// Sequential bandwidth of one target, bytes per second.
     pub bandwidth_bps: u64,
+    /// Injected fault scenario (object-tier classes: metadata-shard
+    /// outages and degraded-service windows). An empty, disengaged
+    /// schedule keeps every computation bit-identical to a build
+    /// without the fault machinery.
+    pub faults: FaultSchedule,
+    /// How clients react to a dark metadata shard (timeouts, retries,
+    /// re-route to the replica shard).
+    pub resilience: ResilienceConfig,
 }
 
 impl ObjectStoreConfig {
@@ -70,6 +80,8 @@ impl ObjectStoreConfig {
             net_latency: Time::from_micros(100),
             client_overhead: Time::from_micros(1),
             bandwidth_bps: 1_000_000_000,
+            faults: FaultSchedule::empty(),
+            resilience: ResilienceConfig::standard(),
         }
     }
 }
@@ -101,6 +113,10 @@ pub struct ObjectStore {
     md: CalendarPool,
     targets: CalendarPool,
     stats: BackendStats,
+    /// Compiled fault windows; `None` when the schedule does not
+    /// engage, so fault-free runs never touch the fault machinery.
+    fault_state: Option<ObjectFaultState>,
+    resilience: ResilienceStats,
 }
 
 impl ObjectStore {
@@ -108,6 +124,10 @@ impl ObjectStore {
     pub fn new(cfg: ObjectStoreConfig) -> Self {
         let md = CalendarPool::new(cfg.md_shards.max(1));
         let targets = CalendarPool::new(cfg.targets.max(1));
+        let fault_state = cfg
+            .faults
+            .engages()
+            .then(|| ObjectFaultState::new(&cfg.faults, cfg.md_shards.max(1) as u32));
         ObjectStore {
             cfg,
             objects: Vec::new(),
@@ -115,6 +135,8 @@ impl ObjectStore {
             md,
             targets,
             stats: BackendStats::default(),
+            fault_state,
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -150,13 +172,82 @@ impl ObjectStore {
         }
     }
 
+    /// Reserve the object's metadata shard at `arrival`, returning the
+    /// service finish. With faults engaged this is where the failover
+    /// ladder runs: a dark shard costs one timeout, then bounded
+    /// retries with exponential backoff; if the shard is still dark
+    /// the request re-routes to the lowest-numbered healthy replica
+    /// shard (service scaled by `reroute_penalty`), and only when the
+    /// whole metadata service is dark does it stall until the shard
+    /// returns. Degraded-service windows scale the service demand.
+    /// Every branch is a pure function of `(arrival, fid)` and the
+    /// compiled windows, so replays are bit-identical.
+    fn md_reserve(&mut self, arrival: Time, fid: FileId) -> Time {
+        let shard = self.shard(fid);
+        let service = self.cfg.md_service;
+        let rz = self.cfg.resilience;
+        match &self.fault_state {
+            None => self.md.reserve(shard, arrival, service).finish,
+            Some(state) => {
+                let mut shard = shard as u32;
+                let mut t = arrival;
+                let mut penalty = 1.0f64;
+                if state.is_shard_down(shard, t) {
+                    self.resilience.timeouts += 1;
+                    t = t.saturating_add(rz.request_timeout);
+                    let mut backoff = rz.backoff_base;
+                    let mut tries = 0;
+                    while tries < rz.max_retries && state.is_shard_down(shard, t) {
+                        self.resilience.retries += 1;
+                        t = t.saturating_add(backoff);
+                        backoff = backoff.scale(rz.backoff_multiplier);
+                        tries += 1;
+                    }
+                    if state.is_shard_down(shard, t) {
+                        match state.first_healthy_shard(t, shard).filter(|_| rz.reroute) {
+                            Some(alt) => {
+                                self.resilience.reroutes += 1;
+                                shard = alt;
+                                penalty = rz.reroute_penalty;
+                            }
+                            None => {
+                                self.resilience.aborts += 1;
+                                t = state.shard_down_until(shard, t).unwrap_or(t);
+                            }
+                        }
+                    }
+                }
+                let factor = state.service_factor(t) * penalty;
+                let service = if factor > 1.0 {
+                    service.scale(factor)
+                } else {
+                    service
+                };
+                self.md.reserve(shard as usize, t, service).finish
+            }
+        }
+    }
+
+    /// Scale a target transfer by the degraded-service factor in
+    /// force at its start. Identity when no window covers `at`.
+    fn degraded_xfer(&self, xfer: Time, at: Time) -> Time {
+        match &self.fault_state {
+            Some(state) => {
+                let factor = state.service_factor(at);
+                if factor > 1.0 {
+                    xfer.scale(factor)
+                } else {
+                    xfer
+                }
+            }
+            None => xfer,
+        }
+    }
+
     /// Metadata round trip: client → shard → client.
     fn metadata_op(&mut self, now: Time, fid: FileId) -> Time {
-        let shard = self.shard(fid);
-        let res = self
-            .md
-            .reserve(shard, now + self.cfg.net_latency, self.cfg.md_service);
-        res.finish + self.cfg.net_latency
+        let finish = self.md_reserve(now + self.cfg.net_latency, fid);
+        finish + self.cfg.net_latency
     }
 }
 
@@ -247,13 +338,8 @@ impl StorageBackend for ObjectStore {
                 let ptr = self.handles[&key];
                 let avail = self.objects[fid.index()].size.saturating_sub(ptr);
                 let bytes = (*size).min(avail);
-                let md_done = {
-                    let shard = self.shard(fid);
-                    self.md
-                        .reserve(shard, now + self.cfg.net_latency, self.cfg.md_service)
-                        .finish
-                };
-                let xfer = self.transfer_time(bytes);
+                let md_done = self.md_reserve(now + self.cfg.net_latency, fid);
+                let xfer = self.degraded_xfer(self.transfer_time(bytes), md_done);
                 let tgt = self.target(fid);
                 let finish = self.targets.reserve(tgt, md_done, xfer).finish + self.cfg.net_latency;
                 let meta = &mut self.objects[fid.index()];
@@ -268,17 +354,9 @@ impl StorageBackend for ObjectStore {
                     return Err(PfsError::NotOpen { file: fid, pid });
                 }
                 let ptr = self.handles[&key];
-                let md_done = {
-                    let shard = self.shard(fid);
-                    self.md
-                        .reserve(
-                            shard,
-                            now + self.cfg.put_overhead + self.cfg.net_latency,
-                            self.cfg.md_service,
-                        )
-                        .finish
-                };
-                let xfer = self.transfer_time(*size);
+                let md_done =
+                    self.md_reserve(now + self.cfg.put_overhead + self.cfg.net_latency, fid);
+                let xfer = self.degraded_xfer(self.transfer_time(*size), md_done);
                 let tgt = self.target(fid);
                 let finish = self.targets.reserve(tgt, md_done, xfer).finish + self.cfg.net_latency;
                 let meta = &mut self.objects[fid.index()];
@@ -294,6 +372,17 @@ impl StorageBackend for ObjectStore {
         }
     }
 
+    fn fault_transition_times(&self) -> Vec<Time> {
+        self.fault_state
+            .as_ref()
+            .map(|s| s.transitions().to_vec())
+            .unwrap_or_default()
+    }
+
+    fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience
+    }
+
     fn stats(&self) -> BackendStats {
         self.stats
     }
@@ -302,6 +391,7 @@ impl StorageBackend for ObjectStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sioscope_faults::FaultKind;
 
     fn store() -> ObjectStore {
         ObjectStore::new(ObjectStoreConfig::modern(4))
@@ -376,6 +466,121 @@ mod tests {
             one(&mut s, Time::ZERO, p, FileId(9), &IoOp::Open),
             Err(PfsError::NoSuchFile(_))
         ));
+    }
+
+    fn drive(s: &mut ObjectStore) -> Vec<Completion> {
+        let fid = s.create_file_with_size("obj", 0);
+        let p = Pid(0);
+        let mut cs = Vec::new();
+        cs.push(one(s, Time::ZERO, p, fid, &IoOp::Open).unwrap());
+        cs.push(one(s, Time::ZERO, p, fid, &IoOp::Write { size: 4096 }).unwrap());
+        let t = cs.last().unwrap().finish;
+        cs.push(one(s, t, p, fid, &IoOp::Seek { offset: 0 }).unwrap());
+        cs.push(one(s, t, p, fid, &IoOp::Read { size: 4096 }).unwrap());
+        cs.push(one(s, t, p, fid, &IoOp::Close).unwrap());
+        cs
+    }
+
+    #[test]
+    fn engaged_empty_schedule_is_bit_neutral() {
+        let mut plain = store();
+        let mut cfg = ObjectStoreConfig::modern(4);
+        cfg.faults = FaultSchedule::engaged_empty();
+        let mut engaged = ObjectStore::new(cfg);
+        assert!(engaged.fault_state.is_some(), "hooks are in the loop");
+        assert_eq!(drive(&mut plain), drive(&mut engaged));
+        assert!(engaged.resilience_stats().is_quiet());
+        assert!(engaged.fault_transition_times().is_empty());
+    }
+
+    #[test]
+    fn shard_outage_engages_the_failover_ladder() {
+        let mut cfg = ObjectStoreConfig::modern(4);
+        // FileId(0) maps to shard 0; keep it dark for a long window so
+        // the ladder exhausts its retries and re-routes to shard 1.
+        cfg.faults.push(
+            Time::ZERO,
+            FaultKind::MetadataShardOutage {
+                shard: 0,
+                duration: Time::from_secs(100),
+            },
+        );
+        let mut s = ObjectStore::new(cfg);
+        let fault_free = drive(&mut store());
+        let faulted = drive(&mut s);
+        let rs = s.resilience_stats();
+        assert_eq!(rs.timeouts, 4, "open, put, get, close each time out");
+        assert_eq!(rs.retries, 4 * 4);
+        assert_eq!(rs.reroutes, 4, "replica shard serves every one");
+        assert_eq!(rs.aborts, 0);
+        // Same bytes and offsets, later completions.
+        for (a, b) in fault_free.iter().zip(&faulted) {
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.offset, b.offset);
+        }
+        assert!(faulted[0].finish > fault_free[0].finish);
+        assert_eq!(
+            s.fault_transition_times(),
+            vec![Time::ZERO, Time::from_secs(100)]
+        );
+        // Deterministic replay.
+        let mut cfg2 = ObjectStoreConfig::modern(4);
+        cfg2.faults = s.config().faults.clone();
+        assert_eq!(drive(&mut ObjectStore::new(cfg2)), faulted);
+    }
+
+    #[test]
+    fn whole_dark_metadata_service_stalls_until_restart() {
+        let mut cfg = ObjectStoreConfig::modern(4);
+        let until = Time::from_secs(30);
+        for shard in 0..4 {
+            cfg.faults.push(
+                Time::ZERO,
+                FaultKind::MetadataShardOutage {
+                    shard,
+                    duration: until,
+                },
+            );
+        }
+        let mut s = ObjectStore::new(cfg);
+        let fid = s.create_file_with_size("obj", 0);
+        let c = one(&mut s, Time::ZERO, Pid(0), fid, &IoOp::Open).unwrap();
+        assert!(c.finish > until, "request waits out the outage");
+        let rs = s.resilience_stats();
+        assert_eq!(rs.aborts, 1);
+        assert_eq!(rs.reroutes, 0);
+    }
+
+    #[test]
+    fn degraded_service_slows_without_changing_semantics() {
+        let mut cfg = ObjectStoreConfig::modern(4);
+        cfg.faults.push(
+            Time::ZERO,
+            FaultKind::DegradedService {
+                duration: Time::from_secs(100),
+                factor: 4.0,
+            },
+        );
+        let mut slow = ObjectStore::new(cfg);
+        let fault_free = drive(&mut store());
+        let degraded = drive(&mut slow);
+        for (a, b) in fault_free.iter().zip(&degraded) {
+            assert_eq!(a.bytes, b.bytes, "PUT/GET semantics survive degradation");
+            assert_eq!(a.offset, b.offset);
+            assert_eq!(a.kind, b.kind);
+        }
+        assert!(
+            degraded[1].finish > fault_free[1].finish,
+            "PUT pays the factor"
+        );
+        assert!(
+            degraded[3].finish > fault_free[3].finish,
+            "GET pays the factor"
+        );
+        assert!(
+            slow.resilience_stats().is_quiet(),
+            "degradation is not a failover action"
+        );
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub struct ResilienceStats {
     pub degraded_reads: u64,
     /// Requests that found no healthy node and stalled until restart.
     pub aborts: u64,
+    /// Writes that fell through to the backing store while the
+    /// burst-buffer log was down (crashed, not yet repaired).
+    #[serde(default)]
+    pub writethroughs: u64,
 }
 
 impl ResilienceStats {
@@ -86,7 +90,12 @@ impl ResilienceStats {
 
     /// Sum of all counters — a scalar "how eventful was this run".
     pub fn total_actions(&self) -> u64 {
-        self.timeouts + self.retries + self.reroutes + self.degraded_reads + self.aborts
+        self.timeouts
+            + self.retries
+            + self.reroutes
+            + self.degraded_reads
+            + self.aborts
+            + self.writethroughs
     }
 
     /// Accumulate another run's counters into this one.
@@ -96,6 +105,7 @@ impl ResilienceStats {
         self.reroutes += other.reroutes;
         self.degraded_reads += other.degraded_reads;
         self.aborts += other.aborts;
+        self.writethroughs += other.writethroughs;
     }
 }
 
@@ -124,11 +134,13 @@ mod tests {
             reroutes: 1,
             degraded_reads: 2,
             aborts: 0,
+            writethroughs: 3,
         };
         a.merge(&b);
         a.merge(&b);
         assert!(!a.is_quiet());
         assert_eq!(a.retries, 8);
-        assert_eq!(a.total_actions(), 16);
+        assert_eq!(a.writethroughs, 6);
+        assert_eq!(a.total_actions(), 22);
     }
 }

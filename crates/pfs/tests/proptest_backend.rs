@@ -8,9 +8,15 @@
 //!   `bytes_logged == bytes_drained + bytes_resident` at every
 //!   observation point, and FIFO drain progress matching an oracle
 //!   that replays the same entries in submission order (which implies
-//!   per-file write order is preserved).
+//!   per-file write order is preserved);
+//! * the chaos properties the fault subsystem promises: the
+//!   four-term conservation law
+//!   `bytes_logged == bytes_drained + bytes_resident + bytes_lost`
+//!   under *any* seeded burst fault schedule, and PUT/GET semantic
+//!   equivalence under a degraded-service latency window.
 
 use proptest::prelude::*;
+use sioscope_faults::{FaultGen, FaultKind, FaultSchedule};
 use sioscope_pfs::{
     BurstAbsorb, BurstBuffer, BurstBufferConfig, IoOp, ObjectStore, ObjectStoreConfig, PfsConfig,
     StorageBackend,
@@ -220,5 +226,127 @@ proptest! {
         prop_assert_eq!(s.bytes_resident, 0);
         prop_assert!(quiet >= probe);
         prop_assert!(quiet >= s.drain_complete);
+    }
+
+    /// Chaos form of the conservation law: under *any* seeded burst
+    /// fault schedule (drain stalls, burst-node crashes), every
+    /// logged byte is drained, resident, or lost — at every
+    /// observation point and after quiesce — and only a crash may
+    /// populate the loss column.
+    #[test]
+    fn burst_conservation_holds_under_any_seeded_fault_schedule(
+        seed in any::<u64>(),
+        events in 1usize..6,
+        writes in proptest::collection::vec((0u8..3, 1u64..1 << 22), 1..24),
+    ) {
+        let mut cfg = BurstBufferConfig::over(PfsConfig::tiny());
+        cfg.absorb = BurstAbsorb::All;
+        let horizon = Time::from_secs(8);
+        let io_nodes = cfg.pfs.machine.io_nodes;
+        cfg.faults = FaultGen::new(seed, horizon, io_nodes)
+            .with_events(events)
+            .burst_schedule();
+        let crashes = cfg
+            .faults
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::BurstNodeCrash { .. }))
+            .count();
+        let mut buffer = BurstBuffer::new(cfg);
+        let fid = buffer.create_file_with_size("chaos-log", 0);
+        let step = horizon.scale(1.0 / (writes.len() as f64 + 1.0));
+        let mut now = Time::ZERO;
+        let mut opened = [false; 3];
+        for &(pid, size) in &writes {
+            let p = Pid(pid.into());
+            if !opened[pid as usize] {
+                let mut out = Vec::new();
+                buffer.submit_into(now, p, fid, &IoOp::Open, &mut out).unwrap();
+                opened[pid as usize] = true;
+            }
+            let mut out = Vec::new();
+            buffer
+                .submit_into(now, p, fid, &IoOp::Write { size }, &mut out)
+                .unwrap();
+            let s = buffer.stats();
+            prop_assert!(s.conserves_bytes(), "conservation after every append: {s:?}");
+            now = now + step;
+        }
+        let quiet = buffer.quiesce(now + horizon);
+        let s = buffer.stats();
+        prop_assert!(s.conserves_bytes(), "conservation after quiesce: {s:?}");
+        prop_assert_eq!(s.bytes_resident, 0, "a quiesced log holds nothing resident");
+        if crashes == 0 {
+            prop_assert_eq!(s.bytes_lost, 0, "only a burst-node crash loses bytes");
+        }
+        prop_assert!(quiet >= s.drain_complete);
+    }
+
+    /// A degraded-service window taxes PUT/GET latency but must not
+    /// change semantics: over any interpreted action sequence, the
+    /// degraded store returns the same sizes, offsets, metadata and
+    /// op counters as the fault-free store — only its clock runs
+    /// behind.
+    #[test]
+    fn object_put_get_semantics_survive_degraded_latency(steps in steps()) {
+        let mut slow_cfg = ObjectStoreConfig::modern(4);
+        slow_cfg.faults = FaultSchedule::empty();
+        slow_cfg.faults.push(
+            Time::ZERO,
+            FaultKind::DegradedService {
+                duration: Time::from_secs(1 << 20),
+                factor: 3.0,
+            },
+        );
+        let mut clean = ObjectStore::new(ObjectStoreConfig::modern(4));
+        let mut slow = ObjectStore::new(slow_cfg);
+        for fid in 0..2u32 {
+            clean.create_file_with_size(&format!("obj-{fid}"), 0);
+            slow.create_file_with_size(&format!("obj-{fid}"), 0);
+        }
+        let mut open: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        let (mut now_clean, mut now_slow) = (Time::ZERO, Time::ZERO);
+        for &(pid, fid, act) in &steps {
+            let key = (fid.into(), pid.into());
+            let is_open = open.get(&key).copied().unwrap_or(false);
+            let op = match act {
+                Action::Open if is_open => continue,
+                Action::Open => {
+                    open.insert(key, true);
+                    IoOp::Open
+                }
+                Action::Close if !is_open => continue,
+                Action::Close => {
+                    open.insert(key, false);
+                    IoOp::Close
+                }
+                _ if !is_open => continue,
+                Action::Seek(offset) => IoOp::Seek { offset },
+                Action::Put(size) => IoOp::Write { size },
+                Action::Get(size) => IoOp::Read { size },
+            };
+            let (p, f) = (Pid(pid.into()), FileId(fid.into()));
+            let mut a = Vec::new();
+            clean.submit_into(now_clean, p, f, &op, &mut a).unwrap();
+            let mut b = Vec::new();
+            slow.submit_into(now_slow, p, f, &op, &mut b).unwrap();
+            prop_assert_eq!(a[0].bytes, b[0].bytes, "degraded latency must not change sizes");
+            prop_assert_eq!(a[0].offset, b[0].offset, "degraded latency must not move pointers");
+            now_clean = now_clean.max(a[0].finish);
+            now_slow = now_slow.max(b[0].finish);
+        }
+        for fid in 0..2u32 {
+            let ca = clean.object_meta(FileId(fid)).unwrap();
+            let cb = slow.object_meta(FileId(fid)).unwrap();
+            prop_assert_eq!(ca.size, cb.size, "object sizes agree");
+            prop_assert_eq!(
+                ca.last_writer.map(|p| p.0),
+                cb.last_writer.map(|p| p.0),
+                "last-writer-wins agrees"
+            );
+        }
+        prop_assert_eq!(clean.stats().puts, slow.stats().puts);
+        prop_assert_eq!(clean.stats().gets, slow.stats().gets);
+        prop_assert!(now_slow >= now_clean, "the degraded clock never runs ahead");
     }
 }

@@ -198,6 +198,124 @@ fn backend_routed_recovery_matches_pfs_direct_on_caltech() {
     assert_eq!(fingerprint(&direct), fingerprint(&routed));
 }
 
+/// The issue's durability acceptance shape: a burst-node crash that
+/// destroys *resident checkpoint bytes* forces recovery to roll back
+/// past the non-durable commit, so its time-to-solution is strictly
+/// worse than the identical compute-crash scenario where the burst
+/// crash hits an empty log and loses nothing.
+#[test]
+fn burst_crash_on_resident_checkpoint_bytes_costs_strictly_more_than_on_an_empty_log() {
+    use sioscope_faults::{FaultKind, FaultSchedule};
+    use sioscope_pfs::{BurstBufferConfig, OpKind};
+    use sioscope_sim::Time;
+    use sioscope_workloads::{CheckpointPolicy, EscatConfig, EscatVersion};
+
+    let cfg = EscatConfig::tiny(EscatVersion::C);
+    let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+    let pfs = PfsConfig::caltech(cfg.nodes, rec.workload().os);
+    let burst = BurstBufferConfig::over(pfs);
+
+    // The fault-free marked run: commit instants and the write trace
+    // both scenarios are derived from.
+    let marked = run_backend(
+        rec.workload(),
+        &BackendConfig::Burst(burst.clone()),
+        SimOptions::default(),
+    )
+    .expect("marked burst run");
+    let exec = marked.exec_time;
+
+    // Both scenarios share one compute crash at 60% of the run.
+    let crash_at = exec.scale(0.6);
+    let mut crashes = FaultSchedule::empty();
+    crashes.push(
+        crash_at,
+        FaultKind::ComputeNodeCrash {
+            node: 0,
+            rework: Time::from_secs(1),
+        },
+    );
+
+    // The commit the crash would roll back to, and the interval
+    // window (t_prev, t_k] feeding it.
+    let (_, t_k) = *marked
+        .checkpoint_commits
+        .iter()
+        .rev()
+        .find(|(_, t)| *t <= crash_at)
+        .expect("a commit precedes the crash");
+    let t_prev = marked
+        .checkpoint_commits
+        .iter()
+        .rev()
+        .find(|(_, t)| *t < t_k)
+        .map(|(_, t)| *t)
+        .unwrap_or(Time::ZERO);
+    // A checkpoint-interval write, caught at the instant it retires
+    // into the burst log: its bytes are resident (the drain channel is
+    // slower than the log), so a burst-node crash right then loses
+    // them and poisons the commit's durability.
+    let w = marked
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == OpKind::Write && e.bytes > 0 && e.end() > t_prev && e.end() <= t_k)
+        .max_by_key(|e| e.bytes)
+        .expect("the rollback interval contains a write");
+
+    let repair = Time::from_millis(1);
+    let crashed_burst = |at: Time| {
+        let mut faulted = burst.clone();
+        faulted.faults = FaultSchedule::empty();
+        faulted
+            .faults
+            .push(at, FaultKind::BurstNodeCrash { repair });
+        faulted
+    };
+    // Scenario A: the burst node dies with the checkpoint bytes still
+    // resident. Scenario B: it dies at t=1ns, before anything is
+    // logged — same repair, nothing lost. The loss ledger is read from
+    // the first attempt's physics (recovery reports the final, replay
+    // attempt, whose clock no longer lines up with the crash instant).
+    let first_attempt = |at: Time| {
+        run_backend(
+            rec.workload(),
+            &BackendConfig::Burst(crashed_burst(at)),
+            SimOptions::default(),
+        )
+        .expect("faulted burst run")
+        .backend_stats
+    };
+    let lost = first_attempt(w.end());
+    assert!(
+        lost.bytes_lost >= w.bytes && lost.conserves_bytes(),
+        "scenario A must lose the resident checkpoint bytes"
+    );
+    let intact = first_attempt(Time::from_nanos(1));
+    assert!(
+        intact.bytes_lost == 0 && intact.conserves_bytes(),
+        "scenario B crashes an empty log"
+    );
+
+    let recover = |at: Time| {
+        run_with_recovery_backend(
+            &rec,
+            &crashes,
+            &BackendConfig::Burst(crashed_burst(at)),
+            SimOptions::default(),
+        )
+        .expect("recovery over the faulted burst tier")
+    };
+    let resident = recover(w.end());
+    let empty_log = recover(Time::from_nanos(1));
+    assert!(
+        resident.recovery.time_to_solution > empty_log.recovery.time_to_solution,
+        "losing resident checkpoint bytes must cost extra rollback: {} vs {}",
+        resident.recovery.time_to_solution,
+        empty_log.recovery.time_to_solution
+    );
+}
+
 #[test]
 fn burst_tier_checkpoint_sweep_beats_the_plain_u_curve_minimum() {
     use sioscope::sweeps::{checkpoint_interval_sweep, checkpoint_interval_sweep_burst};

@@ -121,8 +121,11 @@ fn corrupted_cache_entries_are_recomputed_not_trusted() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// The SPEC matrix widened across all three storage tiers. The object
-/// tier models no fault process, so this spec stays fault-free.
+/// The SPEC matrix widened across all three storage tiers. The fault
+/// axis is legal on every tier: each backend draws its own tier's
+/// fault vocabulary (I/O-node faults on the pfs, metadata-shard
+/// outages and degraded service on the object store, drain stalls
+/// and burst-node crashes on the burst buffer) from the same seed.
 const MIXED_BACKEND_SPEC: &str = r#"
 [campaign]
 name = "backend-tiers"
@@ -131,6 +134,7 @@ scale = "smoke"
 [workloads]
 ids = ["escat-b"]
 backends = ["pfs", "object", "burst"]
+fault_events = [0, 2]
 seeds = [0]
 "#;
 
@@ -138,7 +142,7 @@ seeds = [0]
 fn backend_tiers_hash_distinctly_and_cache_cold_equals_cached() {
     let spec = CampaignSpec::from_toml_str(MIXED_BACKEND_SPEC).unwrap();
     let runs = spec.expand();
-    assert_eq!(runs.len(), 3, "one run per tier");
+    assert_eq!(runs.len(), 6, "fault-free and faulted runs per tier");
 
     // The backend is part of the canonical line, so each tier gets its
     // own content address — a cached pfs result can never be served
@@ -149,7 +153,7 @@ fn backend_tiers_hash_distinctly_and_cache_cold_equals_cached() {
         .collect();
     hashes.sort();
     hashes.dedup();
-    assert_eq!(hashes.len(), 3, "tiers must not share content addresses");
+    assert_eq!(hashes.len(), 6, "tiers must not share content addresses");
 
     let dir = fresh_dir("tiers");
     let cold = run_campaign(&spec, &opts(2, &dir)).unwrap();
@@ -159,13 +163,36 @@ fn backend_tiers_hash_distinctly_and_cache_cold_equals_cached() {
         "{}",
         cold.render()
     );
-    // Tiers produce genuinely different physics: exec times differ.
-    let execs: std::collections::BTreeSet<u64> = cold
-        .runs
+    // Tiers produce genuinely different physics: the three fault-free
+    // runs all time differently.
+    let execs: std::collections::BTreeSet<u64> = runs
         .iter()
-        .map(|r| r.entry.metrics["exec_time_ns"])
+        .zip(&cold.runs)
+        .filter(|(spec_run, _)| spec_run.canon().contains("faults=0"))
+        .map(|(_, r)| r.entry.metrics["exec_time_ns"])
         .collect();
     assert_eq!(execs.len(), 3, "each tier must time differently");
+    // Faulted runs surface their resilience ledger. The pfs tier's
+    // metric set is pinned to the pre-backend path (its content
+    // addresses must stay valid), so the counter appears on the
+    // modern tiers only.
+    for (spec_run, r) in runs.iter().zip(&cold.runs) {
+        if spec_run.canon().contains("faults=2") {
+            assert!(
+                spec_run.canon().contains("backend=pfs")
+                    || r.entry.metrics.contains_key("resilience_actions"),
+                "faulted {} run must report resilience actions",
+                spec_run.canon()
+            );
+            assert!(r.entry.metrics["fault_transitions"] > 0);
+        }
+        if spec_run.canon().contains("backend=burst") && spec_run.canon().contains("faults=2") {
+            assert!(
+                r.entry.metrics.contains_key("bytes_lost"),
+                "faulted burst run must expose the loss ledger"
+            );
+        }
+    }
 
     let cached = run_campaign(&spec, &opts(2, &dir)).unwrap();
     assert_eq!(cached.hits(), cached.runs.len());
@@ -179,6 +206,7 @@ fn backend_axis_is_toml_order_independent() {
     let reordered = r#"
 [workloads]
 seeds = [0x0]
+fault_events = [0, 2]
 backends = ["pfs", "object", "burst"]
 ids = ["escat-b"]
 
