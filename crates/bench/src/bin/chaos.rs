@@ -1,15 +1,17 @@
 //! Seeded chaos/soak harness: fuzz fault schedules across the three
-//! storage tiers and hold every run to the fault subsystem's hard
-//! invariants (byte conservation, golden bit-identity, hook
-//! neutrality, replay identity, recovery-TTS sanity).
+//! storage tiers plus the streaming pipeline and hold every run to
+//! the fault subsystem's hard invariants (byte conservation, golden
+//! bit-identity, hook neutrality, replay identity, recovery-TTS
+//! sanity; for the stream tier: queue-ledger conservation, replay
+//! identity, crash monotonicity, unbounded-queue equivalence).
 //!
 //! ```text
-//! # The CI chaos-smoke budget: 64 schedules x 3 tiers.
+//! # The CI chaos-smoke budget: 64 schedules x 4 tiers.
 //! cargo run -p sioscope-bench --bin chaos --release -- \
 //!     --seeds 64 --out artifacts/chaos-verdicts.txt
 //! # One tier, a different seed window:
 //! cargo run -p sioscope-bench --bin chaos --release -- \
-//!     --tiers burst --start 1000 --seeds 16
+//!     --tiers stream --start 1000 --seeds 16
 //! ```
 //!
 //! Exit codes follow the repro contract: `0` every case passed, `2`
@@ -19,19 +21,17 @@
 //! violations indented beneath it — deterministic bytes for a given
 //! seed window, so CI can diff soaks across commits.
 
-use sioscope::chaos::{chaos_soak, parse_golden_baseline, ChaosVerdict};
+use sioscope::chaos::{chaos_soak, parse_golden_baseline, ChaosTier, ChaosVerdict};
 use sioscope_bench::{exit_with, write_atomic, CliError};
-use sioscope_pfs::BackendKind;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-const USAGE: &str =
-    "usage: chaos [--seeds N] [--start S] [--tiers pfs,object,burst] [--golden FILE] [--out FILE]";
+const USAGE: &str = "usage: chaos [--seeds N] [--start S] [--tiers pfs,object,burst,stream] [--golden FILE] [--out FILE]";
 
 struct Cli {
     seeds: u64,
     start: u64,
-    tiers: Vec<BackendKind>,
+    tiers: Vec<ChaosTier>,
     golden: Option<PathBuf>,
     out: Option<PathBuf>,
 }
@@ -40,7 +40,7 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
     let mut cli = Cli {
         seeds: 64,
         start: 0,
-        tiers: BackendKind::all().to_vec(),
+        tiers: ChaosTier::all(),
         golden: None,
         out: None,
     };
@@ -72,9 +72,9 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
                 .split(',')
                 .filter(|t| !t.is_empty())
                 .map(|t| {
-                    BackendKind::from_id(t).ok_or_else(|| {
+                    ChaosTier::from_id(t).ok_or_else(|| {
                         CliError::BadArgs(format!(
-                            "unknown tier `{t}` (expected one of: pfs, object, burst)"
+                            "unknown tier `{t}` (expected one of: pfs, object, burst, stream)"
                         ))
                     })
                 })

@@ -48,7 +48,7 @@ pub fn fault_mismatch_error(kind: BackendKind, problems: &[String]) -> CliError 
 }
 
 /// Every fault label any tier can express, for diagnostics.
-const ALL_FAULT_LABELS: [&str; 10] = [
+const ALL_FAULT_LABELS: [&str; 11] = [
     "latent-sector",
     "spindle-failure",
     "ion-crash",
@@ -59,6 +59,7 @@ const ALL_FAULT_LABELS: [&str; 10] = [
     "degraded-service",
     "drain-stall",
     "burst-crash",
+    "consumer-crash",
 ];
 
 /// Parse a `--faults` spec: a comma list of `label@frac` events, each
@@ -123,6 +124,7 @@ pub fn parse_fault_spec(spec: &str, horizon: Time) -> Result<FaultSchedule, CliE
             },
             "drain-stall" => FaultKind::DrainStall { duration: window },
             "burst-crash" => FaultKind::BurstNodeCrash { repair: window },
+            "consumer-crash" => FaultKind::ConsumerCrash { stall: window },
             other => {
                 return Err(CliError::BadArgs(format!(
                     "unknown fault label `{other}`; known labels: {}",
@@ -621,6 +623,41 @@ mod tests {
         let err = fault_mismatch_error(BackendKind::Object, &problems);
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("valid faults on object"));
+    }
+
+    #[test]
+    fn stream_experiments_and_depth_sweep_are_selectable() {
+        let got =
+            try_experiments_from_args(&["stream-prism".to_string(), "stream-vs-file".to_string()])
+                .unwrap();
+        assert_eq!(got, vec![Experiment::StreamPrism, Experiment::StreamVsFile]);
+        let sweeps = try_sweeps_from_args(&["--sweeps=staging_depth".to_string()]).unwrap();
+        assert_eq!(sweeps, Some(vec![SweepId::StagingDepth]));
+        // Near-miss ids stay usage errors naming the unknown id.
+        let err = try_experiments_from_args(&["stream-vs-pfs".to_string()]).unwrap_err();
+        assert_eq!(err, vec!["stream-vs-pfs".to_string()]);
+        let err = try_sweeps_from_args(&["--sweeps=staging-depth".to_string()]).unwrap_err();
+        assert_eq!(err, vec!["staging-depth".to_string()]);
+    }
+
+    #[test]
+    fn consumer_crash_parses_but_stays_stream_only() {
+        use sioscope_pfs::mode::OsRelease;
+        use sioscope_pfs::{BackendConfig, PfsConfig};
+        let horizon = Time::from_secs(10);
+        let faults = parse_fault_spec("consumer-crash@0.3", horizon).unwrap();
+        assert_eq!(faults.events.len(), 1);
+        assert_eq!(faults.events[0].at, Time::from_secs(3));
+        // On a storage tier the same schedule is a cross-tier usage
+        // error, exit 2, naming the tier's valid set.
+        let mut pfs = PfsConfig::caltech(4, OsRelease::Osf13);
+        pfs.faults = faults;
+        let cfg = BackendConfig::Pfs(pfs);
+        let problems = cfg.validate_faults(4);
+        assert!(!problems.is_empty(), "consumer-crash must not pass on pfs");
+        let err = fault_mismatch_error(BackendKind::Pfs, &problems);
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("valid faults on pfs"));
     }
 
     #[test]

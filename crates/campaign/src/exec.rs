@@ -231,6 +231,16 @@ fn run_resolved(run: &RunSpec) -> Result<(String, BTreeMap<String, u64>), String
             };
             Ok((status, metrics))
         }
+        RunSpec::Stream {
+            depth_kib,
+            consumer_pct,
+            scale,
+            seed,
+        } => {
+            let scale = resolve_scale(scale)?;
+            let metrics = canon::stream_run(*depth_kib, *consumer_pct, *seed, scale)?;
+            Ok(("ok".to_string(), metrics))
+        }
         RunSpec::Sweep { id, scale } => {
             let sweep_id = SweepId::from_id(id).ok_or_else(|| format!("unknown sweep `{id}`"))?;
             let scale = resolve_scale(scale)?;

@@ -101,6 +101,19 @@ pub enum RunSpec {
         /// Scale id from [`SCALE_IDS`].
         scale: String,
     },
+    /// Run the coupled streaming pipeline over a bounded staging
+    /// queue. Declared last so the derived `Ord` keeps stream runs at
+    /// the end of the deterministic campaign order.
+    Stream {
+        /// Staging queue depth in KiB (`0` = unbounded).
+        depth_kib: u32,
+        /// Consumer analysis speed in percent (100 = reference).
+        consumer_pct: u32,
+        /// Scale id from [`SCALE_IDS`].
+        scale: String,
+        /// RNG seed folded into the producer's cadence.
+        seed: u64,
+    },
 }
 
 impl RunSpec {
@@ -133,6 +146,14 @@ impl RunSpec {
                 format!("v=1;kind=experiment;id={id};scale={scale}")
             }
             RunSpec::Sweep { id, scale } => format!("v=1;kind=sweep;id={id};scale={scale}"),
+            RunSpec::Stream {
+                depth_kib,
+                consumer_pct,
+                scale,
+                seed,
+            } => format!(
+                "v=1;kind=stream;depth={depth_kib};consumer={consumer_pct};scale={scale};seed={seed}"
+            ),
         }
     }
 
@@ -154,6 +175,12 @@ impl RunSpec {
             } => format!("contention {policy} load={load_pct}% seed={seed}"),
             RunSpec::Experiment { id, .. } => format!("experiment {id}"),
             RunSpec::Sweep { id, .. } => format!("sweep {id}"),
+            RunSpec::Stream {
+                depth_kib,
+                consumer_pct,
+                seed,
+                ..
+            } => format!("stream depth={depth_kib}K consumer={consumer_pct}% seed={seed}"),
         }
     }
 }
@@ -184,6 +211,13 @@ pub struct CampaignSpec {
     pub experiments: Vec<String>,
     /// Registry sweep ids (resolved by the executor).
     pub sweeps: Vec<String>,
+    /// Staging queue depths in KiB crossed with every consumer speed
+    /// (`0` = unbounded).
+    pub stream_depths_kib: Vec<u32>,
+    /// Consumer analysis speeds in percent crossed with every depth.
+    pub stream_consumer_pcts: Vec<u32>,
+    /// Seeds crossed with every depth × consumer speed.
+    pub stream_seeds: Vec<u64>,
 }
 
 impl CampaignSpec {
@@ -198,7 +232,7 @@ impl CampaignSpec {
         for table in doc.tables.keys() {
             if !matches!(
                 table.as_str(),
-                "campaign" | "workloads" | "contention" | "registry"
+                "campaign" | "workloads" | "contention" | "registry" | "streams"
             ) {
                 return Err(err(format!("campaign spec: unknown table `[{table}]`")));
             }
@@ -233,6 +267,9 @@ impl CampaignSpec {
             contention_seeds: Vec::new(),
             experiments: Vec::new(),
             sweeps: Vec::new(),
+            stream_depths_kib: Vec::new(),
+            stream_consumer_pcts: Vec::new(),
+            stream_seeds: Vec::new(),
         };
 
         if let Some(w) = doc.table("workloads") {
@@ -279,13 +316,28 @@ impl CampaignSpec {
             spec.sweeps = str_array(r, "registry", "sweeps")?.unwrap_or_default();
         }
 
+        if let Some(s) = doc.table("streams") {
+            reject_unknown(s, "streams", &["depths_kib", "consumer_pcts", "seeds"])?;
+            spec.stream_depths_kib = u32_array(s, "streams", "depths_kib", 1_048_576)?
+                .ok_or_else(|| err("streams table present but `depths_kib` missing"))?;
+            spec.stream_consumer_pcts =
+                u32_array(s, "streams", "consumer_pcts", 10_000)?.unwrap_or_else(|| vec![100]);
+            for pct in &spec.stream_consumer_pcts {
+                if *pct == 0 {
+                    return Err(err("streams.consumer_pcts entries must be >= 1"));
+                }
+            }
+            spec.stream_seeds = u64_array(s, "streams", "seeds")?.unwrap_or_else(|| vec![0]);
+        }
+
         if spec.workload_ids.is_empty()
             && spec.policies.is_empty()
             && spec.experiments.is_empty()
             && spec.sweeps.is_empty()
+            && spec.stream_depths_kib.is_empty()
         {
             return Err(err(
-                "campaign spec declares no runs: add a [workloads], [contention] or [registry] table",
+                "campaign spec declares no runs: add a [workloads], [contention], [registry] or [streams] table",
             ));
         }
         Ok(spec)
@@ -353,6 +405,21 @@ impl CampaignSpec {
                     scale: self.scale.clone(),
                 },
             );
+        }
+        for &depth_kib in &self.stream_depths_kib {
+            for &consumer_pct in &self.stream_consumer_pcts {
+                for &seed in &self.stream_seeds {
+                    push(
+                        &mut runs,
+                        RunSpec::Stream {
+                            depth_kib,
+                            consumer_pct,
+                            scale: self.scale.clone(),
+                            seed,
+                        },
+                    );
+                }
+            }
         }
         runs
     }
@@ -611,6 +678,74 @@ mod tests {
         ))
         .unwrap_err();
         assert!(e.0.contains("workloads.backends"), "{e}");
+    }
+
+    #[test]
+    fn streams_axis_expands_last_with_distinct_canon_lines() {
+        let spec = CampaignSpec::from_toml_str(concat!(
+            "[campaign]\n",
+            "name = \"pipe\"\n",
+            "scale = \"smoke\"\n",
+            "[registry]\n",
+            "experiments = [\"stream-prism\"]\n",
+            "[streams]\n",
+            "depths_kib = [16, 0]\n",
+            "consumer_pcts = [50, 100]\n",
+            "seeds = [0, 7]\n",
+        ))
+        .unwrap();
+        let runs = spec.expand();
+        // 1 experiment + 2*2*2 stream runs, stream block last.
+        assert_eq!(runs.len(), 1 + 8);
+        assert!(matches!(runs[0], RunSpec::Experiment { .. }));
+        assert_eq!(
+            runs[1].canon(),
+            "v=1;kind=stream;depth=16;consumer=50;scale=smoke;seed=0"
+        );
+        assert!(runs[1..]
+            .iter()
+            .all(|r| matches!(r, RunSpec::Stream { .. })));
+        let canons: BTreeSet<String> = runs.iter().map(|r| r.canon()).collect();
+        assert_eq!(canons.len(), runs.len());
+        assert!(runs[1].label().contains("depth=16K"));
+        // Sorted order keeps streams behind every other kind.
+        let mut sorted = runs.clone();
+        sorted.sort();
+        assert!(matches!(sorted[0], RunSpec::Experiment { .. }));
+
+        // Stream-only campaigns declare runs.
+        let only = CampaignSpec::from_toml_str(concat!(
+            "[campaign]\n",
+            "name = \"pipe\"\n",
+            "scale = \"smoke\"\n",
+            "[streams]\n",
+            "depths_kib = [256]\n",
+        ))
+        .unwrap();
+        assert_eq!(only.stream_consumer_pcts, vec![100]);
+        assert_eq!(only.stream_seeds, vec![0]);
+        assert_eq!(only.expand().len(), 1);
+    }
+
+    #[test]
+    fn streams_axis_rejects_bad_keys_and_ranges() {
+        let base = "[campaign]\nname = \"x\"\nscale = \"smoke\"\n";
+        let e = CampaignSpec::from_toml_str(&format!("{base}[streams]\nconsumer_pcts = [100]\n"))
+            .unwrap_err();
+        assert!(e.0.contains("`depths_kib` missing"), "{e}");
+        let e = CampaignSpec::from_toml_str(&format!(
+            "{base}[streams]\ndepths_kib = [16]\ndepth = [1]\n"
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("unknown key"), "{e}");
+        let e = CampaignSpec::from_toml_str(&format!(
+            "{base}[streams]\ndepths_kib = [16]\nconsumer_pcts = [0]\n"
+        ))
+        .unwrap_err();
+        assert!(e.0.contains(">= 1"), "{e}");
+        let e = CampaignSpec::from_toml_str(&format!("{base}[streams]\ndepths_kib = [2097152]\n"))
+            .unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
     }
 
     #[test]

@@ -15,16 +15,18 @@
 
 use std::collections::BTreeMap;
 
+use crate::coupled::{run_coupled, Route};
 use crate::experiments::contention::{
     contended_machine, mix_stream, run_stream, CLASS_TAU, COMPUTE_BOUND, IO_BOUND,
 };
 use crate::experiments::Scale;
 use crate::simulator::{run, run_backend, SimOptions};
-use sioscope_faults::FaultGen;
+use sioscope_faults::{FaultGen, FaultSchedule};
 pub use sioscope_pfs::BackendKind;
 use sioscope_pfs::{BackendConfig, BurstBufferConfig, ObjectStoreConfig, PfsConfig};
 use sioscope_sched::QueuePolicy;
 use sioscope_sim::Time;
+use sioscope_stream::StagingConfig;
 use sioscope_workloads::{EscatConfig, EscatVersion, PrismConfig, PrismVersion, Workload};
 
 /// The workloads addressable by id: every ESCAT and PRISM code
@@ -292,6 +294,47 @@ pub fn workload_run_backend(
     Ok(metrics)
 }
 
+/// Run the coupled PRISM streaming pipeline over a bounded staging
+/// channel and reduce it to integer metrics.
+///
+/// `depth_kib` is the staging queue depth in KiB, with `0` meaning
+/// unbounded; `consumer_pct` scales the consumer's analysis speed
+/// (100 = the reference in-situ analyzer, 50 = half speed). `seed`
+/// perturbs the producer's checkpoint cadence the same way it
+/// perturbs [`workload_run`]'s workload build: it is XOR-folded into
+/// the PRISM config's own seed, so `0` is the canonical cadence.
+pub fn stream_run(
+    depth_kib: u32,
+    consumer_pct: u32,
+    seed: u64,
+    scale: Scale,
+) -> Result<BTreeMap<String, u64>, String> {
+    let mut cfg = match scale {
+        Scale::Smoke => PrismConfig::tiny(PrismVersion::C),
+        Scale::Full => PrismConfig::test_problem(PrismVersion::C),
+    };
+    cfg.seed ^= seed;
+    let cadence = cfg.stream_cadence();
+    let route = Route::Stream(StagingConfig::paragon(u64::from(depth_kib) * 1024));
+    let o = run_coupled(&cadence, &route, consumer_pct, &FaultSchedule::empty())?;
+    Ok(BTreeMap::from([
+        (
+            "pipeline_latency_ns".to_string(),
+            o.pipeline_latency.as_nanos(),
+        ),
+        ("producer_stall_ns".to_string(), o.producer_stall.as_nanos()),
+        ("consumer_wait_ns".to_string(), o.consumer_wait.as_nanos()),
+        (
+            "producer_finish_ns".to_string(),
+            o.producer_finish.as_nanos(),
+        ),
+        ("chunks".to_string(), o.chunks),
+        ("bytes".to_string(), o.bytes),
+        ("peak_occupancy".to_string(), o.peak_occupancy),
+        ("trace_events".to_string(), o.trace.len() as u64),
+    ]))
+}
+
 /// Schedule the contention-mix stream on the shared machine under one
 /// policy, at a load factor given in percent of the reference arrival
 /// rate (200% = jobs arrive twice as fast), and reduce the outcome to
@@ -446,6 +489,25 @@ mod tests {
             faulty["bytes_drained"] + faulty["bytes_resident"] + faulty["bytes_lost"],
             "conservation law: {faulty:?}"
         );
+    }
+
+    #[test]
+    fn stream_runs_are_deterministic_integer_metrics() {
+        let a = stream_run(256, 100, 0, Scale::Smoke).unwrap();
+        let b = stream_run(256, 100, 0, Scale::Smoke).unwrap();
+        assert_eq!(a, b);
+        assert!(a["pipeline_latency_ns"] > 0);
+        assert!(a["chunks"] > 0);
+        assert!(a["trace_events"] == 2 * a["chunks"]);
+        // Unbounded depth never stalls; a reseeded cadence differs.
+        let unbounded = stream_run(0, 100, 0, Scale::Smoke).unwrap();
+        assert_eq!(unbounded["producer_stall_ns"], 0);
+        let reseeded = stream_run(256, 100, 7, Scale::Smoke).unwrap();
+        assert_ne!(a, reseeded, "seed must perturb the cadence");
+        // A throttled consumer shifts the metrics on the same cadence.
+        let slow = stream_run(256, 50, 0, Scale::Smoke).unwrap();
+        assert!(slow["pipeline_latency_ns"] >= a["pipeline_latency_ns"]);
+        assert!(stream_run(256, 0, 0, Scale::Smoke).is_err());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Seeded chaos/soak harness for the storage tiers.
+//! Seeded chaos/soak harness for the storage tiers and the streaming
+//! pipeline.
 //!
 //! Each case draws one paper workload and one tier, fuzzes a
 //! tier-appropriate fault schedule from the seed, and checks the hard
@@ -18,21 +19,31 @@
 //!    time-to-solution under compute crashes is never better than the
 //!    crash-free run (crashes only ever add rework and replay).
 //!
+//! The `stream` tier runs the coupled producer–consumer pipeline
+//! instead of a file-system workload (see [`stream_chaos_case`]); its
+//! invariants are byte conservation through the staging queue, replay
+//! identity, crash monotonicity (a consumer outage never *shrinks*
+//! latency or stall), and the unbounded-queue equivalence.
+//!
 //! The `sioscope-bench` `chaos` subcommand drives this over a fixed
 //! seed budget (the CI `chaos-smoke` job); the functions are public
 //! so soaks can also run in-process from tests.
 
 use crate::canon::WorkloadId;
+use crate::coupled::{run_coupled, Route};
 use crate::experiments::Scale;
 use crate::recovery::run_with_recovery_backend;
 use crate::simulator::{run_backend, RunResult, SimOptions};
-use sioscope_faults::{FaultGen, FaultSchedule};
+use sioscope_faults::{FaultGen, FaultKind, FaultSchedule};
 use sioscope_pfs::{BackendConfig, BackendKind, BurstBufferConfig, ObjectStoreConfig, PfsConfig};
 use sioscope_sim::Time;
-use sioscope_workloads::{CheckpointPolicy, EscatConfig, EscatVersion, Workload};
+use sioscope_stream::StagingConfig;
+use sioscope_workloads::{
+    CheckpointPolicy, EscatConfig, EscatVersion, PrismConfig, PrismVersion, Workload,
+};
 use std::collections::BTreeMap;
 
-fn fnv64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -62,13 +73,55 @@ pub fn fingerprint(r: &RunResult) -> String {
     )
 }
 
+/// A tier the chaos harness can soak: one of the storage backends, or
+/// the in-transit streaming pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosTier {
+    /// A storage backend (`pfs`, `object`, `burst`).
+    Backend(BackendKind),
+    /// The coupled streaming pipeline over bounded staging queues.
+    Stream,
+}
+
+impl ChaosTier {
+    /// Every tier, storage backends first, in soak order.
+    pub fn all() -> Vec<ChaosTier> {
+        let mut tiers: Vec<ChaosTier> = BackendKind::all()
+            .iter()
+            .copied()
+            .map(ChaosTier::Backend)
+            .collect();
+        tiers.push(ChaosTier::Stream);
+        tiers
+    }
+
+    /// Stable string id (CLI `--tiers`, artifact lines).
+    pub fn id(self) -> &'static str {
+        match self {
+            ChaosTier::Backend(b) => b.id(),
+            ChaosTier::Stream => "stream",
+        }
+    }
+
+    /// Parse a stable id.
+    pub fn from_id(id: &str) -> Option<ChaosTier> {
+        ChaosTier::all().into_iter().find(|t| t.id() == id)
+    }
+}
+
+impl std::fmt::Display for ChaosTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
 /// One chaos case's outcome: which (tier, seed, workload) ran, the
 /// faulted run's fingerprint, and every invariant violation observed
 /// (empty means the case passed).
 #[derive(Debug, Clone)]
 pub struct ChaosVerdict {
     /// Tier the case ran against.
-    pub tier: BackendKind,
+    pub tier: ChaosTier,
     /// Seed that drew the workload and fault schedule.
     pub seed: u64,
     /// Canonical id of the workload the seed drew.
@@ -261,7 +314,7 @@ pub fn chaos_case(
     }
 
     ChaosVerdict {
-        tier,
+        tier: ChaosTier::Backend(tier),
         seed,
         workload: id.id(),
         fingerprint: faulted_fp,
@@ -269,10 +322,126 @@ pub fn chaos_case(
     }
 }
 
+/// Run one chaos case against the streaming pipeline. The seed draws
+/// a staging depth (including undersized and unbounded), a consumer
+/// speed, and a PRISM code version, then fuzzes a consumer-crash
+/// schedule over the clean run's horizon and checks:
+///
+/// 1. **Byte conservation** — pushed == popped + resident through the
+///    staging queue, clean and faulted alike, with the full cadence
+///    payload delivered.
+/// 2. **Replay identity** — the same seed replays to the same
+///    coupled-run fingerprint (trace digest included).
+/// 3. **Crash monotonicity** — consumer outages never shrink the
+///    pipeline latency or the producer's stall.
+/// 4. **Unbounded equivalence** — `depth = 0` is bit-identical to a
+///    queue deep enough to hold the whole payload, and never stalls.
+pub fn stream_chaos_case(seed: u64) -> ChaosVerdict {
+    const DEPTHS: [u64; 5] = [16 << 10, 32 << 10, 64 << 10, 256 << 10, 0];
+    const SPEEDS: [u32; 4] = [50, 100, 150, 25];
+    const VERSIONS: [(PrismVersion, &str); 3] = [
+        (PrismVersion::A, "stream-prism-a"),
+        (PrismVersion::B, "stream-prism-b"),
+        (PrismVersion::C, "stream-prism-c"),
+    ];
+    let depth = DEPTHS[(seed % DEPTHS.len() as u64) as usize];
+    let speed = SPEEDS[((seed / 5) % SPEEDS.len() as u64) as usize];
+    let (version, label) = VERSIONS[((seed / 20) % VERSIONS.len() as u64) as usize];
+    let cadence = PrismConfig::tiny(version).stream_cadence();
+    let mut violations = Vec::new();
+
+    let run_at = |depth: u64, faults: &FaultSchedule| {
+        let route = Route::Stream(StagingConfig::paragon(depth));
+        run_coupled(&cadence, &route, speed, faults)
+            .unwrap_or_else(|e| panic!("stream chaos seed {seed} on {label}: {e}"))
+    };
+
+    // Fault-free: the ledger must balance and the payload arrive whole.
+    let clean = run_at(depth, &FaultSchedule::empty());
+    if !clean.conserves || clean.bytes != cadence.total_bytes() {
+        violations.push(format!(
+            "fault-free conservation broken: {} of {} B through depth {depth}",
+            clean.bytes,
+            cadence.total_bytes()
+        ));
+    }
+
+    // Unbounded equivalence: depth 0 never stalls and matches a queue
+    // that could hold every byte of the cadence at once.
+    let unbounded = run_at(0, &FaultSchedule::empty());
+    let oversized = run_at(cadence.total_bytes(), &FaultSchedule::empty());
+    if unbounded.producer_stall != Time::ZERO {
+        violations.push(format!(
+            "unbounded queue stalled the producer: {}",
+            unbounded.producer_stall
+        ));
+    }
+    if unbounded.fingerprint() != oversized.fingerprint() {
+        violations.push(format!(
+            "unbounded != oversized queue: {} vs {}",
+            unbounded.fingerprint(),
+            oversized.fingerprint()
+        ));
+    }
+
+    // Seed-fuzzed consumer crashes across the clean horizon.
+    let crashes = 1 + seed % 3;
+    let stall = clean
+        .pipeline_latency
+        .scale(0.05 + 0.1 * ((seed % 7) as f64) / 7.0)
+        .max(Time::from_millis(1));
+    let mut faults = FaultSchedule::empty();
+    for k in 0..crashes {
+        let frac = 0.1 + 0.8 * (k as f64) / (crashes as f64);
+        faults.push(
+            clean.pipeline_latency.scale(frac),
+            FaultKind::ConsumerCrash { stall },
+        );
+    }
+    let faulted = run_at(depth, &faults);
+    if !faulted.conserves || faulted.bytes != cadence.total_bytes() {
+        violations.push(format!(
+            "conservation broken under consumer crashes: {} of {} B",
+            faulted.bytes,
+            cadence.total_bytes()
+        ));
+    }
+    if faulted.pipeline_latency < clean.pipeline_latency {
+        violations.push(format!(
+            "crash shrank the pipeline: {} < {}",
+            faulted.pipeline_latency, clean.pipeline_latency
+        ));
+    }
+    if faulted.producer_stall < clean.producer_stall {
+        violations.push(format!(
+            "crash shrank the producer stall: {} < {}",
+            faulted.producer_stall, clean.producer_stall
+        ));
+    }
+
+    // Same seed, same world.
+    let replay = run_at(depth, &faults);
+    if replay.fingerprint() != faulted.fingerprint() {
+        violations.push(format!(
+            "replay divergence: {} vs {}",
+            replay.fingerprint(),
+            faulted.fingerprint()
+        ));
+    }
+
+    ChaosVerdict {
+        tier: ChaosTier::Stream,
+        seed,
+        workload: label,
+        fingerprint: faulted.fingerprint(),
+        violations,
+    }
+}
+
 /// Soak `seeds` schedules across every tier in `tiers`, returning one
 /// verdict per (tier, seed) in deterministic order.
 pub fn chaos_soak(
-    tiers: &[BackendKind],
+    tiers: &[ChaosTier],
     start_seed: u64,
     seeds: u64,
     golden: Option<&BTreeMap<String, String>>,
@@ -280,7 +449,10 @@ pub fn chaos_soak(
     let mut verdicts = Vec::with_capacity(tiers.len() * seeds as usize);
     for &tier in tiers {
         for seed in start_seed..start_seed.saturating_add(seeds) {
-            verdicts.push(chaos_case(tier, seed, golden));
+            verdicts.push(match tier {
+                ChaosTier::Backend(b) => chaos_case(b, seed, golden),
+                ChaosTier::Stream => stream_chaos_case(seed),
+            });
         }
     }
     verdicts
@@ -319,9 +491,40 @@ mod tests {
     }
 
     #[test]
+    fn chaos_tier_ids_round_trip() {
+        let tiers = ChaosTier::all();
+        assert_eq!(tiers.len(), 4);
+        assert_eq!(tiers.last(), Some(&ChaosTier::Stream));
+        for t in &tiers {
+            assert_eq!(ChaosTier::from_id(t.id()), Some(*t));
+        }
+        assert_eq!(ChaosTier::from_id("stream"), Some(ChaosTier::Stream));
+        assert_eq!(ChaosTier::from_id("nvme"), None);
+    }
+
+    #[test]
+    fn stream_chaos_cases_pass_over_a_seed_window() {
+        for seed in 0..12 {
+            let v = stream_chaos_case(seed);
+            assert!(v.pass(), "{}", v.render());
+            assert_eq!(v.tier, ChaosTier::Stream);
+            assert!(v.workload.starts_with("stream-prism-"));
+            assert!(v.render().starts_with("stream seed="));
+        }
+    }
+
+    #[test]
+    fn chaos_soak_dispatches_the_stream_tier() {
+        let verdicts = chaos_soak(&[ChaosTier::Stream], 5, 2, None);
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|v| v.tier == ChaosTier::Stream));
+        assert!(verdicts.iter().all(ChaosVerdict::pass));
+    }
+
+    #[test]
     fn chaos_soak_is_deterministic_and_ordered() {
-        let a = chaos_soak(&[BackendKind::Object], 3, 2, None);
-        let b = chaos_soak(&[BackendKind::Object], 3, 2, None);
+        let a = chaos_soak(&[ChaosTier::Backend(BackendKind::Object)], 3, 2, None);
+        let b = chaos_soak(&[ChaosTier::Backend(BackendKind::Object)], 3, 2, None);
         assert_eq!(a.len(), 2);
         assert_eq!(a[0].seed, 3);
         assert_eq!(a[1].seed, 4);

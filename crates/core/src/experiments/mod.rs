@@ -33,6 +33,8 @@
 //! | [`Experiment::BackendPrism`] | Evolution — PRISM A/C across pfs, object-store and burst-buffer tiers |
 //! | [`Experiment::FaultyObject`] | Robustness — object tier under metadata-shard outages and degraded service |
 //! | [`Experiment::FaultyBurst`] | Robustness — burst tier under drain stalls and a burst-node crash |
+//! | [`Experiment::StreamPrism`] | Streaming — PRISM checkpoint cadence over bounded staging queues |
+//! | [`Experiment::StreamVsFile`] | Streaming — in-transit pipeline vs the checkpoint-file hand-off |
 
 pub mod ablation;
 pub mod backend;
@@ -43,6 +45,7 @@ pub mod prism;
 pub mod recovery;
 pub mod resilience;
 pub mod shape;
+pub mod stream;
 
 use serde::{Deserialize, Serialize};
 pub use shape::ShapeCheck;
@@ -83,6 +86,8 @@ pub enum Experiment {
     BackendPrism,
     FaultyObject,
     FaultyBurst,
+    StreamPrism,
+    StreamVsFile,
 }
 
 impl Experiment {
@@ -121,6 +126,8 @@ impl Experiment {
             BackendPrism,
             FaultyObject,
             FaultyBurst,
+            StreamPrism,
+            StreamVsFile,
         ]
     }
 
@@ -159,6 +166,8 @@ impl Experiment {
             BackendPrism => "backend-prism",
             FaultyObject => "faulty-object",
             FaultyBurst => "faulty-burst",
+            StreamPrism => "stream-prism",
+            StreamVsFile => "stream-vs-file",
         }
     }
 
@@ -208,6 +217,8 @@ impl Experiment {
                 "Robustness: object tier under metadata-shard outages and degraded service"
             }
             FaultyBurst => "Robustness: burst tier under drain stalls and a burst-node crash",
+            StreamPrism => "Streaming: PRISM checkpoint cadence over bounded staging queues",
+            StreamVsFile => "Streaming: in-transit pipeline vs the checkpoint-file hand-off",
         }
     }
 }
@@ -300,6 +311,8 @@ pub fn run_experiment(experiment: Experiment, scale: Scale) -> ExperimentOutput 
         BackendPrism => backend::prism(scale),
         FaultyObject => backend::faulty_object(scale),
         FaultyBurst => backend::faulty_burst(scale),
+        StreamPrism => stream::stream_prism(scale),
+        StreamVsFile => stream::stream_vs_file(scale),
     }
 }
 
@@ -321,8 +334,9 @@ mod tests {
         // 5 tables + 9 figures + 6 ablations/counterfactuals + the
         // §6 comparison + 2 resilience + 2 recovery + 2 multi-tenant
         // scheduling experiments + 2 cross-tier backend comparisons
-        // + 2 tier-fault robustness experiments.
-        assert_eq!(ids.len(), 31);
+        // + 2 tier-fault robustness experiments + 2 streaming
+        // pipeline experiments.
+        assert_eq!(ids.len(), 33);
         for artifact in [
             "escat-table1",
             "escat-table2",

@@ -37,6 +37,7 @@
 
 pub mod canon;
 pub mod chaos;
+pub mod coupled;
 pub mod experiments;
 pub mod paper;
 pub mod recovery;
@@ -45,7 +46,8 @@ pub mod schedule;
 pub mod simulator;
 pub mod sweeps;
 
-pub use chaos::{chaos_case, chaos_soak, ChaosVerdict};
+pub use chaos::{chaos_case, chaos_soak, stream_chaos_case, ChaosTier, ChaosVerdict};
+pub use coupled::{run_coupled, CoupledOutcome, FileRoute, Route};
 pub use experiments::{Experiment, ExperimentOutput};
 pub use recovery::{run_with_recovery, run_with_recovery_backend, RecoveryStats};
 pub use schedule::{run_schedule, SchedError, ScheduleOutcome};

@@ -6,6 +6,7 @@
 //! workload while varying one machine parameter at a time, reporting
 //! execution time and total client-observed I/O time per point.
 
+use crate::coupled::{run_coupled, Route};
 use crate::experiments::contention::{
     contended_machine, mix_stream, run_stream, CLASS_TAU, COMPUTE_BOUND, IO_BOUND,
 };
@@ -18,8 +19,10 @@ use sioscope_faults::{FaultGen, FaultSchedule};
 use sioscope_pfs::{BackendConfig, BurstBufferConfig, PfsConfig};
 use sioscope_sched::QueuePolicy;
 use sioscope_sim::Time;
+use sioscope_stream::StagingConfig;
 use sioscope_workloads::{
-    CheckpointPolicy, EscatConfig, EscatVersion, PrismConfig, PrismVersion, Recoverable, Workload,
+    CheckpointPolicy, EscatConfig, EscatVersion, PrismConfig, PrismVersion, Recoverable,
+    StreamCadence, Workload,
 };
 use std::fmt::Write as _;
 
@@ -41,6 +44,7 @@ pub enum SweepId {
     CheckpointIntervalBurst,
     CheckpointIntervalBurstCrash,
     LoadFactor,
+    StagingDepth,
 }
 
 impl SweepId {
@@ -58,6 +62,7 @@ impl SweepId {
             CheckpointIntervalBurst,
             CheckpointIntervalBurstCrash,
             LoadFactor,
+            StagingDepth,
         ]
     }
 
@@ -75,6 +80,7 @@ impl SweepId {
             CheckpointIntervalBurst => "checkpoint_interval_burst",
             CheckpointIntervalBurstCrash => "checkpoint_interval_burst_crash",
             LoadFactor => "load_factor",
+            StagingDepth => "staging_depth",
         }
     }
 
@@ -621,6 +627,47 @@ pub fn load_factor_sweep(loads: &[u32], scale: Scale) -> Sweep {
     }
 }
 
+/// Sweep the staging-queue depth against the consumer's analysis
+/// speed for a coupled streaming pipeline: the stall-time surface of
+/// the tentpole question "how much staging memory buys a stall-free
+/// producer at a given consumer speed?". `depths_kib` of `0` means
+/// unbounded; the point label carries both axes, `value` encodes them
+/// as `depth_kib * 1000 + speed_pct`, `exec_time` is the end-to-end
+/// pipeline latency, and `io_time` reports the producer's stall.
+pub fn staging_depth_sweep(cadence: &StreamCadence, depths_kib: &[u32], speeds: &[u32]) -> Sweep {
+    let grid: Vec<(u32, u32)> = depths_kib
+        .iter()
+        .flat_map(|&d| speeds.iter().map(move |&s| (d, s)))
+        .collect();
+    let mut points: Vec<SweepPoint> = grid
+        .par_iter()
+        .map(|&(depth_kib, pct)| {
+            let depth = u64::from(depth_kib) * 1024;
+            let route = Route::Stream(StagingConfig::paragon(depth));
+            let o = run_coupled(cadence, &route, pct, &FaultSchedule::empty())
+                .unwrap_or_else(|e| panic!("staging_depth depth={depth_kib}K speed={pct}%: {e}"));
+            let depth_label = if depth_kib == 0 {
+                "unbounded".to_string()
+            } else {
+                format!("{depth_kib}K")
+            };
+            SweepPoint {
+                label: format!("depth={depth_label} speed={pct}%"),
+                value: u64::from(depth_kib) * 1000 + u64::from(pct),
+                exec_time: o.pipeline_latency,
+                io_time: o.producer_stall,
+                events: o.chunks,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "staging_depth",
+        workload: cadence.name.clone(),
+        points,
+    }
+}
+
 /// Run one registered sweep at the given scale with its canonical
 /// parameter grid — the single entry point the `repro` binary and the
 /// campaign engine share, so "the `io_nodes` sweep" means the same
@@ -670,6 +717,13 @@ pub fn run_sweep(id: SweepId, scale: Scale) -> Sweep {
             checkpoint_interval_sweep_burst_crash(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
         }
         SweepId::LoadFactor => load_factor_sweep(&[25, 50, 100, 200, 400], scale),
+        SweepId::StagingDepth => {
+            let cadence = match scale {
+                Scale::Smoke => PrismConfig::tiny(PrismVersion::C).stream_cadence(),
+                Scale::Full => PrismConfig::test_problem(PrismVersion::C).stream_cadence(),
+            };
+            staging_depth_sweep(&cadence, &[16, 64, 512, 0], &[50, 100, 200])
+        }
     }
 }
 
@@ -696,9 +750,42 @@ mod tests {
                 "checkpoint_interval",
                 "checkpoint_interval_burst",
                 "checkpoint_interval_burst_crash",
-                "load_factor"
+                "load_factor",
+                "staging_depth"
             ]
         );
+    }
+
+    #[test]
+    fn staging_depth_sweep_surfaces_the_stall_tradeoff() {
+        let cadence = PrismConfig::tiny(PrismVersion::C).stream_cadence();
+        let sweep = staging_depth_sweep(&cadence, &[16, 512, 0], &[50, 100]);
+        assert_eq!(sweep.points.len(), 6);
+        assert_eq!(sweep.parameter, "staging_depth");
+        // Tight depth at a slow consumer stalls; unbounded never does.
+        let point = |label: &str| {
+            sweep
+                .points
+                .iter()
+                .find(|p| p.label == label)
+                .unwrap_or_else(|| panic!("missing {label}: {}", sweep.render()))
+        };
+        assert!(point("depth=16K speed=50%").io_time > Time::ZERO);
+        assert_eq!(point("depth=unbounded speed=50%").io_time, Time::ZERO);
+        assert_eq!(point("depth=unbounded speed=100%").io_time, Time::ZERO);
+        // A faster consumer never stalls the producer more at the
+        // same depth.
+        assert!(
+            point("depth=16K speed=100%").io_time <= point("depth=16K speed=50%").io_time,
+            "{}",
+            sweep.render()
+        );
+        // Replay identity for the whole grid.
+        let again = staging_depth_sweep(&cadence, &[16, 512, 0], &[50, 100]);
+        for (a, b) in sweep.points.iter().zip(&again.points) {
+            assert_eq!(a.exec_time, b.exec_time);
+            assert_eq!(a.io_time, b.io_time);
+        }
     }
 
     #[test]

@@ -115,6 +115,17 @@ pub enum FaultKind {
         /// Time from the crash to the log absorbing writes again.
         repair: Time,
     },
+    /// An in-situ consumer crash on a streaming pipeline: the consumer
+    /// makes no progress for the outage, so staged chunks stop
+    /// draining, the bounded staging queue stops returning credits,
+    /// and the *producer* ultimately stalls through backpressure —
+    /// qualitatively unlike any disk fault, where the writer pays at
+    /// the device. Only the `stream` tier can express this; storage
+    /// tiers have no consumer to kill.
+    ConsumerCrash {
+        /// How long the consumer is down (restart + reattach).
+        stall: Time,
+    },
 }
 
 /// The storage tier a fault schedule is interpreted against. Lives
@@ -131,6 +142,11 @@ pub enum Tier {
     /// The host-side burst-buffer log (its inner PFS validates its
     /// own schedule as [`Tier::Pfs`]).
     Burst,
+    /// The in-transit streaming layer: bounded staging queues between
+    /// a producer and an in-situ consumer. No storage device is in the
+    /// path, so every disk-era fault class is rejected here; the one
+    /// fault the tier expresses is the consumer crash.
+    Stream,
 }
 
 impl Tier {
@@ -140,6 +156,7 @@ impl Tier {
             Tier::Pfs => "pfs",
             Tier::Object => "object",
             Tier::Burst => "burst",
+            Tier::Stream => "stream",
         }
     }
 
@@ -157,6 +174,7 @@ impl Tier {
             ],
             Tier::Object => &["md-shard-outage", "degraded-service", "compute-crash"],
             Tier::Burst => &["drain-stall", "burst-crash", "compute-crash"],
+            Tier::Stream => &["consumer-crash"],
         }
     }
 }
@@ -189,11 +207,14 @@ impl FaultKind {
     }
 
     /// `true` iff this fault class is expressible on `tier`.
-    /// Compute-node crashes are tier-agnostic: the storage layer
-    /// never sees them, the recovery driver does.
+    /// Compute-node crashes are agnostic across the *storage* tiers —
+    /// the storage layer never sees them, the recovery driver does —
+    /// but the coupled stream driver has no rollback path, so the
+    /// stream tier rejects them along with every disk fault.
     pub fn valid_on(&self, tier: Tier) -> bool {
         match self {
-            FaultKind::ComputeNodeCrash { .. } => true,
+            FaultKind::ComputeNodeCrash { .. } => tier != Tier::Stream,
+            FaultKind::ConsumerCrash { .. } => tier == Tier::Stream,
             FaultKind::LatentSector { .. }
             | FaultKind::SpindleFailure { .. }
             | FaultKind::IonCrash { .. }
@@ -228,6 +249,7 @@ impl FaultKind {
             FaultKind::DegradedService { .. } => "degraded-service",
             FaultKind::DrainStall { .. } => "drain-stall",
             FaultKind::BurstNodeCrash { .. } => "burst-crash",
+            FaultKind::ConsumerCrash { .. } => "consumer-crash",
         }
     }
 }
@@ -432,6 +454,11 @@ impl FaultSchedule {
                         problems.push(format!("event {i}: burst-crash with zero repair time"));
                     }
                 }
+                FaultKind::ConsumerCrash { stall } => {
+                    if stall.is_zero() {
+                        problems.push(format!("event {i}: consumer-crash with zero stall time"));
+                    }
+                }
             }
         }
         problems
@@ -581,8 +608,20 @@ mod tests {
                 rework: Time::from_secs(1),
             },
         );
-        // Each tier accepts exactly its own class plus compute-crash.
-        for (tier, rejected) in [(Tier::Pfs, 2), (Tier::Object, 2), (Tier::Burst, 2)] {
+        s.push(
+            Time::from_secs(5),
+            FaultKind::ConsumerCrash {
+                stall: Time::from_secs(1),
+            },
+        );
+        // Each storage tier accepts exactly its own class plus
+        // compute-crash; the stream tier accepts only consumer-crash.
+        for (tier, rejected) in [
+            (Tier::Pfs, 3),
+            (Tier::Object, 3),
+            (Tier::Burst, 3),
+            (Tier::Stream, 4),
+        ] {
             let problems = s.validate_for_tier(tier, 4, 8);
             assert_eq!(problems.len(), rejected, "{tier}: {problems:?}");
             for p in &problems {
@@ -590,7 +629,35 @@ mod tests {
             }
         }
         // The legacy PFS entry point rejects the new tier variants too.
-        assert_eq!(s.validate_for(4, 8).len(), 2);
+        assert_eq!(s.validate_for(4, 8).len(), 3);
+    }
+
+    #[test]
+    fn stream_tier_validates_consumer_crashes() {
+        let mut s = FaultSchedule::empty();
+        s.push(
+            Time::from_secs(1),
+            FaultKind::ConsumerCrash {
+                stall: Time::from_secs(2),
+            },
+        );
+        assert!(s.validate_for_tier(Tier::Stream, 0, 8).is_empty());
+        s.push(
+            Time::from_secs(3),
+            FaultKind::ConsumerCrash { stall: Time::ZERO },
+        );
+        let problems = s.validate_for_tier(Tier::Stream, 0, 8);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("zero stall"));
+        // Every storage tier rejects the class by name.
+        for tier in [Tier::Pfs, Tier::Object, Tier::Burst] {
+            let problems = s.validate_for_tier(tier, 4, 8);
+            assert!(
+                problems.iter().all(|p| p.contains("consumer-crash")),
+                "{tier}: {problems:?}"
+            );
+            assert_eq!(problems.len(), 2, "{tier}: {problems:?}");
+        }
     }
 
     #[test]
@@ -634,7 +701,18 @@ mod tests {
         assert_eq!(Tier::Pfs.label(), "pfs");
         assert_eq!(Tier::Object.label(), "object");
         assert_eq!(Tier::Burst.label(), "burst");
+        assert_eq!(Tier::Stream.label(), "stream");
         assert_eq!(Tier::Pfs.valid_fault_labels().len(), 6);
+        assert_eq!(Tier::Stream.valid_fault_labels(), &["consumer-crash"]);
+        let crash = FaultKind::ConsumerCrash {
+            stall: Time::from_secs(1),
+        };
+        assert_eq!(crash.label(), "consumer-crash");
+        assert_eq!(crash.ion(), None);
+        assert_eq!(crash.shard(), None);
+        assert_eq!(crash.compute_node(), None);
+        assert!(crash.valid_on(Tier::Stream));
+        assert!(!crash.valid_on(Tier::Pfs));
         assert!(Tier::Object
             .valid_fault_labels()
             .contains(&"md-shard-outage"));

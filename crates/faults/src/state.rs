@@ -111,14 +111,16 @@ impl FaultState {
                         rework,
                     });
                 }
-                // Object- and burst-tier faults are invisible to the
-                // PFS; validation rejects them on this tier, and the
-                // compiled forms live in [`ObjectFaultState`] and
-                // [`BurstFaultState`].
+                // Object-, burst-, and stream-tier faults are
+                // invisible to the PFS; validation rejects them on
+                // this tier, and the compiled forms live in
+                // [`ObjectFaultState`], [`BurstFaultState`], and the
+                // stream driver's stall calendar.
                 FaultKind::MetadataShardOutage { .. }
                 | FaultKind::DegradedService { .. }
                 | FaultKind::DrainStall { .. }
-                | FaultKind::BurstNodeCrash { .. } => {}
+                | FaultKind::BurstNodeCrash { .. }
+                | FaultKind::ConsumerCrash { .. } => {}
             }
         }
         state

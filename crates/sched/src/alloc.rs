@@ -86,6 +86,35 @@ impl Partition {
         let (lx, ly) = (x - self.x, y - self.y);
         lx < self.w && ly * self.w + lx < self.nodes
     }
+
+    /// Integer centroid of the occupied cells (coordinate sums divided
+    /// by `nodes`, floored) — the partition's representative mesh
+    /// position for routing-distance estimates.
+    pub fn centroid(&self) -> (u32, u32) {
+        debug_assert!(self.nodes > 0);
+        let (mut sx, mut sy) = (0u64, 0u64);
+        for (x, y) in self.cells() {
+            sx += u64::from(x);
+            sy += u64::from(y);
+        }
+        let n = u64::from(self.nodes.max(1));
+        ((sx / n) as u32, (sy / n) as u32)
+    }
+
+    /// Mesh hops (Manhattan distance on the 2-D mesh) from this
+    /// partition's centroid to the cell at `(x, y)` — e.g. a staging
+    /// node's port on the mesh boundary.
+    pub fn hops_to(&self, x: u32, y: u32) -> u32 {
+        let (cx, cy) = self.centroid();
+        cx.abs_diff(x) + cy.abs_diff(y)
+    }
+
+    /// Mesh hops between the centroids of two partitions — the path
+    /// length a coupled producer→consumer stream traverses.
+    pub fn hop_distance(&self, other: &Partition) -> u32 {
+        let (ox, oy) = other.centroid();
+        self.hops_to(ox, oy)
+    }
 }
 
 /// Occupancy tracker over the machine's compute grid.
@@ -328,6 +357,43 @@ mod tests {
             // Dedicated fill on an 8-wide mesh: (n % 8, n / 8).
             assert_eq!(p.position_of(n), (n % 8, n / 8));
         }
+    }
+
+    #[test]
+    fn centroid_and_hop_distance_measure_the_mesh() {
+        // 4×2 block anchored at (1,0): centroid over cells x∈{1..4},
+        // y∈{0,1} is (2, 0) after integer floor (mean x = 2.5).
+        let a = Partition {
+            x: 1,
+            y: 0,
+            w: 4,
+            h: 2,
+            nodes: 8,
+        };
+        assert_eq!(a.centroid(), (2, 0));
+        // Single cell: centroid is the cell itself.
+        let b = Partition {
+            x: 6,
+            y: 1,
+            w: 1,
+            h: 1,
+            nodes: 1,
+        };
+        assert_eq!(b.centroid(), (6, 1));
+        assert_eq!(a.hops_to(6, 1), 5);
+        assert_eq!(a.hop_distance(&b), 5);
+        assert_eq!(b.hop_distance(&a), 5);
+        assert_eq!(a.hop_distance(&a), 0);
+        // Ragged last row shifts the centroid toward occupied cells.
+        let ragged = Partition {
+            x: 0,
+            y: 0,
+            w: 4,
+            h: 2,
+            nodes: 5,
+        };
+        // Cells (0..4,0) and (0,1): sx=6, sy=1 → (1, 0).
+        assert_eq!(ragged.centroid(), (1, 0));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod escat;
 pub mod prism;
 pub mod program;
 pub mod replay;
+pub mod streaming;
 pub mod synthetic;
 
 pub use checkpoint::{young_interval, CheckpointPolicy, Recoverable};
@@ -38,3 +39,4 @@ pub use escat::{EscatConfig, EscatDataset, EscatVersion};
 pub use prism::{PrismConfig, PrismVersion};
 pub use program::{FileSpec, PhaseDesc, Stmt, Workload};
 pub use sioscope_pfs::mode::OsRelease;
+pub use streaming::{Burst, StreamCadence};

@@ -201,6 +201,103 @@ fn backend_tiers_hash_distinctly_and_cache_cold_equals_cached() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The streaming axis: queue depth × consumer speed × seed, riding
+/// next to a registry experiment so the cross-kind ordering is
+/// exercised too.
+const STREAMS_SPEC: &str = r#"
+[campaign]
+name = "staging-streams"
+scale = "smoke"
+
+[registry]
+experiments = ["stream-vs-file"]
+
+[streams]
+depths_kib = [16, 256, 0]
+consumer_pcts = [50, 100]
+seeds = [0, 7]
+"#;
+
+#[test]
+fn streams_axis_hashes_distinctly_and_cache_cold_equals_cached() {
+    let spec = CampaignSpec::from_toml_str(STREAMS_SPEC).unwrap();
+    let runs = spec.expand();
+    assert_eq!(
+        runs.len(),
+        1 + 3 * 2 * 2,
+        "experiment + depth x speed x seed"
+    );
+
+    // Every stream point owns a distinct content address.
+    let mut hashes: Vec<String> = runs
+        .iter()
+        .map(|r| sioscope_campaign::config_hash(&r.canon()))
+        .collect();
+    hashes.sort();
+    hashes.dedup();
+    assert_eq!(hashes.len(), runs.len());
+
+    let dir = fresh_dir("streams");
+    let cold = run_campaign(&spec, &opts(2, &dir)).unwrap();
+    assert_eq!(cold.hits(), 0);
+    assert!(
+        cold.runs.iter().all(|r| r.entry.is_ok()),
+        "{}",
+        cold.render()
+    );
+    for (spec_run, r) in runs.iter().zip(&cold.runs) {
+        let canon = spec_run.canon();
+        if !canon.contains("kind=stream") {
+            continue;
+        }
+        assert!(r.entry.metrics["pipeline_latency_ns"] > 0, "{canon}");
+        assert!(r.entry.metrics["chunks"] > 0, "{canon}");
+        // Unbounded queues never stall; the undersized depth at the
+        // throttled consumer must.
+        if canon.contains("depth=0;") {
+            assert_eq!(r.entry.metrics["producer_stall_ns"], 0, "{canon}");
+        }
+        if canon.contains("depth=16;consumer=50;") && canon.ends_with("seed=0") {
+            assert!(r.entry.metrics["producer_stall_ns"] > 0, "{canon}");
+        }
+    }
+
+    let cached = run_campaign(&spec, &opts(2, &dir)).unwrap();
+    assert_eq!(cached.hits(), cached.runs.len());
+    assert_eq!(cold.render(), cached.render(), "cold vs cached");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streams_axis_is_toml_order_independent() {
+    let reordered = r#"
+[streams]
+seeds = [0x7, 0]
+consumer_pcts = [50, 100]
+depths_kib = [16, 0x100, 0]
+
+[registry]
+experiments = ["stream-vs-file"]
+
+[campaign]
+scale = "smoke"
+name = "staging-streams"
+"#;
+    let a = CampaignSpec::from_toml_str(STREAMS_SPEC).unwrap();
+    let b = CampaignSpec::from_toml_str(reordered).unwrap();
+    let hashes = |spec: &CampaignSpec| {
+        let mut h: Vec<String> = spec
+            .expand()
+            .iter()
+            .map(|r| sioscope_campaign::config_hash(&r.canon()))
+            .collect();
+        h.sort();
+        h
+    };
+    assert_eq!(hashes(&a), hashes(&b));
+}
+
 #[test]
 fn backend_axis_is_toml_order_independent() {
     let reordered = r#"
