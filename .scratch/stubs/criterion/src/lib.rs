@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion`: same API surface the workspace
+//! bench targets use, with real wall-clock measurement. Each bench is
+//! warmed up, then sampled; mean/median per-iteration times are written
+//! to `target/criterion/<group>/<bench>/new/estimates.json` in the same
+//! shape the real criterion emits (the subset `collect_estimates`
+//! reads: `mean.point_estimate` / `median.point_estimate`, in ns).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn criterion_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(d).join("criterion");
+    }
+    // Bench executables live in <target>/<profile>/deps/<name>-<hash>.
+    let exe = std::env::current_exe().expect("current_exe");
+    exe.parent()
+        .and_then(|p| p.parent())
+        .and_then(|p| p.parent())
+        .map(|t| t.join("criterion"))
+        .expect("target dir from exe path")
+}
+
+/// Collected per-iteration samples (ns) for one bench body.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Warm up, then sample `routine`. Slow bodies get one iteration
+    /// per sample; fast bodies are batched so each sample spans at
+    /// least ~2ms of wall clock. Total budget is bounded so heavy
+    /// end-to-end benches still finish in seconds.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + pilot measurement.
+        let t = Instant::now();
+        std::hint::black_box(routine());
+        let pilot = t.elapsed().as_nanos().max(1) as f64;
+
+        let (iters_per_sample, samples) = if pilot > 50_000_000.0 {
+            // >50ms per iter: few single-iteration samples.
+            (1u64, self.sample_size.min(10).max(3))
+        } else if pilot > 2_000_000.0 {
+            (1u64, self.sample_size.min(20).max(5))
+        } else {
+            let per = (2_000_000.0 / pilot).ceil() as u64;
+            (per.max(1), self.sample_size.min(30).max(10))
+        };
+
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+fn write_estimates(group: &str, bench: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = sorted.len() / 2;
+    let median = if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    };
+    let dir = criterion_dir().join(group).join(bench).join("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let body = format!(
+        "{{\"mean\":{{\"point_estimate\":{mean}}},\"median\":{{\"point_estimate\":{median}}}}}"
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), body);
+    eprintln!("bench {group}/{bench}: mean {:.3} ms over {} samples", mean / 1e6, samples.len());
+}
+
+pub struct Criterion;
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: 100 };
+        f(&mut b);
+        write_estimates(id, id, &b.samples);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string(), sample_size: 100 }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        write_estimates(&self.name, id, &b.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points
+//! the workspace uses, executed sequentially. `par_iter` and
+//! `into_par_iter` hand back ordinary std iterators, so every
+//! downstream `map`/`collect` chain keeps working; `par_sort_by_key`
+//! is std's stable sort (same ordering contract as rayon's).
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_by_key(f);
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPool;
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+pub fn current_num_threads() -> usize {
+    1
+}

@@ -1,0 +1,16 @@
+//! No-op `serde` derives: accept the `#[serde(...)]` helper attribute
+//! and emit nothing. Types "derive" Serialize/Deserialize without
+//! gaining any impls; the serde_json stub is unbounded, so code that
+//! serializes still compiles and fails at runtime instead.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Sync the real repo into the stub workspace and patch deps to local stubs.
+set -e
+cd /root/repo
+rm -rf .scratch/ws/crates .scratch/ws/src .scratch/ws/tests .scratch/ws/examples .scratch/ws/Cargo.toml .scratch/ws/scripts
+mkdir -p .scratch/ws
+cp -r Cargo.toml crates src tests examples scripts .scratch/ws/
+cd .scratch/ws
+python3 - <<'EOF'
+import re
+t = open("Cargo.toml").read()
+for name in ["rand","proptest","criterion","parking_lot","bytes","serde_derive","serde_json","serde","rayon"]:
+    t = re.sub(rf'^{name} = .*$', f'{name} = {{ path = "../stubs/{name}" }}', t, flags=re.M)
+open("Cargo.toml","w").write(t)
+EOF

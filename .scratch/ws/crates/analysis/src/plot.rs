@@ -1,0 +1,232 @@
+//! ASCII renderings of the paper's figures.
+//!
+//! These produce terminal plots good enough to eyeball the shapes the
+//! paper shows: log-y scatter plots for the request-size timelines
+//! (Figures 3, 4, 8, 9), linear scatter for seek durations (Figure 5),
+//! and step plots for the CDFs (Figures 2, 7).
+
+use crate::cdf::Cdf;
+use crate::timeline::Timeline;
+use sioscope_sim::Time;
+use std::fmt::Write as _;
+
+/// Render a timeline as an ASCII scatter, `width`×`height` characters,
+/// with a log10 y-axis (like the paper's read/write-size figures).
+pub fn scatter_log(title: &str, tl: &Timeline, width: usize, height: usize) -> String {
+    scatter(title, tl, width, height, true)
+}
+
+/// Render a timeline as an ASCII scatter with a linear y-axis (like
+/// Figure 5's seek durations).
+pub fn scatter_linear(title: &str, tl: &Timeline, width: usize, height: usize) -> String {
+    scatter(title, tl, width, height, false)
+}
+
+fn scatter(title: &str, tl: &Timeline, width: usize, height: usize, log_y: bool) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if tl.is_empty() {
+        let _ = writeln!(out, "  (no events)");
+        return out;
+    }
+    let start = tl.start().expect("non-empty");
+    let span = tl.span().as_nanos().max(1);
+    let max_v = tl.max_value().max(1);
+    let min_v = tl.min_nonzero().unwrap_or(1);
+    let (y_lo, y_hi) = if log_y {
+        (
+            (min_v as f64).log10(),
+            (max_v as f64).log10().max((min_v as f64).log10() + 1e-9),
+        )
+    } else {
+        (0.0, max_v as f64)
+    };
+    let mut grid = vec![vec![' '; width]; height];
+    for &(t, v) in tl.points() {
+        let x = (((t - start).as_nanos() as u128 * (width as u128 - 1)) / span as u128) as usize;
+        let yv = if log_y {
+            if v == 0 {
+                continue;
+            }
+            (v as f64).log10()
+        } else {
+            v as f64
+        };
+        let frac = if y_hi > y_lo {
+            ((yv - y_lo) / (y_hi - y_lo)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+        grid[y.min(height - 1)][x.min(width - 1)] = '*';
+    }
+    let y_label = |row: usize| -> String {
+        let frac = 1.0 - row as f64 / (height - 1) as f64;
+        if log_y {
+            let v = 10f64.powf(y_lo + frac * (y_hi - y_lo));
+            format!("{:>9.0}", v)
+        } else {
+            format!("{:>9.0}", frac * y_hi)
+        }
+    };
+    for (row, line) in grid.iter().enumerate() {
+        let label = if row == 0 || row == height - 1 || row == height / 2 {
+            y_label(row)
+        } else {
+            " ".repeat(9)
+        };
+        let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{}+{}", " ".repeat(10), "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{}0s{}{}",
+        " ".repeat(11),
+        " ".repeat(width.saturating_sub(12)),
+        format_secs(start + tl.span())
+    );
+    out
+}
+
+/// Render a CDF pair (fraction of requests / fraction of data) as an
+/// ASCII step plot over a log-x size axis — Figures 2 and 7.
+pub fn cdf_plot(title: &str, cdf: &Cdf, width: usize, height: usize) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{title}   ('#' = fraction of requests, 'o' = fraction of data)"
+    );
+    if cdf.is_empty() {
+        let _ = writeln!(out, "  (no samples)");
+        return out;
+    }
+    let support = cdf.support();
+    let lo = (*support.first().expect("non-empty")).max(1) as f64;
+    let hi = (*support.last().expect("non-empty")).max(2) as f64;
+    let (llo, lhi) = (lo.log10(), hi.log10().max(lo.log10() + 1e-9));
+    let mut grid = vec![vec![' '; width]; height];
+    for (col, x) in (0..width)
+        .map(|c| {
+            let x = 10f64.powf(llo + (c as f64 / (width - 1) as f64) * (lhi - llo));
+            (c, x.round() as u64)
+        })
+        .collect::<Vec<_>>()
+    {
+        let fr = cdf.fraction_leq(x);
+        let fd = cdf.weight_fraction_leq(x);
+        let row_r = ((1.0 - fr) * (height - 1) as f64).round() as usize;
+        let row_d = ((1.0 - fd) * (height - 1) as f64).round() as usize;
+        grid[row_d.min(height - 1)][col] = 'o';
+        grid[row_r.min(height - 1)][col] = '#'; // requests on top if equal
+    }
+    for (row, line) in grid.iter().enumerate() {
+        let frac = 1.0 - row as f64 / (height - 1) as f64;
+        let label = if row == 0 || row == height - 1 || row == height / 2 {
+            format!("{frac:>6.2}")
+        } else {
+            " ".repeat(6)
+        };
+        let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{}+{}", " ".repeat(7), "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{}{}B{}{}B (log request size)",
+        " ".repeat(8),
+        support.first().expect("non-empty"),
+        " ".repeat(width.saturating_sub(16)),
+        support.last().expect("non-empty"),
+    );
+    out
+}
+
+/// Render a labelled bar chart of execution times — Figures 1 and 6.
+pub fn bar_chart(title: &str, bars: &[(String, Time)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max = bars
+        .iter()
+        .map(|(_, t)| t.as_nanos())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for (label, t) in bars {
+        let len = ((t.as_nanos() as u128 * width as u128) / max as u128) as usize;
+        let _ = writeln!(
+            out,
+            "{label:>6} |{} {:.0}s",
+            "#".repeat(len),
+            t.as_secs_f64()
+        );
+    }
+    out
+}
+
+fn format_secs(t: Time) -> String {
+    format!("{:.0}s", t.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_points() {
+        let tl = Timeline::new(vec![
+            (Time::from_secs(0), 100),
+            (Time::from_secs(50), 100_000),
+            (Time::from_secs(100), 1_000),
+        ]);
+        let s = scatter_log("Fig 3", &tl, 40, 10);
+        assert!(s.contains("Fig 3"));
+        assert!(s.matches('*').count() >= 3 - 1); // points may share a cell
+    }
+
+    #[test]
+    fn scatter_empty_series() {
+        let s = scatter_log("Fig", &Timeline::new(vec![]), 40, 10);
+        assert!(s.contains("no events"));
+    }
+
+    #[test]
+    fn scatter_linear_mode() {
+        let tl = Timeline::new(vec![(Time::from_secs(1), 5), (Time::from_secs(2), 10)]);
+        let s = scatter_linear("Fig 5", &tl, 30, 8);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn cdf_plot_shows_both_curves() {
+        let mut samples = vec![1024u64; 90];
+        samples.extend([131072u64; 10]);
+        let c = Cdf::from_samples(samples);
+        let s = cdf_plot("Fig 2a", &c, 50, 12);
+        assert!(s.contains('#'));
+        assert!(s.contains('o'));
+        assert!(s.contains("131072"));
+    }
+
+    #[test]
+    fn cdf_plot_empty() {
+        let s = cdf_plot("Fig", &Cdf::from_samples(vec![]), 50, 12);
+        assert!(s.contains("no samples"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let bars = vec![
+            ("A".to_string(), Time::from_secs(6600)),
+            ("C".to_string(), Time::from_secs(5400)),
+        ];
+        let s = bar_chart("Fig 1", &bars, 40);
+        let a_len = s.lines().nth(1).unwrap().matches('#').count();
+        let c_len = s.lines().nth(2).unwrap().matches('#').count();
+        assert_eq!(a_len, 40);
+        assert!(c_len < a_len);
+        assert!(s.contains("6600s"));
+    }
+}

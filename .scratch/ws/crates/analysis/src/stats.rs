@@ -1,0 +1,102 @@
+//! Scalar summary statistics over durations and sizes.
+
+use serde::{Deserialize, Serialize};
+use sioscope_sim::Time;
+
+/// Five-number-ish summary of a set of durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: Time,
+    /// Largest sample.
+    pub max: Time,
+    /// Arithmetic mean.
+    pub mean: Time,
+    /// Median (lower of the two middle samples for even counts).
+    pub median: Time,
+    /// 95th percentile.
+    pub p95: Time,
+    /// Sum of all samples.
+    pub total: Time,
+}
+
+impl Summary {
+    /// Compute over a set of durations; `None` if empty.
+    pub fn of(samples: &[Time]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<Time> = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len() as u64;
+        let total: Time = sorted.iter().copied().sum();
+        let idx = |q: f64| -> usize {
+            ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)
+        };
+        Some(Summary {
+            count,
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: total / count,
+            median: sorted[idx(0.5)],
+            p95: sorted[idx(0.95)],
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(ms: &[u64]) -> Vec<Time> {
+        ms.iter().map(|&m| Time::from_millis(m)).collect()
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&times(&[7])).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.mean, Time::from_millis(7));
+        assert_eq!(s.median, Time::from_millis(7));
+        assert_eq!(s.total, Time::from_millis(7));
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::of(&times(&[1, 2, 3, 4, 100])).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, Time::from_millis(1));
+        assert_eq!(s.max, Time::from_millis(100));
+        assert_eq!(s.median, Time::from_millis(3));
+        assert_eq!(s.total, Time::from_millis(110));
+        assert_eq!(s.mean, Time::from_millis(22));
+    }
+
+    #[test]
+    fn p95_tracks_tail() {
+        let mut samples = times(&[1; 0]);
+        for i in 1..=100 {
+            samples.push(Time::from_millis(i));
+        }
+        let s = Summary::of(&samples).unwrap();
+        assert!(s.p95 >= Time::from_millis(90));
+        assert!(s.p95 <= Time::from_millis(100));
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let s = Summary::of(&times(&[9, 1, 5])).unwrap();
+        assert_eq!(s.min, Time::from_millis(1));
+        assert_eq!(s.max, Time::from_millis(9));
+        assert_eq!(s.median, Time::from_millis(5));
+    }
+}

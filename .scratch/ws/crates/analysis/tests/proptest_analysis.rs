@@ -1,0 +1,103 @@
+//! Property-based tests of the analysis toolkit.
+
+use proptest::prelude::*;
+use sioscope_analysis::stats::Summary;
+use sioscope_analysis::{Cdf, Timeline};
+use sioscope_sim::Time;
+
+proptest! {
+    /// CDF fractions are monotone, bounded by [0,1], and reach exactly
+    /// 1 at the maximum sample.
+    #[test]
+    fn cdf_monotone_and_bounded(samples in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let max = *samples.iter().max().expect("non-empty");
+        let cdf = Cdf::from_samples(samples.clone());
+        prop_assert_eq!(cdf.n(), samples.len() as u64);
+        let mut prev_r = 0.0;
+        let mut prev_d = 0.0;
+        for x in [0u64, 1, 10, 100, 1_000, 100_000, max, max + 1] {
+            let r = cdf.fraction_leq(x);
+            let d = cdf.weight_fraction_leq(x);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!(r + 1e-12 >= prev_r, "request CDF not monotone");
+            prop_assert!(d + 1e-12 >= prev_d, "data CDF not monotone");
+            prev_r = r;
+            prev_d = d;
+        }
+        prop_assert!((cdf.fraction_leq(max) - 1.0).abs() < 1e-12);
+        prop_assert!((cdf.weight_fraction_leq(max) - 1.0).abs() < 1e-12);
+    }
+
+    /// The q-quantile is a sample value and at least a fraction q of
+    /// samples are <= it.
+    #[test]
+    fn cdf_quantile_correct(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let cdf = Cdf::from_samples(samples.clone());
+        let v = cdf.quantile(q).expect("non-empty");
+        prop_assert!(samples.contains(&v));
+        prop_assert!(cdf.fraction_leq(v) + 1e-12 >= q);
+    }
+
+    /// The weight CDF equals the manual computation.
+    #[test]
+    fn cdf_weight_matches_manual(samples in prop::collection::vec(0u64..100_000, 1..100), x in 0u64..100_000) {
+        let cdf = Cdf::from_samples(samples.clone());
+        let total: u128 = samples.iter().map(|&v| u128::from(v)).sum();
+        let below: u128 = samples.iter().filter(|&&v| v <= x).map(|&v| u128::from(v)).sum();
+        let expected = if total == 0 { 0.0 } else { below as f64 / total as f64 };
+        prop_assert!((cdf.weight_fraction_leq(x) - expected).abs() < 1e-9);
+    }
+
+    /// Downsampling preserves the max value and the time bounds, and
+    /// never invents points.
+    #[test]
+    fn timeline_downsample_envelope(
+        points in prop::collection::vec((0u64..1_000_000, 0u64..1_000_000), 1..500),
+        budget in 1usize..100,
+    ) {
+        let tl = Timeline::new(points.iter().map(|&(t, v)| (Time::from_nanos(t), v)).collect());
+        let ds = tl.downsample(budget);
+        prop_assert!(ds.len() <= budget.max(tl.len().min(budget)));
+        prop_assert_eq!(ds.max_value(), tl.max_value());
+        prop_assert!(ds.start() >= tl.start());
+        prop_assert!(ds.end() <= tl.end());
+        for p in ds.points() {
+            prop_assert!(tl.points().contains(p), "downsampling invented a point");
+        }
+    }
+
+    /// Window selection returns exactly the points in range.
+    #[test]
+    fn timeline_window_exact(
+        points in prop::collection::vec((0u64..1_000, 0u64..10), 0..200),
+        lo in 0u64..1_000,
+        span in 0u64..1_000,
+    ) {
+        let tl = Timeline::new(points.iter().map(|&(t, v)| (Time::from_nanos(t), v)).collect());
+        let t0 = Time::from_nanos(lo);
+        let t1 = Time::from_nanos(lo + span);
+        let w = tl.window(t0, t1);
+        let expected = tl.points().iter().filter(|&&(t, _)| t >= t0 && t < t1).count();
+        prop_assert_eq!(w.len(), expected);
+    }
+
+    /// Summary statistics are ordered min <= median <= p95 <= max and
+    /// the mean lies within [min, max]; total = count * mean within
+    /// rounding.
+    #[test]
+    fn summary_orderings(samples in prop::collection::vec(0u64..1_000_000_000, 1..300)) {
+        let times: Vec<Time> = samples.iter().map(|&n| Time::from_nanos(n)).collect();
+        let s = Summary::of(&times).expect("non-empty");
+        prop_assert!(s.min <= s.median);
+        prop_assert!(s.median <= s.p95);
+        prop_assert!(s.p95 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        let expected_total: u64 = samples.iter().sum();
+        prop_assert_eq!(s.total.as_nanos(), expected_total);
+        prop_assert_eq!(s.count, samples.len() as u64);
+    }
+}

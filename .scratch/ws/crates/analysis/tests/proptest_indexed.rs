@@ -1,0 +1,189 @@
+//! Property-based tests that every indexed analysis pass equals its
+//! naive-scan oracle — exactly, including bit-identical floating-point
+//! results where the pass produces floats. The indexed variants feed
+//! the same accumulation code the same values in the same order, so
+//! `==` (not approximate comparison) is the correct assertion.
+
+use proptest::prelude::*;
+use sioscope_analysis::{
+    detect_phases, detect_phases_indexed, interarrival, BandwidthSeries, Cdf, ConcurrencyProfile,
+    LogHistogram, ModeUsage, NodeBalance, Timeline,
+};
+use sioscope_pfs::{IoMode, OpKind};
+use sioscope_sim::{FileId, Pid, Time};
+use sioscope_trace::{IoEvent, TraceRecorder};
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Open),
+        Just(OpKind::Gopen),
+        Just(OpKind::Read),
+        Just(OpKind::Seek),
+        Just(OpKind::Write),
+        Just(OpKind::Iomode),
+        Just(OpKind::Flush),
+        Just(OpKind::Close),
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = IoMode> {
+    prop_oneof![
+        Just(IoMode::MUnix),
+        Just(IoMode::MRecord),
+        Just(IoMode::MAsync),
+        Just(IoMode::MGlobal),
+        Just(IoMode::MSync),
+        Just(IoMode::MLog),
+    ]
+}
+
+/// Arbitrary events with frequent zero durations and shared instants,
+/// the shapes that stress sweep-lines and degenerate intervals.
+fn arb_event() -> impl Strategy<Value = IoEvent> {
+    (
+        0u32..8,
+        0u32..4,
+        arb_kind(),
+        prop_oneof![Just(0u64), 0u64..1_000_000],
+        prop_oneof![Just(0u64), 0u64..10_000],
+        0u64..100_000,
+        0u64..1_000_000,
+        arb_mode(),
+    )
+        .prop_map(
+            |(pid, file, kind, start, dur, bytes, offset, mode)| IoEvent {
+                pid: Pid(pid),
+                file: FileId(file),
+                kind,
+                start: Time::from_nanos(start),
+                duration: Time::from_nanos(dur),
+                bytes: if matches!(kind, OpKind::Read | OpKind::Write) {
+                    bytes
+                } else {
+                    0
+                },
+                offset,
+                mode,
+            },
+        )
+}
+
+fn recorder(events: &[IoEvent]) -> TraceRecorder {
+    let mut t = TraceRecorder::new();
+    for e in events {
+        t.record(*e);
+    }
+    t
+}
+
+proptest! {
+    /// Concurrency profiles are bit-identical: the merged breakpoint
+    /// stream reproduces the scan's BTreeMap sweep exactly, including
+    /// net-zero breakpoints from zero-duration events.
+    #[test]
+    fn concurrency_matches_oracle(events in prop::collection::vec(arb_event(), 0..250)) {
+        let t = recorder(&events);
+        prop_assert_eq!(
+            ConcurrencyProfile::from_index(t.index()),
+            ConcurrencyProfile::build(&events)
+        );
+    }
+
+    /// Node balance (total and per-kind) equals the filtered scans.
+    #[test]
+    fn node_balance_matches_oracle(events in prop::collection::vec(arb_event(), 0..250)) {
+        let t = recorder(&events);
+        prop_assert_eq!(NodeBalance::from_index(t.index()), NodeBalance::build(&events));
+        for k in [OpKind::Read, OpKind::Write, OpKind::Seek] {
+            prop_assert_eq!(
+                NodeBalance::of_kind(t.index(), k),
+                NodeBalance::build_filtered(&events, |e| e.kind == k)
+            );
+        }
+    }
+
+    /// Bandwidth series from completion-ordered index columns equals
+    /// the scan: same length, same per-window byte sums.
+    #[test]
+    fn bandwidth_matches_oracle(
+        events in prop::collection::vec(arb_event(), 0..250),
+        window_ns in 1u64..100_000,
+    ) {
+        let t = recorder(&events);
+        let w = Time::from_nanos(window_ns);
+        prop_assert_eq!(
+            BandwidthSeries::from_index(t.index(), w),
+            BandwidthSeries::build(&events, w)
+        );
+    }
+
+    /// Request-size CDFs and histograms from the pre-sorted size
+    /// columns equal the sort-then-collapse oracle.
+    #[test]
+    fn size_distributions_match_oracle(events in prop::collection::vec(arb_event(), 0..250)) {
+        let t = recorder(&events);
+        for k in [OpKind::Read, OpKind::Write] {
+            let sizes: Vec<u64> = events.iter().filter(|e| e.kind == k).map(|e| e.bytes).collect();
+            prop_assert_eq!(Cdf::of_kind(t.index(), k), Cdf::from_samples(sizes.clone()));
+            prop_assert_eq!(
+                LogHistogram::of_kind(t.index(), k),
+                LogHistogram::from_samples(sizes)
+            );
+        }
+    }
+
+    /// Timeline scatters (size- and duration-valued) equal the scans.
+    /// The index extracts in canonical order, so the oracle filters
+    /// from a canonically sorted copy of the events.
+    #[test]
+    fn timelines_match_oracle(events in prop::collection::vec(arb_event(), 0..250)) {
+        let t = recorder(&events);
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| (e.start, e.pid, e.file, e.offset));
+        for k in [OpKind::Read, OpKind::Write, OpKind::Seek] {
+            let pairs: Vec<(Time, u64)> =
+                sorted.iter().filter(|e| e.kind == k).map(|e| (e.start, e.bytes)).collect();
+            prop_assert_eq!(Timeline::of_kind(t.index(), k), Timeline::new(pairs));
+            let dpairs: Vec<(Time, u64)> = sorted
+                .iter()
+                .filter(|e| e.kind == k)
+                .map(|e| (e.start, e.duration.as_nanos()))
+                .collect();
+            prop_assert_eq!(Timeline::of_durations(t.index(), k), Timeline::new(dpairs));
+        }
+    }
+
+    /// Phase detection over the index's canonical order equals the
+    /// scan over a canonically sorted trace.
+    #[test]
+    fn phases_match_oracle(
+        events in prop::collection::vec(arb_event(), 0..250),
+        gap_ns in 1u64..200_000,
+    ) {
+        let mut t = recorder(&events);
+        t.sort();
+        let gap = Time::from_nanos(gap_ns);
+        prop_assert_eq!(
+            detect_phases_indexed(t.index(), gap),
+            detect_phases(t.events(), gap)
+        );
+    }
+
+    /// Access-mode aggregation commutes: indexed equals scan.
+    #[test]
+    fn modes_match_oracle(events in prop::collection::vec(arb_event(), 0..250)) {
+        let t = recorder(&events);
+        prop_assert_eq!(ModeUsage::from_index(t.index()), ModeUsage::build(&events));
+    }
+
+    /// Per-process interarrival statistics from pid postings equal the
+    /// regrouping scan, bit-identically.
+    #[test]
+    fn interarrival_matches_oracle(events in prop::collection::vec(arb_event(), 0..250)) {
+        let t = recorder(&events);
+        prop_assert_eq!(
+            interarrival::per_process_indexed(t.index()),
+            interarrival::per_process(&events)
+        );
+    }
+}

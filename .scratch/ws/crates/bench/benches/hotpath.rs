@@ -1,0 +1,309 @@
+//! Hot-path microbenchmarks guarding the optimization trajectory
+//! recorded in `BENCH_*.json` (see EXPERIMENTS.md § Benchmarks).
+//!
+//! Four benches, chosen to cover each layer the optimization pass
+//! touches:
+//!
+//! * `calendar_push_pop` — the event queue alone: interleaved
+//!   schedule/pop of a large synthetic event population, the inner
+//!   loop of every simulation.
+//! * `escat_c_single_run` — one cold ESCAT version-C run end-to-end
+//!   (workload build + simulate), the PFS server hot path.
+//! * `full_registry_cold` — all 25 registry experiments with the run
+//!   memoization caches cleared every iteration; this is the headline
+//!   number the ≥1.5× acceptance bar is measured on.
+//! * `fault_engaged_run` — a PRISM run under an injected fault
+//!   schedule, exercising the resilience ladder and timeline scaling.
+//!
+//! A second group, `analysis`, measures the trace analytics engine on
+//! a 120k-event synthetic trace: the one-time `TraceIndex` build, the
+//! window and region summary queries both as naive scans and through
+//! the index (the before/after pair the indexed path is judged on),
+//! and a full indexed characterization pass.
+//!
+//! A third group, `sched`, measures the batch scheduler: raw 2-D
+//! partition allocator churn on a 512-node mesh, and a 64-job
+//! contention schedule end-to-end through the multi-job driver.
+//!
+//! Capture results into a numbered baseline with
+//! `scripts/capture_bench.sh` after running
+//! `cargo bench -p sioscope-bench --bench hotpath`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sioscope::experiments::{clear_run_caches, contention, run_experiment, Experiment, Scale};
+use sioscope::schedule::run_schedule;
+use sioscope::simulator::{run, SimOptions};
+use sioscope_faults::{FaultGen, FaultSchedule};
+use sioscope_pfs::{IoMode, OpKind, PfsConfig};
+use sioscope_sched::{AllocPolicy, Partition, PartitionAllocator, QueuePolicy};
+use sioscope_sim::{DetRng, EventQueue, FileId, Pid, Time};
+use sioscope_trace::{FileRegionSummary, IoEvent, TimeWindowSummary, TraceIndex};
+use std::hint::black_box;
+
+/// Interleaved schedule/pop against a queue preloaded with `n` events:
+/// repeatedly pop the earliest event and schedule a replacement at a
+/// pseudorandom (deterministic) future time, like a simulation step.
+fn calendar_churn(n: usize, steps: usize) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = DetRng::new(0xC0FFEE);
+    for i in 0..n {
+        q.schedule(Time::from_nanos(rng.range_inclusive(0, 999_999)), i as u64);
+    }
+    let mut acc = 0u64;
+    for _ in 0..steps {
+        let ev = q.pop().expect("queue never drains");
+        acc = acc.wrapping_add(ev.payload);
+        let dt = Time::from_nanos(rng.range_inclusive(1, 9_999));
+        q.schedule_after(dt, ev.payload);
+    }
+    acc
+}
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.bench_function("calendar_push_pop", |b| {
+        b.iter(|| black_box(calendar_churn(black_box(4096), black_box(100_000))))
+    });
+    group.finish();
+}
+
+fn bench_escat_c(c: &mut Criterion) {
+    use sioscope_workloads::{EscatConfig, EscatVersion};
+    let workload = EscatConfig::tiny(EscatVersion::C).build();
+    let mut group = c.benchmark_group("hotpath");
+    group.bench_function("escat_c_single_run", |b| {
+        b.iter(|| {
+            let cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            black_box(run(&workload, cfg, SimOptions::default()).expect("runs"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(10);
+    group.bench_function("full_registry_cold", |b| {
+        b.iter(|| {
+            clear_run_caches();
+            for e in Experiment::all() {
+                black_box(run_experiment(black_box(e), Scale::Smoke));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_fault_engaged(c: &mut Criterion) {
+    use sioscope_workloads::{PrismConfig, PrismVersion};
+    let workload = PrismConfig::tiny(PrismVersion::B).build();
+    let healthy_cfg = PfsConfig::caltech(workload.nodes, workload.os);
+    let horizon = run(&workload, healthy_cfg.clone(), SimOptions::default())
+        .expect("healthy run")
+        .exec_time;
+    let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+    cfg.faults = FaultGen::new(0xF417, horizon, cfg.machine.io_nodes)
+        .with_events(8)
+        .schedule();
+    let mut group = c.benchmark_group("hotpath");
+    group.bench_function("fault_engaged_run", |b| {
+        b.iter(|| black_box(run(&workload, cfg.clone(), SimOptions::default()).expect("runs")))
+    });
+    group.finish();
+}
+
+/// A deterministic synthetic trace large enough (120k events) that
+/// the indexed queries' asymptotic advantage over the naive scans is
+/// unambiguous, with the kind/file/pid mix of a real workload trace.
+fn synthetic_trace(n: usize) -> Vec<IoEvent> {
+    let mut rng = DetRng::new(0x51055C09);
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = match rng.range_inclusive(0, 9) {
+            0 => OpKind::Open,
+            1 => OpKind::Gopen,
+            2..=5 => OpKind::Read,
+            6 => OpKind::Seek,
+            7 | 8 => OpKind::Write,
+            _ => OpKind::Close,
+        };
+        let data = matches!(kind, OpKind::Read | OpKind::Write);
+        events.push(IoEvent {
+            pid: Pid(rng.range_inclusive(0, 63) as u32),
+            file: FileId(rng.range_inclusive(0, 15) as u32),
+            kind,
+            start: Time::from_nanos(rng.range_inclusive(0, 600_000_000_000)),
+            duration: Time::from_nanos(rng.range_inclusive(1_000, 40_000_000)),
+            bytes: if data {
+                rng.range_inclusive(64, 262_144)
+            } else {
+                0
+            },
+            offset: if data {
+                rng.range_inclusive(0, 1 << 34)
+            } else {
+                0
+            },
+            mode: IoMode::MUnix,
+        });
+    }
+    events
+}
+
+/// The query mix both window benches run: 64 windows spread across
+/// the trace's 600 s span, from 100 ms slices up to 10 s slices.
+fn window_queries() -> Vec<(Time, Time)> {
+    (0..64u64)
+        .map(|i| {
+            let t0 = Time::from_nanos(i * 9_000_000_000);
+            let len = Time::from_millis(100 + (i % 10) * 990);
+            (t0, t0.saturating_add(len))
+        })
+        .collect()
+}
+
+/// The query mix both region benches run: 64 byte ranges per file
+/// across the 16 GiB offset space.
+fn region_queries() -> Vec<(FileId, u64, u64)> {
+    (0..64u64)
+        .map(|i| {
+            let lo = i * (1 << 28);
+            (FileId((i % 16) as u32), lo, lo + (1 << 27))
+        })
+        .collect()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let events = synthetic_trace(120_000);
+    let index = TraceIndex::build(&events);
+    let windows = window_queries();
+    let regions = region_queries();
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("index_build", |b| {
+        b.iter(|| black_box(TraceIndex::build(black_box(&events))))
+    });
+    group.bench_function("window_query_scan", |b| {
+        b.iter(|| {
+            for &(t0, t1) in &windows {
+                black_box(TimeWindowSummary::build(black_box(&events), t0, t1));
+            }
+        })
+    });
+    group.bench_function("window_query_indexed", |b| {
+        b.iter(|| {
+            for &(t0, t1) in &windows {
+                black_box(TimeWindowSummary::from_index(black_box(&index), t0, t1));
+            }
+        })
+    });
+    group.bench_function("region_query_scan", |b| {
+        b.iter(|| {
+            for &(f, lo, hi) in &regions {
+                black_box(FileRegionSummary::build(black_box(&events), f, lo, hi));
+            }
+        })
+    });
+    group.bench_function("region_query_indexed", |b| {
+        b.iter(|| {
+            for &(f, lo, hi) in &regions {
+                black_box(FileRegionSummary::from_index(black_box(&index), f, lo, hi));
+            }
+        })
+    });
+    // The end-to-end analytics cost of a characterize/report run:
+    // build the index once, then answer the full §6 query battery
+    // from it — what every multi-query consumer now pays.
+    group.bench_function("characterize_full", |b| {
+        use sioscope_analysis::{
+            detect_phases_indexed, interarrival, BandwidthSeries, Cdf, ConcurrencyProfile,
+            LogHistogram, ModeUsage, NodeBalance,
+        };
+        b.iter(|| {
+            let idx = TraceIndex::build(black_box(&events));
+            black_box(Cdf::of_kind(&idx, OpKind::Read));
+            black_box(Cdf::of_kind(&idx, OpKind::Write));
+            black_box(LogHistogram::of_kind(&idx, OpKind::Read));
+            black_box(ConcurrencyProfile::from_index(&idx));
+            black_box(NodeBalance::from_index(&idx));
+            black_box(ModeUsage::from_index(&idx));
+            black_box(detect_phases_indexed(&idx, Time::from_secs(30)));
+            black_box(interarrival::per_process_indexed(&idx));
+            black_box(BandwidthSeries::from_index(&idx, Time::from_secs(10)));
+        })
+    });
+    group.finish();
+}
+
+/// Allocator churn: fill a 16×32 mesh with mixed-size partitions,
+/// then repeatedly free one and allocate a replacement — the
+/// fragmentation/coalescing pattern a long-running scheduler sees.
+fn alloc_churn(policy: AllocPolicy, steps: usize) -> u32 {
+    let mut alloc = PartitionAllocator::new(16, 32, 512, policy);
+    let mut rng = DetRng::new(0xA110C);
+    let sizes = [4u32, 8, 16, 32, 64];
+    let mut held: Vec<Partition> = Vec::new();
+    let mut acc = 0u32;
+    for _ in 0..steps {
+        if !held.is_empty() && (held.len() >= 24 || rng.range_inclusive(0, 1) == 0) {
+            let victim = rng.range_inclusive(0, held.len() as u64 - 1) as usize;
+            alloc.free(&held.swap_remove(victim));
+        }
+        let n = sizes[rng.range_inclusive(0, sizes.len() as u64 - 1) as usize];
+        if let Some(p) = alloc.allocate(n) {
+            acc = acc.wrapping_add(p.x + p.y * 32 + p.nodes);
+            held.push(p);
+        }
+    }
+    for p in &held {
+        alloc.free(p);
+    }
+    acc
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched");
+    group.bench_function("alloc_churn_512", |b| {
+        b.iter(|| {
+            black_box(alloc_churn(
+                black_box(AllocPolicy::BestFit),
+                black_box(10_000),
+            ))
+        })
+    });
+
+    // A 64-job Poisson contention mix scheduled end-to-end: arrival
+    // generation, partition placement, the shared-PFS event loop, and
+    // the per-job stats/trace assembly.
+    let mut stream = contention::bench_stream();
+    stream.count = 64;
+    let cfg = contention::bench_machine();
+    group.sample_size(10);
+    group.bench_function("contention_run_64_jobs", |b| {
+        b.iter(|| {
+            black_box(
+                run_schedule(
+                    black_box(&stream),
+                    QueuePolicy::EasyBackfill,
+                    AllocPolicy::FirstFit,
+                    &FaultSchedule::empty(),
+                    cfg.clone(),
+                    SimOptions::default(),
+                )
+                .expect("schedules"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_calendar,
+    bench_escat_c,
+    bench_full_registry,
+    bench_fault_engaged,
+    bench_analysis,
+    bench_sched
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Microbenchmarks of the PFS fast paths: the per-operation costs that
+//! bound whole-study simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sioscope_pfs::{IoMode, IoOp, Outcome, Pfs, PfsConfig, StripeLayout};
+use sioscope_sim::{Pid, Time};
+use std::hint::black_box;
+
+fn bench_stripe(c: &mut Criterion) {
+    let layout = StripeLayout::paragon_default();
+    let mut group = c.benchmark_group("stripe");
+    group.bench_function("segments-small", |b| {
+        b.iter(|| black_box(layout.segments(black_box(12345), black_box(2048))))
+    });
+    group.bench_function("segments-2stripes", |b| {
+        b.iter(|| black_box(layout.segments(black_box(0), black_box(128 * 1024))))
+    });
+    group.bench_function("segments-1MB-unaligned", |b| {
+        b.iter(|| black_box(layout.segments(black_box(777), black_box(1 << 20))))
+    });
+    group.finish();
+}
+
+fn bench_data_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pfs-data-path");
+
+    // Buffered small reads: mostly client cache hits.
+    group.bench_function("read-cached-2k", |b| {
+        let mut pfs = Pfs::new(PfsConfig::tiny());
+        let f = pfs.create_file_with_size("data", 1 << 30);
+        let mut t = match pfs.submit(Time::ZERO, Pid(0), f, &IoOp::Open).unwrap() {
+            Outcome::Done(cs) => cs[0].finish,
+            _ => unreachable!(),
+        };
+        b.iter(|| {
+            let out = pfs
+                .submit(t, Pid(0), f, &IoOp::Read { size: 2048 })
+                .expect("read");
+            if let Outcome::Done(cs) = out {
+                t = cs[0].finish;
+            }
+            black_box(t)
+        })
+    });
+
+    // Direct M_ASYNC writes.
+    group.bench_function("write-masync-2k", |b| {
+        let mut pfs = Pfs::new(PfsConfig::tiny());
+        let f = pfs.create_file("out");
+        let gop = IoOp::Gopen {
+            group: 1,
+            mode: IoMode::MAsync,
+            record_size: None,
+        };
+        let mut t = match pfs.submit(Time::ZERO, Pid(0), f, &gop).unwrap() {
+            Outcome::Done(cs) => cs[0].finish,
+            _ => unreachable!(),
+        };
+        b.iter(|| {
+            let out = pfs
+                .submit(t, Pid(0), f, &IoOp::Write { size: 2048 })
+                .expect("write");
+            if let Outcome::Done(cs) = out {
+                t = cs[0].finish;
+            }
+            black_box(t)
+        })
+    });
+
+    // A full M_RECORD collective round across 8 members.
+    group.bench_function("mrecord-round-8x128k", |b| {
+        let mut pfs = Pfs::new(PfsConfig::tiny());
+        let f = pfs.create_file_with_size("quad", 1 << 30);
+        let rec = 128 * 1024;
+        let gop = IoOp::Gopen {
+            group: 8,
+            mode: IoMode::MRecord,
+            record_size: Some(rec),
+        };
+        let mut t = Time::ZERO;
+        for i in 0..8 {
+            if let Outcome::Done(cs) = pfs.submit(Time::ZERO, Pid(i), f, &gop).unwrap() {
+                t = cs[0].finish;
+            }
+        }
+        b.iter(|| {
+            let mut end = t;
+            for i in 0..8 {
+                if let Outcome::Done(cs) = pfs
+                    .submit(t, Pid(i), f, &IoOp::Read { size: rec })
+                    .expect("collective read")
+                {
+                    end = cs.iter().map(|c| c.finish).max().unwrap_or(end);
+                }
+            }
+            t = end;
+            black_box(end)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stripe, bench_data_paths);
+criterion_main!(benches);

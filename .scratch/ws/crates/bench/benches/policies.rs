@@ -1,0 +1,66 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! each §7 policy (and the adaptive selector) against the measured
+//! PFS, timed on the synthetic kernels that exercise it.
+//!
+//! Criterion times the *simulation* of each configuration; the
+//! simulated I/O-time improvements themselves are asserted by the
+//! ablation experiments (`repro ablation-*`). Benchmarking here keeps
+//! the policy machinery's simulation overhead visible: a policy that
+//! made simulation 10× slower would be caught even if its simulated
+//! results were good.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sioscope::simulator::{run, SimOptions};
+use sioscope_pfs::{PfsConfig, PolicyConfig};
+use sioscope_workloads::synthetic::{
+    collective_reload, log_append, sequential_scan, staging_pipeline, KernelConfig,
+};
+use sioscope_workloads::Workload;
+use std::hint::black_box;
+
+fn run_with(w: &Workload, policy: PolicyConfig) -> sioscope::simulator::RunResult {
+    let mut cfg = PfsConfig::caltech(w.nodes, w.os);
+    cfg.policy = policy;
+    run(w, cfg, SimOptions::default()).expect("kernel runs")
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut kcfg = KernelConfig::small();
+    kcfg.request = 8 << 10;
+    let scan = sequential_scan(&kcfg);
+
+    let mut group = c.benchmark_group("policy-on-sequential-scan");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("measured", PolicyConfig::measured_pfs()),
+        ("prefetch", PolicyConfig::prefetch_only()),
+        ("aggregation", PolicyConfig::aggregation_only()),
+        ("write-behind", PolicyConfig::write_behind_only()),
+        ("recommended", PolicyConfig::recommended()),
+        ("adaptive", PolicyConfig::adaptive()),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(run_with(&scan, policy))));
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let kcfg = KernelConfig::small();
+    let mut group = c.benchmark_group("synthetic-kernel");
+    group.sample_size(10);
+    for w in [
+        sequential_scan(&kcfg),
+        collective_reload(&kcfg),
+        log_append(&kcfg),
+        staging_pipeline(&kcfg),
+    ] {
+        let name = w.name.trim_start_matches("synthetic/").to_string();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_with(&w, PolicyConfig::measured_pfs())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Microbenchmarks of the discrete-event kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sioscope_sim::{Calendar, DetRng, EventQueue, Pid, RendezvousTable, Time};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event-queue");
+    group.bench_function("schedule-pop-1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..1000u32 {
+                q.schedule(Time::from_nanos(u64::from(i.wrapping_mul(2654435761))), i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(u64::from(e.payload));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_calendar(c: &mut Criterion) {
+    c.bench_function("calendar-reserve", |b| {
+        let mut cal = Calendar::new();
+        let mut t = Time::ZERO;
+        b.iter(|| {
+            let r = cal.reserve(t, Time::from_micros(10));
+            t = r.finish;
+            black_box(r)
+        })
+    });
+}
+
+fn bench_rendezvous(c: &mut Criterion) {
+    c.bench_function("rendezvous-128", |b| {
+        let mut table = RendezvousTable::new();
+        let mut key = 0u64;
+        b.iter(|| {
+            key += 1;
+            for i in 0..128 {
+                black_box(table.arrive(key, Pid(i), Time::ZERO, 128));
+            }
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("detrng-jitter", |b| {
+        let mut rng = DetRng::new(42);
+        b.iter(|| black_box(rng.jitter(Time::from_secs(10), 0.2)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_calendar,
+    bench_rendezvous,
+    bench_rng
+);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Collate a Criterion run into a numbered `BENCH_<n>.json` baseline,
+//! or compare two baselines.
+//!
+//! Usage (from the repository root, after `cargo bench -p
+//! sioscope-bench --bench hotpath`):
+//!
+//! ```text
+//! cargo run -p sioscope-bench --bin bench_baseline                   # print
+//! cargo run -p sioscope-bench --bin bench_baseline -- --out BENCH_1.json
+//! cargo run -p sioscope-bench --bin bench_baseline -- \
+//!     --compare BENCH_0.json --bench full_registry_cold --min-speedup 1.5
+//! ```
+//!
+//! `--compare OLD` prints the speedup of every bench present in both
+//! baselines (current run vs. `OLD`); with `--bench NAME
+//! --min-speedup X` the process exits `4` if that bench's speedup is
+//! below `X`, making the perf bar enforceable in CI. Exit codes follow
+//! the repro contract: `2` unusable arguments, `3` I/O failures
+//! (naming the path), `4` a failed expectation.
+
+use sioscope_bench::{
+    baseline_speedup, baseline_value_multi, collect_estimates, exit_with, write_atomic, CliError,
+    BASELINE_GROUPS,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn real_main() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let criterion_dir = PathBuf::from(
+        arg_value(&args, "--criterion-dir").unwrap_or_else(|| "target/criterion".to_string()),
+    );
+    // Collect every baseline group. A group directory that does not
+    // exist yet (e.g. a partial bench run) is treated as empty; only
+    // finding *no* estimates at all is an error.
+    let mut groups = BTreeMap::new();
+    for group in BASELINE_GROUPS {
+        match collect_estimates(&criterion_dir, group) {
+            Ok(estimates) => {
+                groups.insert(group.to_string(), estimates);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                groups.insert(group.to_string(), BTreeMap::new());
+            }
+            Err(e) => return Err(CliError::io(criterion_dir.join(group), e)),
+        }
+    }
+    if groups.values().all(|e| e.is_empty()) {
+        return Err(CliError::io(
+            &criterion_dir,
+            std::io::Error::other(
+                "no estimates found; run `cargo bench -p sioscope-bench --bench hotpath` first",
+            ),
+        ));
+    }
+    let current = baseline_value_multi(&groups);
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&current).expect("serialize baseline")
+    );
+
+    if let Some(old_path) = arg_value(&args, "--compare") {
+        let old_text =
+            std::fs::read_to_string(&old_path).map_err(|e| CliError::io(&old_path, e))?;
+        let old: serde_json::Value = serde_json::from_str(&old_text)
+            .map_err(|e| CliError::io(&old_path, std::io::Error::other(e)))?;
+        println!("speedup vs {old_path} (old mean / new mean):");
+        for (group, estimates) in &groups {
+            for name in estimates.keys() {
+                match baseline_speedup(&old, &current, name) {
+                    Some(s) => println!("  {group}/{name:<24} {s:.2}x"),
+                    None => println!("  {group}/{name:<24} (not in old baseline)"),
+                }
+            }
+        }
+        let gate = arg_value(&args, "--bench");
+        let min: Option<f64> = match arg_value(&args, "--min-speedup") {
+            Some(v) => Some(v.parse().map_err(|_| {
+                CliError::BadArgs(format!("--min-speedup expects a number, got `{v}`"))
+            })?),
+            None => None,
+        };
+        if let (Some(bench), Some(min)) = (gate, min) {
+            match baseline_speedup(&old, &current, &bench) {
+                Some(s) if s >= min => {
+                    println!("PASS: {bench} speedup {s:.2}x >= {min:.2}x");
+                }
+                Some(s) => {
+                    return Err(CliError::GoldenMismatch(format!(
+                        "{bench} speedup {s:.2}x < {min:.2}x"
+                    )));
+                }
+                None => {
+                    return Err(CliError::GoldenMismatch(format!(
+                        "{bench} missing from one of the baselines"
+                    )));
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    match arg_value(&args, "--out") {
+        Some(path) => {
+            write_atomic(Path::new(&path), &rendered)?;
+            println!("baseline written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = real_main() {
+        exit_with(e);
+    }
+}

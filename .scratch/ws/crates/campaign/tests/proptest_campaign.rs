@@ -1,0 +1,188 @@
+//! Property tests for the campaign spec and content address:
+//!
+//! * hashing is invariant under TOML key/section reordering (and
+//!   comment/whitespace/integer-spelling noise);
+//! * distinct resolved configs never collide in a realistic
+//!   population of run specs.
+
+use proptest::prelude::*;
+use sioscope_campaign::spec::{BACKEND_IDS, POLICY_IDS, SCALE_IDS, WORKLOAD_IDS};
+use sioscope_campaign::{config_hash, CampaignSpec, RunSpec};
+use std::collections::{BTreeMap, HashMap};
+
+/// The generated axes of a random (valid) campaign.
+#[derive(Debug, Clone)]
+struct Axes {
+    scale: &'static str,
+    workloads: Vec<&'static str>,
+    backends: Vec<&'static str>,
+    fault_events: Vec<u32>,
+    seeds: Vec<u64>,
+    policies: Vec<&'static str>,
+    load_pcts: Vec<u32>,
+}
+
+fn axes() -> impl Strategy<Value = Axes> {
+    (
+        proptest::sample::select(SCALE_IDS.to_vec()),
+        proptest::sample::subsequence(WORKLOAD_IDS.to_vec(), 1..=4),
+        proptest::sample::subsequence(BACKEND_IDS.to_vec(), 1..=3),
+        proptest::collection::vec(0u32..=8, 1..=3),
+        // TOML integers are i64, so spec-file seeds top out there.
+        proptest::collection::vec(0u64..=i64::MAX as u64, 1..=3),
+        proptest::sample::subsequence(POLICY_IDS.to_vec(), 1..=2),
+        proptest::collection::vec(1u32..=400, 1..=3),
+    )
+        .prop_map(
+            |(scale, workloads, backends, fault_events, seeds, policies, load_pcts)| Axes {
+                scale,
+                workloads,
+                backends,
+                fault_events,
+                seeds,
+                policies,
+                load_pcts,
+            },
+        )
+}
+
+fn quoted(ids: &[&str]) -> String {
+    ids.iter()
+        .map(|id| format!("\"{id}\""))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn ints<T: std::fmt::Display>(values: &[T]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn hex(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("0x{v:X}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render the same campaign two ways: canonical-order decimal TOML,
+/// and reversed-section/reversed-key TOML with hex seeds, comments and
+/// noise whitespace.
+fn render_two_ways(a: &Axes) -> (String, String) {
+    let tidy = format!(
+        "[campaign]\nname = \"prop\"\nscale = \"{}\"\n\
+         [workloads]\nids = [{}]\nbackends = [{}]\nfault_events = [{}]\nseeds = [{}]\n\
+         [contention]\npolicies = [{}]\nload_pcts = [{}]\n",
+        a.scale,
+        quoted(&a.workloads),
+        quoted(&a.backends),
+        ints(&a.fault_events),
+        ints(&a.seeds),
+        quoted(&a.policies),
+        ints(&a.load_pcts),
+    );
+    let scrambled = format!(
+        "# same campaign, shuffled\n\
+         [contention]\n  load_pcts = [ {} ]\n  policies = [{}]\n\n\
+         [workloads]\nseeds = [{}]   # hex spellings\n\
+         fault_events = [\n  {}\n]\nbackends = [{}]\nids = [{}]\n\n\
+         [campaign]\nscale = '{}'\nname = \"prop\"\n",
+        ints(&a.load_pcts),
+        quoted(&a.policies),
+        hex(&a.seeds),
+        ints(&a.fault_events),
+        quoted(&a.backends),
+        quoted(&a.workloads),
+        a.scale,
+    );
+    (tidy, scrambled)
+}
+
+proptest! {
+    /// Key order, section order, comments, whitespace and integer
+    /// spelling must be invisible to the content address.
+    #[test]
+    fn hashing_is_invariant_under_toml_reordering(a in axes()) {
+        let (tidy, scrambled) = render_two_ways(&a);
+        let spec_a = CampaignSpec::from_toml_str(&tidy).unwrap();
+        let spec_b = CampaignSpec::from_toml_str(&scrambled).unwrap();
+        prop_assert_eq!(&spec_a, &spec_b);
+        let hashes = |s: &CampaignSpec| -> Vec<String> {
+            s.expand().iter().map(|r| config_hash(&r.canon())).collect()
+        };
+        prop_assert_eq!(hashes(&spec_a), hashes(&spec_b));
+    }
+
+    /// Distinct resolved configs never collide: across a random
+    /// population of run specs, equal hashes imply equal canon lines.
+    #[test]
+    fn distinct_configs_never_collide(
+        workload_runs in proptest::collection::vec(
+            (
+                proptest::sample::select(WORKLOAD_IDS.to_vec()),
+                proptest::sample::select(BACKEND_IDS.to_vec()),
+                proptest::sample::select(SCALE_IDS.to_vec()),
+                0u32..=64,
+                any::<u64>(),
+            ),
+            0..64,
+        ),
+        contention_runs in proptest::collection::vec(
+            (
+                proptest::sample::select(POLICY_IDS.to_vec()),
+                proptest::sample::select(SCALE_IDS.to_vec()),
+                1u32..=400,
+                any::<u64>(),
+            ),
+            0..64,
+        ),
+    ) {
+        let mut seen: HashMap<String, String> = HashMap::new();
+        let runs = workload_runs
+            .into_iter()
+            .map(|(id, backend, scale, fault_events, seed)| RunSpec::Workload {
+                id: id.to_string(),
+                backend: backend.to_string(),
+                scale: scale.to_string(),
+                fault_events,
+                seed,
+            })
+            .chain(contention_runs.into_iter().map(|(policy, scale, load_pct, seed)| {
+                RunSpec::Contention {
+                    policy: policy.to_string(),
+                    scale: scale.to_string(),
+                    load_pct,
+                    seed,
+                }
+            }));
+        for run in runs {
+            let canon = run.canon();
+            let hash = config_hash(&canon);
+            if let Some(previous) = seen.insert(hash.clone(), canon.clone()) {
+                prop_assert_eq!(
+                    previous, canon,
+                    "hash collision between distinct configs at {}", hash
+                );
+            }
+        }
+    }
+
+    /// Expansion is a pure function of the parsed spec: expanding
+    /// twice gives identical run lists with unique canon lines.
+    #[test]
+    fn expansion_is_stable_and_duplicate_free(a in axes()) {
+        let (tidy, _) = render_two_ways(&a);
+        let spec = CampaignSpec::from_toml_str(&tidy).unwrap();
+        let first = spec.expand();
+        prop_assert_eq!(&first, &spec.expand());
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for run in &first {
+            *counts.entry(run.canon()).or_default() += 1;
+        }
+        prop_assert!(counts.values().all(|&c| c == 1), "duplicate canon in expansion");
+    }
+}

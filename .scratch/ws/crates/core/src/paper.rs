@@ -1,0 +1,276 @@
+//! The paper's published numbers, transcribed for comparison.
+//!
+//! Everything here is copied from the HPDC'96 text so that reports can
+//! print "paper vs. measured" side by side and tests can assert that
+//! the reproduction preserves the *shape* of each result (dominant
+//! operations, orderings, reduction factors) without chasing absolute
+//! 1996 seconds.
+
+use sioscope_pfs::OpKind;
+
+/// One column of Table 2 or Table 5: percentage of I/O time by
+/// operation. `None` = the paper prints "–" (operation not used).
+#[derive(Debug, Clone, Copy)]
+pub struct IoBreakdown {
+    /// Version label.
+    pub version: &'static str,
+    /// open %.
+    pub open: Option<f64>,
+    /// gopen %.
+    pub gopen: Option<f64>,
+    /// read %.
+    pub read: Option<f64>,
+    /// seek %.
+    pub seek: Option<f64>,
+    /// write %.
+    pub write: Option<f64>,
+    /// iomode %.
+    pub iomode: Option<f64>,
+    /// flush %.
+    pub flush: Option<f64>,
+    /// close %.
+    pub close: Option<f64>,
+}
+
+impl IoBreakdown {
+    /// Percentage for a kind (`None` if unused).
+    pub fn get(&self, kind: OpKind) -> Option<f64> {
+        match kind {
+            OpKind::Open => self.open,
+            OpKind::Gopen => self.gopen,
+            OpKind::Read => self.read,
+            OpKind::Seek => self.seek,
+            OpKind::Write => self.write,
+            OpKind::Iomode => self.iomode,
+            OpKind::Flush => self.flush,
+            OpKind::Close => self.close,
+        }
+    }
+
+    /// The operation with the largest share.
+    pub fn dominant(&self) -> OpKind {
+        OpKind::all()
+            .into_iter()
+            .max_by(|&a, &b| {
+                self.get(a)
+                    .unwrap_or(0.0)
+                    .partial_cmp(&self.get(b).unwrap_or(0.0))
+                    .expect("no NaN in paper data")
+            })
+            .expect("eight kinds")
+    }
+}
+
+/// Table 2 — ESCAT aggregate I/O performance summaries (% of I/O
+/// time).
+pub const ESCAT_TABLE2: [IoBreakdown; 3] = [
+    IoBreakdown {
+        version: "A",
+        open: Some(53.68),
+        gopen: None,
+        read: Some(42.64),
+        seek: Some(1.01),
+        write: Some(1.27),
+        iomode: None,
+        flush: None,
+        close: Some(1.39),
+    },
+    IoBreakdown {
+        version: "B",
+        open: Some(0.00),
+        gopen: Some(4.05),
+        read: Some(0.24),
+        seek: Some(63.21),
+        write: Some(28.75),
+        iomode: Some(2.94),
+        flush: None,
+        close: Some(0.81),
+    },
+    IoBreakdown {
+        version: "C",
+        open: Some(0.03),
+        gopen: Some(21.65),
+        read: Some(1.53),
+        seek: Some(1.75),
+        write: Some(55.63),
+        iomode: Some(16.06),
+        flush: None,
+        close: Some(3.34),
+    },
+];
+
+/// Table 3 — ESCAT percentage of *total execution time* by I/O
+/// operation. Columns: ethylene A, B, C (128 nodes) and carbon
+/// monoxide C (256 nodes).
+pub const ESCAT_TABLE3: [IoBreakdown; 4] = [
+    IoBreakdown {
+        version: "A",
+        open: Some(1.60),
+        gopen: None,
+        read: Some(1.27),
+        seek: Some(0.03),
+        write: Some(0.04),
+        iomode: None,
+        flush: None,
+        close: Some(0.04),
+    },
+    IoBreakdown {
+        version: "B",
+        open: Some(0.00),
+        gopen: Some(0.19),
+        read: Some(0.01),
+        seek: Some(2.91),
+        write: Some(1.32),
+        iomode: Some(0.14),
+        flush: None,
+        close: Some(0.04),
+    },
+    IoBreakdown {
+        version: "C",
+        open: Some(0.00),
+        gopen: Some(0.16),
+        read: Some(0.01),
+        seek: Some(0.01),
+        write: Some(0.41),
+        iomode: Some(0.12),
+        flush: None,
+        close: Some(0.02),
+    },
+    IoBreakdown {
+        version: "C/carbon-monoxide",
+        open: Some(0.00),
+        gopen: Some(7.45),
+        read: Some(9.50),
+        seek: Some(0.00),
+        write: Some(0.03),
+        iomode: None,
+        flush: None,
+        close: Some(2.41),
+    },
+];
+
+/// Table 3's "All I/O" row.
+pub const ESCAT_TABLE3_ALL_IO: [f64; 4] = [2.97, 4.60, 0.73, 19.40];
+
+/// Table 5 — PRISM aggregate I/O performance summaries (% of I/O
+/// time).
+pub const PRISM_TABLE5: [IoBreakdown; 3] = [
+    IoBreakdown {
+        version: "A",
+        open: Some(75.43),
+        gopen: None,
+        read: Some(16.24),
+        seek: Some(3.87),
+        write: Some(1.83),
+        iomode: None,
+        flush: None,
+        close: Some(2.63),
+    },
+    IoBreakdown {
+        version: "B",
+        open: Some(57.36),
+        gopen: None,
+        read: Some(9.47),
+        seek: Some(1.22),
+        write: Some(9.91),
+        iomode: Some(17.75),
+        flush: None,
+        close: Some(4.50),
+    },
+    IoBreakdown {
+        version: "C",
+        open: Some(3.36),
+        gopen: Some(3.42),
+        read: Some(83.92),
+        seek: Some(0.40),
+        write: Some(6.51),
+        iomode: None,
+        flush: Some(0.06),
+        close: Some(2.32),
+    },
+];
+
+/// Figure 1: total execution time fell ~20% from ESCAT version A to
+/// version C.
+pub const ESCAT_EXEC_REDUCTION: f64 = 0.20;
+/// Figure 1's approximate y-axis range (seconds) for ESCAT.
+pub const ESCAT_EXEC_RANGE: (f64, f64) = (5400.0, 6800.0);
+
+/// Figure 6: total execution time fell ~23% across the PRISM
+/// versions.
+pub const PRISM_EXEC_REDUCTION: f64 = 0.23;
+/// Figure 6's approximate y-axis range (seconds) for PRISM.
+pub const PRISM_EXEC_RANGE: (f64, f64) = (7000.0, 9500.0);
+
+/// §4.2: in ESCAT version A, 97% of reads are ≤ 2 KB but carry only
+/// ~40% of read data; in B/C only ~50% of reads are small and 128 KB
+/// reads carry 98% of the data.
+pub const ESCAT_SMALL_READ_FRACTION_A: f64 = 0.97;
+/// §4.2 (versions B/C).
+pub const ESCAT_SMALL_READ_FRACTION_BC: f64 = 0.50;
+/// §4.2: size boundary for a "small" request.
+pub const SMALL_REQUEST_BYTES: u64 = 2048;
+/// §4.2: the large-read size that carries 98% of version-B/C data.
+pub const ESCAT_LARGE_READ_BYTES: u64 = 128 * 1024;
+
+/// §5.2: PRISM's restart body record size.
+pub const PRISM_BODY_RECORD: u64 = 155_584;
+
+/// §5.3: read time dropped by 125 s from PRISM version A to B.
+pub const PRISM_READ_TIME_DROP_AB_SECS: f64 = 125.0;
+
+/// Figure 9: the five checkpoints are clearly visible in PRISM C's
+/// write timeline.
+pub const PRISM_CHECKPOINTS: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_dominants_match_the_narrative() {
+        assert_eq!(ESCAT_TABLE2[0].dominant(), OpKind::Open);
+        assert_eq!(ESCAT_TABLE2[1].dominant(), OpKind::Seek);
+        assert_eq!(ESCAT_TABLE2[2].dominant(), OpKind::Write);
+    }
+
+    #[test]
+    fn table5_dominants_match_the_narrative() {
+        assert_eq!(PRISM_TABLE5[0].dominant(), OpKind::Open);
+        assert_eq!(PRISM_TABLE5[1].dominant(), OpKind::Open);
+        assert_eq!(PRISM_TABLE5[2].dominant(), OpKind::Read);
+    }
+
+    #[test]
+    fn table_columns_sum_to_about_100() {
+        for col in ESCAT_TABLE2.iter().chain(PRISM_TABLE5.iter()) {
+            let sum: f64 = OpKind::all().iter().filter_map(|&k| col.get(k)).sum();
+            assert!(
+                (sum - 100.0).abs() < 0.5,
+                "column {} sums to {sum}",
+                col.version
+            );
+        }
+    }
+
+    #[test]
+    fn table3_all_io_is_consistent_with_rows() {
+        for (i, col) in ESCAT_TABLE3.iter().enumerate() {
+            let sum: f64 = OpKind::all().iter().filter_map(|&k| col.get(k)).sum();
+            assert!(
+                (sum - ESCAT_TABLE3_ALL_IO[i]).abs() < 0.1,
+                "column {} rows sum {sum} vs All-I/O {}",
+                col.version,
+                ESCAT_TABLE3_ALL_IO[i]
+            );
+        }
+    }
+
+    #[test]
+    fn getters_cover_all_kinds() {
+        let col = PRISM_TABLE5[2];
+        assert_eq!(col.get(OpKind::Flush), Some(0.06));
+        assert_eq!(col.get(OpKind::Iomode), None);
+        assert_eq!(col.get(OpKind::Gopen), Some(3.42));
+    }
+}

@@ -1,0 +1,120 @@
+//! Report rendering: run experiments and print each artifact next to
+//! the paper's published values.
+
+use crate::experiments::{self, shape, Experiment, ExperimentOutput, Scale};
+use crate::paper;
+use rayon::prelude::*;
+use std::fmt::Write as _;
+
+/// Run every experiment at `scale` (in parallel across experiments)
+/// and collect the outputs in presentation order.
+///
+/// Each simulated run is memoized per version, and its trace's
+/// columnar [`TraceIndex`](sioscope_trace::TraceIndex) is warmed once
+/// before the run enters the cache — so every figure and table below
+/// answers its size/timeline/duration queries from the shared index
+/// instead of rescanning the event stream.
+pub fn run_all(scale: Scale) -> Vec<ExperimentOutput> {
+    // Pre-warm the per-version run caches in parallel, then render.
+    let mut outputs: Vec<(usize, ExperimentOutput)> = Experiment::all()
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, e)| (i, experiments::run_experiment(e, scale)))
+        .collect();
+    outputs.sort_by_key(|&(i, _)| i);
+    outputs.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Render one experiment output, including its shape-check verdicts.
+pub fn render_output(out: &ExperimentOutput) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "================================================================"
+    );
+    let _ = writeln!(s, "{} [{}]", out.experiment.title(), out.experiment.id());
+    let _ = writeln!(
+        s,
+        "================================================================"
+    );
+    s.push_str(&out.rendered);
+    let _ = writeln!(s, "Shape checks vs. paper:");
+    s.push_str(&shape::render_checks(&out.checks));
+    s
+}
+
+/// Assemble the complete study — every experiment's artifact and
+/// shape checks plus the paper reference — as one document.
+pub fn full_report(scale: Scale) -> String {
+    let mut s = String::new();
+    s.push_str(&render_paper_reference());
+    s.push('\n');
+    for out in run_all(scale) {
+        s.push_str(&render_output(&out));
+    }
+    s
+}
+
+/// Render the paper's reference tables for side-by-side reading.
+pub fn render_paper_reference() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Paper reference values (HPDC 1996):");
+    let _ = writeln!(s, "  Table 2 (ESCAT, % of I/O time):");
+    for col in &paper::ESCAT_TABLE2 {
+        let _ = writeln!(
+            s,
+            "    {}: dominant = {}",
+            col.version,
+            col.dominant().label()
+        );
+    }
+    let _ = writeln!(s, "  Table 3 (ESCAT, all-I/O % of execution):");
+    for (col, all) in paper::ESCAT_TABLE3.iter().zip(paper::ESCAT_TABLE3_ALL_IO) {
+        let _ = writeln!(s, "    {}: {all}%", col.version);
+    }
+    let _ = writeln!(s, "  Table 5 (PRISM, % of I/O time):");
+    for col in &paper::PRISM_TABLE5 {
+        let _ = writeln!(
+            s,
+            "    {}: dominant = {}",
+            col.version,
+            col.dominant().label()
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  Fig 1: ESCAT exec reduction ~{:.0}%; Fig 6: PRISM ~{:.0}%",
+        100.0 * paper::ESCAT_EXEC_REDUCTION,
+        100.0 * paper::PRISM_EXEC_REDUCTION
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_renders() {
+        let s = render_paper_reference();
+        assert!(s.contains("Table 2"));
+        assert!(s.contains("2.97"));
+        assert!(s.contains("19.4"));
+    }
+
+    #[test]
+    fn full_report_covers_every_experiment() {
+        let report = full_report(Scale::Smoke);
+        for e in Experiment::all() {
+            assert!(report.contains(e.id()), "report missing {}", e.id());
+        }
+    }
+
+    #[test]
+    fn render_output_includes_checks() {
+        let out = experiments::escat::table1();
+        let s = render_output(&out);
+        assert!(s.contains("escat-table1"));
+        assert!(s.contains("[pass]") || s.contains("[FAIL]"));
+    }
+}

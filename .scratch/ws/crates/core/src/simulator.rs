@@ -1,0 +1,841 @@
+//! The simulation event loop.
+//!
+//! Executes one [`Workload`] — a statement program per compute node —
+//! against a [`Pfs`] instance over the machine model, recording every
+//! I/O operation in a [`TraceRecorder`] exactly as Pablo's
+//! instrumentation library did: issue time, client-observed duration,
+//! size, offset, node and operation kind.
+
+use sioscope_machine::MeshModel;
+use sioscope_pfs::{
+    BackendConfig, BackendStats, Pfs, PfsConfig, PfsError, ResilienceStats, StorageBackend,
+};
+use sioscope_sim::{EventQueue, FileId, Pid, RendezvousOutcome, RendezvousTable, Time};
+use sioscope_trace::{IoEvent, TraceRecorder};
+use sioscope_workloads::{Stmt, Workload};
+use std::fmt;
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Fixed software overhead of one barrier/broadcast/gather call
+    /// beyond the message timing (collective library entry/exit).
+    pub collective_overhead: Time,
+    /// Abort if the event count exceeds this bound (guards against
+    /// runaway workloads). `0` disables the check.
+    pub max_events: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            collective_overhead: Time::from_micros(50),
+            max_events: 200_000_000,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// The workload failed structural validation.
+    InvalidWorkload(Vec<String>),
+    /// The fault schedule failed validation against the machine and
+    /// workload shape (checked before any faulted run starts).
+    InvalidFaults(Vec<String>),
+    /// A file-system call was rejected.
+    Pfs {
+        /// The failing process.
+        pid: Pid,
+        /// Statement index within the process's program.
+        stmt: usize,
+        /// The underlying error.
+        source: PfsError,
+    },
+    /// The event queue drained with unfinished programs — a deadlock
+    /// (usually mismatched collective participation).
+    Deadlock {
+        /// Pids that had not finished.
+        stuck: Vec<Pid>,
+        /// PFS collective groups still forming.
+        forming_collectives: usize,
+    },
+    /// `max_events` exceeded.
+    EventBudgetExceeded(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidWorkload(problems) => {
+                write!(f, "invalid workload: {}", problems.join("; "))
+            }
+            SimError::InvalidFaults(problems) => {
+                write!(f, "invalid fault schedule: {}", problems.join("; "))
+            }
+            SimError::Pfs { pid, stmt, source } => {
+                write!(f, "{pid} stmt {stmt}: {source}")
+            }
+            SimError::Deadlock {
+                stuck,
+                forming_collectives,
+            } => write!(
+                f,
+                "deadlock: {} unfinished pids, {} forming collectives",
+                stuck.len(),
+                forming_collectives
+            ),
+            SimError::EventBudgetExceeded(n) => write!(f, "event budget exceeded: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The outcome of a run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub name: String,
+    /// Version label.
+    pub version: String,
+    /// Wall-clock execution time: the latest completion across nodes.
+    pub exec_time: Time,
+    /// Per-node completion times.
+    pub node_finish: Vec<Time>,
+    /// The captured I/O trace (sorted by start time).
+    pub trace: TraceRecorder,
+    /// Total simulation events processed (including fault-calendar
+    /// transitions when a fault schedule engages).
+    pub events: u64,
+    /// Resilience actions the PFS took (all zero on fault-free runs).
+    pub resilience: ResilienceStats,
+    /// Fault-calendar transitions processed (fault windows opening or
+    /// closing); zero when no fault schedule engages.
+    pub fault_transitions: u64,
+    /// Checkpoint-commit instants: `(marker, time)` pairs sorted by
+    /// marker, where the time is the latest instant any node passed
+    /// the marker. Empty for marker-free workloads.
+    pub checkpoint_commits: Vec<(u32, Time)>,
+    /// Durability verdict per checkpoint commit, parallel to
+    /// `checkpoint_commits`: the instant the commit's data is durable
+    /// on stable storage, or [`Time::MAX`] if a burst-node crash
+    /// destroyed bytes the commit covered (the checkpoint can never be
+    /// restored from). Tiers without volatile staging report the
+    /// commit instant itself.
+    pub durable_commits: Vec<(u32, Time)>,
+    /// Recovery accounting, filled in by
+    /// [`crate::recovery::run_with_recovery`]; all-zero for plain
+    /// runs.
+    pub recovery: crate::recovery::RecoveryStats,
+    /// Tier-specific counters from the storage backend (all-default
+    /// for the plain PFS; the burst buffer's log/drain accounting and
+    /// the object store's PUT/GET counts land here).
+    pub backend_stats: BackendStats,
+}
+
+impl RunResult {
+    /// Total client-observed I/O time across all nodes.
+    pub fn total_io_time(&self) -> Time {
+        self.trace.total_io_time()
+    }
+
+    /// I/O share of `nodes × exec_time` — not the paper's metric.
+    /// The paper's Table 3 divides summed per-node I/O time by
+    /// the (single) total execution time; use
+    /// [`RunResult::io_fraction_of_exec`] for that.
+    pub fn io_fraction_aggregate(&self) -> f64 {
+        let denom = self.exec_time.as_secs_f64() * self.node_finish.len() as f64;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.total_io_time().as_secs_f64() / denom
+        }
+    }
+
+    /// Summed I/O time over execution time — can exceed 1 for heavily
+    /// concurrent I/O; matches the paper's Table 3 construction where
+    /// percentages are per-operation sums over the run's duration.
+    pub fn io_fraction_of_exec(&self) -> f64 {
+        if self.exec_time.is_zero() {
+            0.0
+        } else {
+            self.total_io_time().as_secs_f64() / self.exec_time.as_secs_f64()
+        }
+    }
+}
+
+/// Event payload.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Resume one process.
+    Resume(Pid),
+    /// A fault window opens or closes. No process state changes, but
+    /// the boundary lands in the event calendar so the fault timeline
+    /// is interleaved with (and visible in) the run's event stream.
+    FaultTransition,
+}
+
+struct NodeState {
+    pc: usize,
+    issue_time: Time,
+    collective_seq: u32,
+    finished: bool,
+    finish_time: Time,
+}
+
+/// Run `workload` against a fresh PFS built from `pfs_cfg`.
+///
+/// The PFS machine configuration's `compute_nodes` should equal
+/// `workload.nodes`; the OS release is taken from the workload.
+pub fn run(
+    workload: &Workload,
+    mut pfs_cfg: PfsConfig,
+    options: SimOptions,
+) -> Result<RunResult, SimError> {
+    let problems = workload.validate();
+    if !problems.is_empty() {
+        return Err(SimError::InvalidWorkload(problems));
+    }
+    // Fail fast on malformed fault scenarios instead of silently
+    // dropping out-of-range events mid-run. Gated on `engages` so
+    // fault-free runs stay on the exact pre-fault code path.
+    if pfs_cfg.faults.engages() {
+        let fault_problems = pfs_cfg
+            .faults
+            .validate_for(pfs_cfg.machine.io_nodes, workload.nodes);
+        if !fault_problems.is_empty() {
+            return Err(SimError::InvalidFaults(fault_problems));
+        }
+    }
+    pfs_cfg.os = workload.os;
+    pfs_cfg.machine.compute_nodes = workload.nodes;
+    let mesh = MeshModel::new(pfs_cfg.machine.mesh);
+    let mut pfs = Pfs::new(pfs_cfg);
+    // Monomorphized over the concrete `Pfs`: same calls, same code
+    // path, bit-identical to the pre-trait direct loop (pinned by
+    // `tests/backend_equivalence.rs`).
+    run_loop(workload, &mesh, &mut pfs, &options)
+}
+
+/// Run `workload` against the storage tier `cfg` selects.
+///
+/// For [`BackendConfig::Pfs`] this is equivalent to [`run`]. Every
+/// fault schedule the config carries is validated against its own
+/// tier's fault vocabulary before the run starts — a PFS fault on the
+/// object store (or vice versa) is an [`SimError::InvalidFaults`],
+/// never a silently dropped event.
+pub fn run_backend(
+    workload: &Workload,
+    cfg: &BackendConfig,
+    options: SimOptions,
+) -> Result<RunResult, SimError> {
+    let problems = workload.validate();
+    if !problems.is_empty() {
+        return Err(SimError::InvalidWorkload(problems));
+    }
+    let mut cfg = cfg.clone();
+    let fault_problems = cfg.validate_faults(workload.nodes);
+    if !fault_problems.is_empty() {
+        return Err(SimError::InvalidFaults(fault_problems));
+    }
+    match &mut cfg {
+        BackendConfig::Pfs(c) => c.os = workload.os,
+        BackendConfig::Burst(b) => b.pfs.os = workload.os,
+        BackendConfig::Object(_) => {}
+    }
+    cfg.machine_mut().compute_nodes = workload.nodes;
+    let mesh = MeshModel::new(cfg.machine().mesh);
+    let mut backend = cfg.build();
+    run_loop(workload, &mesh, &mut *backend, &options)
+}
+
+/// The event loop, generic over the storage tier. Called with the
+/// concrete [`Pfs`] from [`run`] (monomorphized — no dynamic dispatch
+/// on the measured path) and with `dyn StorageBackend` from
+/// [`run_backend`].
+fn run_loop<B: StorageBackend + ?Sized>(
+    workload: &Workload,
+    mesh: &MeshModel,
+    backend: &mut B,
+    options: &SimOptions,
+) -> Result<RunResult, SimError> {
+    // Create the file table; workload file index i == FileId(i).
+    for (i, spec) in workload.files.iter().enumerate() {
+        let id = backend.create_file_with_size(&spec.name, spec.initial_size);
+        debug_assert_eq!(id.index(), i);
+    }
+
+    let n = workload.nodes as usize;
+    let mut nodes: Vec<NodeState> = (0..n)
+        .map(|_| NodeState {
+            pc: 0,
+            issue_time: Time::ZERO,
+            collective_seq: 0,
+            finished: false,
+            finish_time: Time::ZERO,
+        })
+        .collect();
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut collectives = RendezvousTable::new();
+    let mut trace = TraceRecorder::new();
+    let mut checkpoint_commits: std::collections::BTreeMap<u32, Time> =
+        std::collections::BTreeMap::new();
+    // One completion buffer reused across every submission — the event
+    // loop issues millions of ops per run, and `submit`'s per-call
+    // vector was the hottest allocation in a profile.
+    let mut completions = Vec::new();
+
+    // Interleave the fault calendar with the event calendar: one
+    // event per fault-window boundary. A schedule that does not
+    // engage contributes nothing, so fault-free runs keep identical
+    // event counts.
+    let mut fault_transitions = 0u64;
+    for t in backend.fault_transition_times() {
+        queue.schedule(t, Ev::FaultTransition);
+    }
+
+    // Kick every node off at t = 0.
+    for pid in 0..n {
+        queue.schedule(Time::ZERO, Ev::Resume(Pid(pid as u32)));
+    }
+
+    while let Some(ev) = queue.pop() {
+        if options.max_events > 0 && queue.popped() > options.max_events {
+            return Err(SimError::EventBudgetExceeded(queue.popped()));
+        }
+        let now = ev.time;
+        let pid = match ev.payload {
+            Ev::Resume(pid) => pid,
+            Ev::FaultTransition => {
+                fault_transitions += 1;
+                continue;
+            }
+        };
+        let state = &mut nodes[pid.index()];
+        debug_assert!(!state.finished, "{pid} resumed after finishing");
+        let program = &workload.programs[pid.index()];
+
+        if state.pc >= program.len() {
+            state.finished = true;
+            state.finish_time = now;
+            continue;
+        }
+        let stmt_idx = state.pc;
+        state.pc += 1;
+
+        match &program[stmt_idx] {
+            Stmt::Compute(d) => {
+                queue.schedule(now + *d, Ev::Resume(pid));
+            }
+            Stmt::Io { file, op } => {
+                let fid = FileId(*file);
+                nodes[pid.index()].issue_time = now;
+                completions.clear();
+                match backend.submit_into(now, pid, fid, op, &mut completions) {
+                    Ok(true) => {
+                        for c in completions.drain(..) {
+                            let issued = nodes[c.pid.index()].issue_time;
+                            trace.record(IoEvent {
+                                pid: c.pid,
+                                file: fid,
+                                kind: c.kind,
+                                start: issued,
+                                duration: c.finish.saturating_sub(issued),
+                                bytes: c.bytes,
+                                offset: c.offset,
+                                mode: c.mode,
+                            });
+                            queue.schedule(c.finish.max(now), Ev::Resume(c.pid));
+                        }
+                    }
+                    Ok(false) => {
+                        // Blocked: completion arrives via the
+                        // group-closing arrival's submit call.
+                    }
+                    Err(source) => {
+                        return Err(SimError::Pfs {
+                            pid,
+                            stmt: stmt_idx,
+                            source,
+                        });
+                    }
+                }
+            }
+            Stmt::CheckpointCommit(k) => {
+                // Zero-cost: the commit writes are the ordinary Io
+                // statements preceding the marker. Record the latest
+                // instant any node passes it and continue immediately.
+                let slot = checkpoint_commits.entry(*k).or_insert(Time::ZERO);
+                *slot = (*slot).max(now);
+                queue.schedule(now, Ev::Resume(pid));
+            }
+            collective @ (Stmt::Barrier | Stmt::Broadcast { .. } | Stmt::Gather { .. }) => {
+                let seq = nodes[pid.index()].collective_seq;
+                nodes[pid.index()].collective_seq += 1;
+                // Collective keys are global (all nodes execute the
+                // same collective sequence).
+                match collectives.arrive(u64::from(seq), pid, now, n) {
+                    RendezvousOutcome::Waiting => {}
+                    RendezvousOutcome::Complete { arrivals, release } => {
+                        let base = release + options.collective_overhead;
+                        match collective {
+                            Stmt::Barrier => {
+                                for (p, _) in arrivals {
+                                    queue.schedule(base.max(now), Ev::Resume(p));
+                                }
+                            }
+                            Stmt::Broadcast { bytes, .. } => {
+                                let t = base + mesh.broadcast_time(workload.nodes, *bytes);
+                                for (p, _) in arrivals {
+                                    queue.schedule(t.max(now), Ev::Resume(p));
+                                }
+                            }
+                            Stmt::Gather {
+                                root,
+                                bytes_per_node,
+                            } => {
+                                // Senders finish after their own
+                                // message; the root collects the
+                                // reduction tree's worth of data.
+                                let root_pid = Pid(*root);
+                                let gather_t =
+                                    base + mesh.broadcast_time(workload.nodes, *bytes_per_node);
+                                for (p, _) in arrivals {
+                                    let t = if p == root_pid {
+                                        gather_t
+                                    } else {
+                                        base + mesh
+                                            .message_time_hops(*bytes_per_node, mesh.diameter() / 2)
+                                    };
+                                    queue.schedule(t.max(now), Ev::Resume(p));
+                                }
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Wind-down: every program must have run to completion.
+    let stuck: Vec<Pid> = nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.finished)
+        .map(|(i, _)| Pid(i as u32))
+        .collect();
+    if !stuck.is_empty() {
+        return Err(SimError::Deadlock {
+            stuck,
+            forming_collectives: backend.forming_collectives(),
+        });
+    }
+
+    trace.sort();
+    let node_finish: Vec<Time> = nodes.iter().map(|s| s.finish_time).collect();
+    let exec_time = node_finish.iter().copied().fold(Time::ZERO, Time::max);
+    // Flush background work (burst-buffer drains) so the stats are
+    // final; the drain instant lands in `backend_stats`, not in the
+    // foreground `exec_time`.
+    backend.quiesce(exec_time);
+    // Durability verdicts, queried in commit order (the cursor
+    // contract: each query covers the window since the last).
+    let durable_commits: Vec<(u32, Time)> = checkpoint_commits
+        .iter()
+        .map(|(&k, &t)| (k, backend.durable_instant(t)))
+        .collect();
+    Ok(RunResult {
+        name: workload.name.clone(),
+        version: workload.version.clone(),
+        exec_time,
+        node_finish,
+        trace,
+        events: queue.popped(),
+        resilience: backend.resilience_stats(),
+        fault_transitions,
+        checkpoint_commits: checkpoint_commits.into_iter().collect(),
+        durable_commits,
+        recovery: crate::recovery::RecoveryStats::default(),
+        backend_stats: backend.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sioscope_pfs::mode::OsRelease;
+    use sioscope_pfs::IoMode;
+    use sioscope_pfs::IoOp;
+    use sioscope_workloads::{EscatConfig, EscatVersion};
+    use sioscope_workloads::{FileSpec, PrismConfig, PrismVersion};
+
+    fn tiny_pfs(nodes: u32) -> PfsConfig {
+        let mut cfg = PfsConfig::tiny();
+        cfg.machine.compute_nodes = nodes;
+        cfg
+    }
+
+    fn manual_workload() -> Workload {
+        Workload {
+            name: "manual".into(),
+            version: "X".into(),
+            os: OsRelease::Osf13,
+            nodes: 2,
+            files: vec![FileSpec {
+                name: "data".into(),
+                initial_size: 1 << 20,
+            }],
+            programs: vec![
+                vec![
+                    Stmt::Compute(Time::from_secs(1)),
+                    Stmt::Io {
+                        file: 0,
+                        op: IoOp::Open,
+                    },
+                    Stmt::Io {
+                        file: 0,
+                        op: IoOp::Read { size: 4096 },
+                    },
+                    Stmt::Io {
+                        file: 0,
+                        op: IoOp::Close,
+                    },
+                    Stmt::Barrier,
+                ],
+                vec![Stmt::Compute(Time::from_secs(2)), Stmt::Barrier],
+            ],
+            phases: vec![],
+        }
+    }
+
+    #[test]
+    fn manual_workload_runs_and_traces() {
+        let w = manual_workload();
+        let r = run(&w, tiny_pfs(2), SimOptions::default()).unwrap();
+        assert!(r.exec_time >= Time::from_secs(2), "barrier waits for pid 1");
+        assert_eq!(r.node_finish.len(), 2);
+        // Open + read + close traced.
+        assert_eq!(r.trace.len(), 3);
+        assert_eq!(r.trace.invariant_violations(), 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let r1 = run(&w, tiny_pfs(w.nodes), SimOptions::default()).unwrap();
+        let r2 = run(&w, tiny_pfs(w.nodes), SimOptions::default()).unwrap();
+        assert_eq!(r1.exec_time, r2.exec_time);
+        assert_eq!(r1.trace.events(), r2.trace.events());
+        assert_eq!(r1.events, r2.events);
+    }
+
+    #[test]
+    fn escat_tiny_all_versions_complete() {
+        for v in EscatVersion::progressions() {
+            let w = EscatConfig::tiny(v).build();
+            let r = run(&w, tiny_pfs(w.nodes), SimOptions::default())
+                .unwrap_or_else(|e| panic!("version {v:?}: {e}"));
+            assert!(r.exec_time > Time::ZERO);
+            assert!(!r.trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn prism_tiny_all_versions_complete() {
+        for v in PrismVersion::all() {
+            let w = PrismConfig::tiny(v).build();
+            let r = run(&w, tiny_pfs(w.nodes), SimOptions::default())
+                .unwrap_or_else(|e| panic!("version {v:?}: {e}"));
+            assert!(r.exec_time > Time::ZERO);
+            assert!(!r.trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn fault_schedule_inflates_exec_time_and_counts_transitions() {
+        use sioscope_faults::FaultKind;
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let clean = run(&w, tiny_pfs(w.nodes), SimOptions::default()).unwrap();
+        assert_eq!(clean.fault_transitions, 0);
+        assert!(clean.resilience.is_quiet());
+
+        let mut cfg = tiny_pfs(w.nodes);
+        cfg.faults.push(
+            Time::ZERO,
+            FaultKind::IonCrash {
+                ion: 0,
+                restart: clean.exec_time,
+            },
+        );
+        let faulty = run(&w, cfg, SimOptions::default()).unwrap();
+        assert!(faulty.exec_time > clean.exec_time);
+        assert_eq!(faulty.fault_transitions, 2, "window start + end");
+        assert!(faulty.resilience.timeouts > 0);
+        assert!(faulty.resilience.retries > 0);
+    }
+
+    #[test]
+    fn checkpoint_markers_are_free_and_recorded() {
+        use sioscope_workloads::{CheckpointPolicy, Recoverable};
+        let cfg = EscatConfig::tiny(EscatVersion::C);
+        let plain = run(&cfg.build(), tiny_pfs(cfg.nodes), SimOptions::default()).unwrap();
+        assert!(plain.checkpoint_commits.is_empty());
+
+        let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+        let marked = run(rec.workload(), tiny_pfs(cfg.nodes), SimOptions::default()).unwrap();
+        // Markers are zero-cost: identical wall clock and I/O trace.
+        assert_eq!(marked.exec_time, plain.exec_time);
+        assert_eq!(marked.trace.events(), plain.trace.events());
+        // All markers recorded, in order, at nondecreasing instants.
+        let ks: Vec<u32> = marked.checkpoint_commits.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ks, (0..rec.checkpoints()).collect::<Vec<_>>());
+        for pair in marked.checkpoint_commits.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "commit times are monotone");
+        }
+        assert!(marked.checkpoint_commits[0].1 > Time::ZERO);
+
+        // Slicing from a marker replays the tail: the replay also
+        // completes, faster than the full run.
+        let sliced = rec.slice_from(Some(rec.checkpoints() - 1));
+        let replay = run(&sliced, tiny_pfs(cfg.nodes), SimOptions::default()).unwrap();
+        assert!(replay.exec_time < plain.exec_time);
+    }
+
+    #[test]
+    fn invalid_fault_schedule_fails_fast() {
+        use sioscope_faults::FaultKind;
+        let w = manual_workload();
+        let mut cfg = tiny_pfs(2);
+        // Target an I/O node the tiny machine does not have.
+        cfg.faults.push(
+            Time::ZERO,
+            FaultKind::IonCrash {
+                ion: 999,
+                restart: Time::from_secs(1),
+            },
+        );
+        let e = run(&w, cfg, SimOptions::default()).unwrap_err();
+        assert!(matches!(e, SimError::InvalidFaults(_)), "got {e}");
+    }
+
+    #[test]
+    fn deadlock_detected_on_mismatched_collectives() {
+        let mut w = manual_workload();
+        // Pid 0 waits at an extra barrier pid 1 never reaches.
+        w.programs[0].push(Stmt::Barrier);
+        w.programs[1].push(Stmt::Compute(Time::from_secs(1)));
+        // validate() would catch this; bypass it by matching counts
+        // but mismatching file collectives instead.
+        let e = match run(&w, tiny_pfs(2), SimOptions::default()) {
+            Err(e) => e,
+            Ok(_) => return, // validation path may reject instead
+        };
+        match e {
+            SimError::Deadlock { .. } | SimError::InvalidWorkload(_) => {}
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pfs_error_carries_context() {
+        let mut w = manual_workload();
+        // Read before open.
+        w.programs[1] = vec![
+            Stmt::Io {
+                file: 0,
+                op: IoOp::Read { size: 1 },
+            },
+            Stmt::Compute(Time::from_secs(2)),
+            Stmt::Barrier,
+        ];
+        let e = run(&w, tiny_pfs(2), SimOptions::default()).unwrap_err();
+        match e {
+            SimError::Pfs { pid, stmt, .. } => {
+                assert_eq!(pid, Pid(1));
+                assert_eq!(stmt, 0);
+            }
+            other => panic!("expected pfs error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn run_backend_pfs_tier_matches_run_exactly() {
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let direct = run(&w, tiny_pfs(w.nodes), SimOptions::default()).unwrap();
+        let routed = run_backend(
+            &w,
+            &BackendConfig::Pfs(tiny_pfs(w.nodes)),
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(direct.exec_time, routed.exec_time);
+        assert_eq!(direct.node_finish, routed.node_finish);
+        assert_eq!(direct.trace.events(), routed.trace.events());
+        assert_eq!(direct.events, routed.events);
+        assert_eq!(routed.backend_stats, BackendStats::default());
+    }
+
+    #[test]
+    fn all_three_tiers_complete_the_same_workload() {
+        use sioscope_pfs::{BurstBufferConfig, ObjectStoreConfig};
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let tiers = [
+            BackendConfig::Pfs(tiny_pfs(w.nodes)),
+            BackendConfig::Object(ObjectStoreConfig::modern(w.nodes)),
+            BackendConfig::Burst(BurstBufferConfig::over(tiny_pfs(w.nodes))),
+        ];
+        for cfg in tiers {
+            let kind = cfg.kind();
+            let r = run_backend(&w, &cfg, SimOptions::default())
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(r.exec_time > Time::ZERO, "{kind}");
+            assert!(!r.trace.is_empty(), "{kind}");
+            assert_eq!(r.trace.invariant_violations(), 0, "{kind}");
+            assert!(r.backend_stats.conserves_bytes(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn burst_buffer_absorbing_nothing_is_the_plain_pfs() {
+        use sioscope_pfs::{BurstAbsorb, BurstBufferConfig};
+        let w = EscatConfig::tiny(EscatVersion::C).build();
+        let plain = run(&w, tiny_pfs(w.nodes), SimOptions::default()).unwrap();
+        let mut cfg = BurstBufferConfig::over(tiny_pfs(w.nodes));
+        cfg.absorb = BurstAbsorb::Files(vec![]);
+        let buffered = run_backend(&w, &BackendConfig::Burst(cfg), SimOptions::default()).unwrap();
+        assert_eq!(plain.exec_time, buffered.exec_time);
+        assert_eq!(plain.trace.events(), buffered.trace.events());
+        assert_eq!(buffered.backend_stats.bytes_logged, 0);
+    }
+
+    #[test]
+    fn event_budget_enforced() {
+        let w = EscatConfig::tiny(EscatVersion::A).build();
+        let opts = SimOptions {
+            max_events: 10,
+            ..SimOptions::default()
+        };
+        let e = run(&w, tiny_pfs(w.nodes), opts).unwrap_err();
+        assert!(matches!(e, SimError::EventBudgetExceeded(_)));
+    }
+
+    #[test]
+    fn broadcast_synchronizes_and_costs_network_time() {
+        // Root finishes a 1 MB broadcast no earlier than the slowest
+        // arrival plus the tree time; all nodes resume together.
+        let w = Workload {
+            name: "bc".into(),
+            version: "X".into(),
+            os: OsRelease::Osf13,
+            nodes: 3,
+            files: vec![FileSpec {
+                name: "f".into(),
+                initial_size: 0,
+            }],
+            programs: vec![
+                vec![Stmt::Broadcast {
+                    root: 0,
+                    bytes: 1 << 20,
+                }],
+                vec![
+                    Stmt::Compute(Time::from_secs(2)),
+                    Stmt::Broadcast {
+                        root: 0,
+                        bytes: 1 << 20,
+                    },
+                ],
+                vec![Stmt::Broadcast {
+                    root: 0,
+                    bytes: 1 << 20,
+                }],
+            ],
+            phases: vec![],
+        };
+        let r = run(&w, tiny_pfs(3), SimOptions::default()).unwrap();
+        // Everyone waits for pid 1's compute, then the broadcast.
+        for t in &r.node_finish {
+            assert!(*t >= Time::from_secs(2));
+        }
+        let spread = r.node_finish.iter().copied().fold(Time::ZERO, Time::max)
+            - r.node_finish.iter().copied().fold(Time::MAX, Time::min);
+        assert!(spread < Time::from_millis(1), "broadcast releases together");
+    }
+
+    #[test]
+    fn gather_root_finishes_no_earlier_than_senders() {
+        let w = Workload {
+            name: "g".into(),
+            version: "X".into(),
+            os: OsRelease::Osf13,
+            nodes: 4,
+            files: vec![FileSpec {
+                name: "f".into(),
+                initial_size: 0,
+            }],
+            programs: (0..4)
+                .map(|_| {
+                    vec![Stmt::Gather {
+                        root: 0,
+                        bytes_per_node: 1 << 20,
+                    }]
+                })
+                .collect(),
+            phases: vec![],
+        };
+        let r = run(&w, tiny_pfs(4), SimOptions::default()).unwrap();
+        let root = r.node_finish[0];
+        for (pid, t) in r.node_finish.iter().enumerate().skip(1) {
+            assert!(
+                root >= *t,
+                "root collects the tree, pid {pid} only sends: {root} vs {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_durations_include_collective_waits() {
+        // Two nodes gopen; the early arrival's observed duration
+        // includes waiting for the late one.
+        let w = Workload {
+            name: "g".into(),
+            version: "X".into(),
+            os: OsRelease::Osf13,
+            nodes: 2,
+            files: vec![FileSpec {
+                name: "f".into(),
+                initial_size: 0,
+            }],
+            programs: vec![
+                vec![Stmt::Io {
+                    file: 0,
+                    op: IoOp::Gopen {
+                        group: 2,
+                        mode: IoMode::MAsync,
+                        record_size: None,
+                    },
+                }],
+                vec![
+                    Stmt::Compute(Time::from_secs(5)),
+                    Stmt::Io {
+                        file: 0,
+                        op: IoOp::Gopen {
+                            group: 2,
+                            mode: IoMode::MAsync,
+                            record_size: None,
+                        },
+                    },
+                ],
+            ],
+            phases: vec![],
+        };
+        let r = run(&w, tiny_pfs(2), SimOptions::default()).unwrap();
+        let e0 = r.trace.of_pid(Pid(0)).next().unwrap();
+        assert!(
+            e0.duration >= Time::from_secs(5),
+            "early arrival must observe the wait: {}",
+            e0.duration
+        );
+    }
+}

@@ -1,0 +1,1082 @@
+//! Machine-configuration sweeps — the paper's stated future work.
+//!
+//! §7: *"we plan to examine the effects of different machine
+//! configurations (e.g., number of I/O nodes) and different
+//! architectures on I/O performance."* These sweeps re-run a paper
+//! workload while varying one machine parameter at a time, reporting
+//! execution time and total client-observed I/O time per point.
+
+use crate::coupled::{run_coupled, Route};
+use crate::experiments::contention::{
+    contended_machine, mix_stream, run_stream, CLASS_TAU, COMPUTE_BOUND, IO_BOUND,
+};
+use crate::experiments::Scale;
+use crate::recovery::{run_with_recovery, run_with_recovery_backend};
+use crate::simulator::{run, RunResult, SimOptions};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use sioscope_faults::{FaultGen, FaultSchedule};
+use sioscope_pfs::{BackendConfig, BurstBufferConfig, PfsConfig};
+use sioscope_sched::QueuePolicy;
+use sioscope_sim::Time;
+use sioscope_stream::StagingConfig;
+use sioscope_workloads::{
+    CheckpointPolicy, EscatConfig, EscatVersion, PrismConfig, PrismVersion, Recoverable,
+    StreamCadence, Workload,
+};
+use std::fmt::Write as _;
+
+/// Every machine-configuration sweep, as a stable identifier.
+///
+/// The ids double as CLI arguments (`repro --sweeps=io_nodes,...`) and
+/// as the `parameter` column of the rendered table, so a sweep can be
+/// selected by the same name it reports under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SweepId {
+    IoNodes,
+    StripeUnit,
+    DiskBandwidth,
+    DegradedArrays,
+    FaultIntensity,
+    Mtbf,
+    CheckpointInterval,
+    CheckpointIntervalBurst,
+    CheckpointIntervalBurstCrash,
+    LoadFactor,
+    StagingDepth,
+}
+
+impl SweepId {
+    /// All sweeps in presentation order.
+    pub fn all() -> Vec<SweepId> {
+        use SweepId::*;
+        vec![
+            IoNodes,
+            StripeUnit,
+            DiskBandwidth,
+            DegradedArrays,
+            FaultIntensity,
+            Mtbf,
+            CheckpointInterval,
+            CheckpointIntervalBurst,
+            CheckpointIntervalBurstCrash,
+            LoadFactor,
+            StagingDepth,
+        ]
+    }
+
+    /// Stable identifier (CLI arguments, artifact file names).
+    pub fn id(self) -> &'static str {
+        use SweepId::*;
+        match self {
+            IoNodes => "io_nodes",
+            StripeUnit => "stripe_unit",
+            DiskBandwidth => "disk_bandwidth",
+            DegradedArrays => "degraded_arrays",
+            FaultIntensity => "fault_intensity",
+            Mtbf => "mtbf",
+            CheckpointInterval => "checkpoint_interval",
+            CheckpointIntervalBurst => "checkpoint_interval_burst",
+            CheckpointIntervalBurstCrash => "checkpoint_interval_burst_crash",
+            LoadFactor => "load_factor",
+            StagingDepth => "staging_depth",
+        }
+    }
+
+    /// Parse an identifier.
+    pub fn from_id(id: &str) -> Option<SweepId> {
+        SweepId::all().into_iter().find(|s| s.id() == id)
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Varied-parameter label (e.g. `"io_nodes=8"`).
+    pub label: String,
+    /// Parameter value (numeric, for plotting).
+    pub value: u64,
+    /// Wall-clock execution time of the run.
+    pub exec_time: Time,
+    /// Total client-observed I/O time.
+    pub io_time: Time,
+    /// Events processed (simulation cost indicator).
+    pub events: u64,
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sweep {
+    /// What was varied.
+    pub parameter: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// The points, in parameter order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Speedup of total I/O time from the first to the best point.
+    pub fn best_io_speedup(&self) -> f64 {
+        let first = self.points.first().map(|p| p.io_time.as_secs_f64());
+        let best = self
+            .points
+            .iter()
+            .map(|p| p.io_time.as_secs_f64())
+            .fold(f64::INFINITY, f64::min);
+        match first {
+            Some(f) if best > 0.0 => f / best,
+            _ => 1.0,
+        }
+    }
+
+    /// Is I/O time non-increasing along the sweep (more resources
+    /// never hurt)?
+    pub fn io_time_monotone_nonincreasing(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].io_time <= w[0].io_time.scale(1.02))
+    }
+
+    /// Is execution time non-decreasing along the sweep (more faults
+    /// never help)? Allows 2% slack for re-routing that incidentally
+    /// rebalances load.
+    pub fn exec_time_monotone_nondecreasing(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].exec_time >= w[0].exec_time.scale(0.98))
+    }
+
+    /// Render as a fixed-width table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Sweep of {} over {} ({} points)",
+            self.parameter,
+            self.workload,
+            self.points.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<18}{:>14}{:>14}{:>12}",
+            self.parameter, "exec time", "total I/O", "events"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(58));
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:<18}{:>13.1}s{:>13.1}s{:>12}",
+                p.label,
+                p.exec_time.as_secs_f64(),
+                p.io_time.as_secs_f64(),
+                p.events
+            );
+        }
+        out
+    }
+}
+
+fn run_point(workload: &Workload, cfg: PfsConfig, label: String, value: u64) -> SweepPoint {
+    let r: RunResult = run(workload, cfg, SimOptions::default())
+        .unwrap_or_else(|e| panic!("sweep point {label}: {e}"));
+    SweepPoint {
+        label,
+        value,
+        exec_time: r.exec_time,
+        io_time: r.total_io_time(),
+        events: r.events,
+    }
+}
+
+/// Vary the number of I/O nodes (the paper's headline example of a
+/// configuration study). Each point re-runs `workload` with the same
+/// compute partition but `n` I/O nodes/disk arrays.
+pub fn io_node_sweep(workload: &Workload, io_nodes: &[u32]) -> Sweep {
+    let mut points: Vec<SweepPoint> = io_nodes
+        .par_iter()
+        .map(|&n| {
+            let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            cfg.machine.io_nodes = n;
+            run_point(workload, cfg, format!("io_nodes={n}"), u64::from(n))
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "io_nodes",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+/// Vary the PFS stripe unit. Request sizes that were tuned to the
+/// 64 KB default (ESCAT's 128 KB M_RECORD reads) stop being
+/// stripe-multiples at other units — quantifying how tightly the
+/// paper's applications were coupled to one file-system constant
+/// (§6.2: "optimizations are closely tied to the idiosyncrasies of
+/// the parallel I/O system").
+pub fn stripe_sweep(workload: &Workload, units: &[u64]) -> Sweep {
+    let mut points: Vec<SweepPoint> = units
+        .par_iter()
+        .map(|&u| {
+            let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            cfg.stripe_unit = u;
+            run_point(workload, cfg, format!("stripe={}K", u >> 10), u)
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "stripe_unit",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+/// Vary the disk array bandwidth (architecture generations).
+pub fn disk_bandwidth_sweep(workload: &Workload, bandwidths_mbps: &[u32]) -> Sweep {
+    let mut points: Vec<SweepPoint> = bandwidths_mbps
+        .par_iter()
+        .map(|&mbps| {
+            let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            cfg.machine.disk.bandwidth_bps = f64::from(mbps) * 1e6;
+            run_point(workload, cfg, format!("{mbps}MB/s"), u64::from(mbps))
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "disk_bandwidth",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+/// Vary the number of degraded (single-spindle-failure) RAID-3
+/// arrays — failure injection at the device level. Each point is a
+/// fault schedule of permanent spindle failures at time zero, so this
+/// sweep is now a client of the `sioscope-faults` subsystem rather
+/// than a special-cased machine flag.
+pub fn degraded_array_sweep(workload: &Workload, degraded_counts: &[u32]) -> Sweep {
+    let mut points: Vec<SweepPoint> = degraded_counts
+        .par_iter()
+        .map(|&k| {
+            let mut cfg = PfsConfig::caltech(workload.nodes, workload.os);
+            let ions: Vec<u32> = (0..k.min(cfg.machine.io_nodes)).collect();
+            cfg.faults = FaultSchedule::degraded_from_start(&ions);
+            run_point(workload, cfg, format!("degraded={k}"), u64::from(k))
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "degraded_arrays",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+/// Vary the fault intensity: point `k` runs under the first `k`
+/// events of the seeded fault stream. Because the stream is drawn
+/// sequentially, intensity `k`'s scenario is a strict prefix of
+/// `k + 1`'s — each point adds faults to the previous scenario
+/// instead of rolling an unrelated one, so execution-time inflation
+/// accumulates along the axis. Fault instants and window lengths are
+/// placed as fractions of the healthy run's execution time.
+pub fn fault_intensity_sweep(workload: &Workload, intensities: &[usize], seed: u64) -> Sweep {
+    let base_cfg = PfsConfig::caltech(workload.nodes, workload.os);
+    let horizon = run(workload, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("fault sweep baseline: {e}"))
+        .exec_time;
+    let io_nodes = base_cfg.machine.io_nodes;
+    let mut points: Vec<SweepPoint> = intensities
+        .par_iter()
+        .map(|&k| {
+            let mut cfg = base_cfg.clone();
+            cfg.faults = FaultGen::new(seed, horizon, io_nodes)
+                .with_events(k)
+                .schedule();
+            run_point(workload, cfg, format!("faults={k}"), k as u64)
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "fault_intensity",
+        workload: workload.name.clone(),
+        points,
+    }
+}
+
+/// The crash environment shared by the recovery sweeps, derived from
+/// the fault-free baseline `b` so scenarios scale with the workload:
+/// crashes are generated over a `3.2 × b` horizon (room for several
+/// full replays) and each charges `5%` of the baseline (min 1 s) in
+/// reboot/reschedule latency.
+fn crash_environment(b: Time) -> (Time, Time) {
+    let horizon = b.scale(3.2);
+    let rework = b.scale(0.05).max(Time::from_secs(1));
+    (horizon, rework)
+}
+
+/// Vary the compute-partition MTBF, as a percentage of the fault-free
+/// execution time. For one seed the exponential inter-crash gaps scale
+/// linearly with the MTBF, so shrinking it packs strictly more crashes
+/// into the same horizon — time-to-solution inflation along the axis
+/// comes from crash density, not from re-rolled scenarios.
+pub fn mtbf_sweep(rec: &Recoverable, mtbf_percents: &[u32], seed: u64) -> Sweep {
+    let w = rec.workload();
+    let base_cfg = PfsConfig::caltech(w.nodes, w.os);
+    let baseline = run(w, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("mtbf sweep baseline: {e}"))
+        .exec_time;
+    let (horizon, rework) = crash_environment(baseline);
+    let fgen = FaultGen::new(seed, horizon, base_cfg.machine.io_nodes);
+    let mut points: Vec<SweepPoint> = mtbf_percents
+        .par_iter()
+        .map(|&pct| {
+            let mtbf = baseline.scale(f64::from(pct) / 100.0);
+            let crashes = fgen.compute_crash_schedule(mtbf, rework, w.nodes);
+            let n = crashes.events.len();
+            let r = run_with_recovery(rec, &crashes, base_cfg.clone(), SimOptions::default())
+                .unwrap_or_else(|e| panic!("mtbf={pct}%: {e}"));
+            SweepPoint {
+                label: format!("mtbf={pct}% ({n} crashes)"),
+                value: u64::from(pct),
+                exec_time: r.recovery.time_to_solution,
+                io_time: r.total_io_time(),
+                events: r.events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "mtbf",
+        workload: w.name.clone(),
+        points,
+    }
+}
+
+/// Vary PRISM's checkpoint interval under one fixed crash schedule —
+/// the classic U-curve: dense checkpoints waste time committing,
+/// sparse checkpoints waste time replaying lost work, and Young's
+/// optimum sits between. Every point faces the *same* crashes
+/// (exponential with MTBF `0.8 ×` the policy-free baseline, generated
+/// once), so the axis varies only the commit cadence.
+pub fn checkpoint_interval_sweep(cfg: &PrismConfig, intervals: &[u32], seed: u64) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let baseline = run(&baseline_w, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("checkpoint sweep baseline: {e}"))
+        .exec_time;
+    let (horizon, rework) = crash_environment(baseline);
+    let crashes = FaultGen::new(seed, horizon, base_cfg.machine.io_nodes).compute_crash_schedule(
+        baseline.scale(0.8),
+        rework,
+        baseline_w.nodes,
+    );
+    checkpoint_interval_sweep_with(cfg, intervals, &crashes)
+}
+
+/// [`checkpoint_interval_sweep`] against a caller-supplied crash
+/// schedule. Exposed so experiments and tests can place crashes at
+/// *measured* instants (e.g. just before a policy's commit) where the
+/// U-curve's right arm is provable rather than seed-dependent.
+pub fn checkpoint_interval_sweep_with(
+    cfg: &PrismConfig,
+    intervals: &[u32],
+    crashes: &FaultSchedule,
+) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let mut points: Vec<SweepPoint> = intervals
+        .par_iter()
+        .map(|&interval| {
+            let snapped = cfg.snap_interval(interval);
+            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: snapped });
+            let r = run_with_recovery(&rec, crashes, base_cfg.clone(), SimOptions::default())
+                .unwrap_or_else(|e| panic!("interval={snapped}: {e}"));
+            SweepPoint {
+                label: format!("every {snapped} steps"),
+                value: u64::from(snapped),
+                exec_time: r.recovery.time_to_solution,
+                io_time: r.total_io_time(),
+                events: r.events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    points.dedup_by_key(|p| p.value);
+    Sweep {
+        parameter: "checkpoint_interval",
+        workload: baseline_w.name.clone(),
+        points,
+    }
+}
+
+/// [`checkpoint_interval_sweep`] with a burst buffer absorbing the
+/// checkpoint files. The crash environment is derived from the *same*
+/// plain-PFS baseline with the same seed, so the two sweeps face
+/// identical crash schedules and their curves are directly
+/// comparable: with commits landing in the host-side log at
+/// near-zero foreground cost, the U-curve's left arm (dense
+/// checkpoints waste time committing) collapses and the curve
+/// flattens toward its replay-bounded floor.
+pub fn checkpoint_interval_sweep_burst(cfg: &PrismConfig, intervals: &[u32], seed: u64) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let baseline = run(&baseline_w, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("burst checkpoint sweep baseline: {e}"))
+        .exec_time;
+    let (horizon, rework) = crash_environment(baseline);
+    let crashes = FaultGen::new(seed, horizon, base_cfg.machine.io_nodes).compute_crash_schedule(
+        baseline.scale(0.8),
+        rework,
+        baseline_w.nodes,
+    );
+    checkpoint_interval_sweep_burst_with(cfg, intervals, &crashes)
+}
+
+/// [`checkpoint_interval_sweep_burst`] against a caller-supplied
+/// crash schedule.
+pub fn checkpoint_interval_sweep_burst_with(
+    cfg: &PrismConfig,
+    intervals: &[u32],
+    crashes: &FaultSchedule,
+) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let mut points: Vec<SweepPoint> = intervals
+        .par_iter()
+        .map(|&interval| {
+            let snapped = cfg.snap_interval(interval);
+            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: snapped });
+            let tier = BackendConfig::Burst(BurstBufferConfig::absorbing(
+                base_cfg.clone(),
+                rec.checkpoint_files().to_vec(),
+            ));
+            let r = run_with_recovery_backend(&rec, crashes, &tier, SimOptions::default())
+                .unwrap_or_else(|e| panic!("burst interval={snapped}: {e}"));
+            SweepPoint {
+                label: format!("every {snapped} steps"),
+                value: u64::from(snapped),
+                exec_time: r.recovery.time_to_solution,
+                io_time: r.total_io_time(),
+                events: r.events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    points.dedup_by_key(|p| p.value);
+    Sweep {
+        parameter: "checkpoint_interval_burst",
+        workload: baseline_w.name.clone(),
+        points,
+    }
+}
+
+/// [`checkpoint_interval_sweep_burst`] with *burst-tier* faults
+/// injected on top of the same compute-crash schedule: drain stalls
+/// and a burst-node crash that destroys resident (not yet drained)
+/// checkpoint bytes. A commit whose bytes died in the log is not
+/// durable — the recovery driver must roll back past it — so the
+/// flattened burst U-curve un-flattens: dense checkpointing regains
+/// value because each commit bounds how much the log can lose.
+pub fn checkpoint_interval_sweep_burst_crash(
+    cfg: &PrismConfig,
+    intervals: &[u32],
+    seed: u64,
+) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let baseline = run(&baseline_w, base_cfg.clone(), SimOptions::default())
+        .unwrap_or_else(|e| panic!("burst-crash checkpoint sweep baseline: {e}"))
+        .exec_time;
+    let (horizon, rework) = crash_environment(baseline);
+    let fgen = FaultGen::new(seed, horizon, base_cfg.machine.io_nodes);
+    let crashes = fgen.compute_crash_schedule(baseline.scale(0.8), rework, baseline_w.nodes);
+    // The same seeded burst-fault scenario at every point, placed over
+    // one attempt's horizon so the faults land mid-attempt.
+    let burst_faults = FaultGen::new(seed, baseline, base_cfg.machine.io_nodes)
+        .with_events(3)
+        .burst_schedule();
+    checkpoint_interval_sweep_burst_crash_with(cfg, intervals, &crashes, &burst_faults)
+}
+
+/// [`checkpoint_interval_sweep_burst_crash`] against caller-supplied
+/// compute-crash and burst-fault schedules. Exposed so tests can place
+/// a burst-node crash exactly where checkpoint bytes are resident.
+pub fn checkpoint_interval_sweep_burst_crash_with(
+    cfg: &PrismConfig,
+    intervals: &[u32],
+    crashes: &FaultSchedule,
+    burst_faults: &FaultSchedule,
+) -> Sweep {
+    let baseline_w = cfg.build();
+    let base_cfg = PfsConfig::caltech(baseline_w.nodes, baseline_w.os);
+    let mut points: Vec<SweepPoint> = intervals
+        .par_iter()
+        .map(|&interval| {
+            let snapped = cfg.snap_interval(interval);
+            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: snapped });
+            let mut burst =
+                BurstBufferConfig::absorbing(base_cfg.clone(), rec.checkpoint_files().to_vec());
+            burst.faults = burst_faults.clone();
+            let tier = BackendConfig::Burst(burst);
+            let r = run_with_recovery_backend(&rec, crashes, &tier, SimOptions::default())
+                .unwrap_or_else(|e| panic!("burst-crash interval={snapped}: {e}"));
+            SweepPoint {
+                label: format!("every {snapped} steps"),
+                value: u64::from(snapped),
+                exec_time: r.recovery.time_to_solution,
+                io_time: r.total_io_time(),
+                events: r.events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    points.dedup_by_key(|p| p.value);
+    Sweep {
+        parameter: "checkpoint_interval_burst_crash",
+        workload: baseline_w.name.clone(),
+        points,
+    }
+}
+
+/// One offered-load measurement behind [`load_factor_sweep`]: the
+/// per-class mean bounded slowdowns that the generic [`SweepPoint`]
+/// has no columns for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadFactorPoint {
+    /// Offered load as a percentage of the reference arrival rate.
+    pub load_pct: u32,
+    /// Mean bounded slowdown of the I/O-bound class.
+    pub io_bsld: f64,
+    /// Mean bounded slowdown of the compute-bound class.
+    pub cpu_bsld: f64,
+    /// Schedule makespan.
+    pub makespan: Time,
+    /// Total client-observed I/O time summed over every job.
+    pub io_time: Time,
+    /// Events processed across the whole schedule.
+    pub events: u64,
+}
+
+/// Run the contention mix at each offered load. Load `100` maps to the
+/// reference mean inter-arrival of 200 ms; load `L` scales it by
+/// `100/L`, so higher loads compress the same seeded job sequence into
+/// a shorter window (Poisson gaps scale linearly with the mean for a
+/// fixed seed). The point of the axis: I/O-bound jobs queue at the
+/// shared I/O nodes, so their slowdown grows superlinearly with load,
+/// while compute-bound jobs degrade gently.
+pub fn load_factor_points(loads: &[u32], scale: Scale) -> Vec<LoadFactorPoint> {
+    let reference = Time::from_millis(200);
+    let mut points: Vec<LoadFactorPoint> = loads
+        .par_iter()
+        .map(|&pct| {
+            assert!(pct > 0, "offered load must be positive");
+            let stream = mix_stream(scale, reference.scale(100.0 / f64::from(pct)));
+            let out = run_stream(
+                &stream,
+                QueuePolicy::Fcfs,
+                contended_machine(scale),
+                &format!("load_factor={pct}%"),
+            );
+            let io_time = out
+                .per_job
+                .iter()
+                .fold(Time::ZERO, |acc, r| acc.saturating_add(r.total_io_time()));
+            LoadFactorPoint {
+                load_pct: pct,
+                io_bsld: out
+                    .stats
+                    .mean_bounded_slowdown_of(IO_BOUND, CLASS_TAU)
+                    .unwrap_or(1.0),
+                cpu_bsld: out
+                    .stats
+                    .mean_bounded_slowdown_of(COMPUTE_BOUND, CLASS_TAU)
+                    .unwrap_or(1.0),
+                makespan: out.stats.makespan,
+                io_time,
+                events: out.stats.total_events,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.load_pct);
+    points
+}
+
+/// [`load_factor_points`] folded into the generic [`Sweep`] table so
+/// the repro CLI reports it beside the machine-configuration axes; the
+/// per-class slowdowns ride in the label column.
+pub fn load_factor_sweep(loads: &[u32], scale: Scale) -> Sweep {
+    let points = load_factor_points(loads, scale)
+        .into_iter()
+        .map(|p| SweepPoint {
+            label: format!(
+                "load={}% io {:.2} cpu {:.2}",
+                p.load_pct, p.io_bsld, p.cpu_bsld
+            ),
+            value: u64::from(p.load_pct),
+            exec_time: p.makespan,
+            io_time: p.io_time,
+            events: p.events,
+        })
+        .collect();
+    Sweep {
+        parameter: "load_factor",
+        workload: "contention mix (io-bound + compute-bound)".into(),
+        points,
+    }
+}
+
+/// Sweep the staging-queue depth against the consumer's analysis
+/// speed for a coupled streaming pipeline: the stall-time surface of
+/// the tentpole question "how much staging memory buys a stall-free
+/// producer at a given consumer speed?". `depths_kib` of `0` means
+/// unbounded; the point label carries both axes, `value` encodes them
+/// as `depth_kib * 1000 + speed_pct`, `exec_time` is the end-to-end
+/// pipeline latency, and `io_time` reports the producer's stall.
+pub fn staging_depth_sweep(cadence: &StreamCadence, depths_kib: &[u32], speeds: &[u32]) -> Sweep {
+    let grid: Vec<(u32, u32)> = depths_kib
+        .iter()
+        .flat_map(|&d| speeds.iter().map(move |&s| (d, s)))
+        .collect();
+    let mut points: Vec<SweepPoint> = grid
+        .par_iter()
+        .map(|&(depth_kib, pct)| {
+            let depth = u64::from(depth_kib) * 1024;
+            let route = Route::Stream(StagingConfig::paragon(depth));
+            let o = run_coupled(cadence, &route, pct, &FaultSchedule::empty())
+                .unwrap_or_else(|e| panic!("staging_depth depth={depth_kib}K speed={pct}%: {e}"));
+            let depth_label = if depth_kib == 0 {
+                "unbounded".to_string()
+            } else {
+                format!("{depth_kib}K")
+            };
+            SweepPoint {
+                label: format!("depth={depth_label} speed={pct}%"),
+                value: u64::from(depth_kib) * 1000 + u64::from(pct),
+                exec_time: o.pipeline_latency,
+                io_time: o.producer_stall,
+                events: o.chunks,
+            }
+        })
+        .collect();
+    points.sort_by_key(|p| p.value);
+    Sweep {
+        parameter: "staging_depth",
+        workload: cadence.name.clone(),
+        points,
+    }
+}
+
+/// Run one registered sweep at the given scale with its canonical
+/// parameter grid — the single entry point the `repro` binary and the
+/// campaign engine share, so "the `io_nodes` sweep" means the same
+/// runs everywhere.
+pub fn run_sweep(id: SweepId, scale: Scale) -> Sweep {
+    let escat_b = match scale {
+        Scale::Smoke => EscatConfig::tiny(EscatVersion::B).build(),
+        Scale::Full => EscatConfig::ethylene(EscatVersion::B).build(),
+    };
+    let prism_a = match scale {
+        Scale::Smoke => PrismConfig::tiny(PrismVersion::A).build(),
+        Scale::Full => PrismConfig::test_problem(PrismVersion::A).build(),
+    };
+    match id {
+        SweepId::IoNodes => io_node_sweep(&escat_b, &[2, 4, 8, 16, 32]),
+        SweepId::StripeUnit => stripe_sweep(&escat_b, &[16 << 10, 64 << 10, 256 << 10]),
+        SweepId::DiskBandwidth => disk_bandwidth_sweep(&prism_a, &[2, 8, 32]),
+        SweepId::DegradedArrays => degraded_array_sweep(&prism_a, &[0, 4, 8]),
+        SweepId::FaultIntensity => fault_intensity_sweep(&prism_a, &[0, 2, 4, 8], 0xF417),
+        SweepId::Mtbf => {
+            let cfg = match scale {
+                Scale::Smoke => EscatConfig::tiny(EscatVersion::C),
+                Scale::Full => EscatConfig::ethylene(EscatVersion::C),
+            };
+            let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+            mtbf_sweep(&rec, &[25, 50, 100, 200, 400], 0x4EC0)
+        }
+        SweepId::CheckpointInterval => {
+            let cfg = match scale {
+                Scale::Smoke => PrismConfig::tiny(PrismVersion::B),
+                Scale::Full => PrismConfig::test_problem(PrismVersion::B),
+            };
+            checkpoint_interval_sweep(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
+        }
+        SweepId::CheckpointIntervalBurst => {
+            let cfg = match scale {
+                Scale::Smoke => PrismConfig::tiny(PrismVersion::B),
+                Scale::Full => PrismConfig::test_problem(PrismVersion::B),
+            };
+            checkpoint_interval_sweep_burst(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
+        }
+        SweepId::CheckpointIntervalBurstCrash => {
+            let cfg = match scale {
+                Scale::Smoke => PrismConfig::tiny(PrismVersion::B),
+                Scale::Full => PrismConfig::test_problem(PrismVersion::B),
+            };
+            checkpoint_interval_sweep_burst_crash(&cfg, &[1, 2, 5, 10, 25, 125, 250, 625], 0x0C7)
+        }
+        SweepId::LoadFactor => load_factor_sweep(&[25, 50, 100, 200, 400], scale),
+        SweepId::StagingDepth => {
+            let cadence = match scale {
+                Scale::Smoke => PrismConfig::tiny(PrismVersion::C).stream_cadence(),
+                Scale::Full => PrismConfig::test_problem(PrismVersion::C).stream_cadence(),
+            };
+            staging_depth_sweep(&cadence, &[16, 64, 512, 0], &[50, 100, 200])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_ids_round_trip() {
+        for s in SweepId::all() {
+            assert_eq!(SweepId::from_id(s.id()), Some(s));
+        }
+        assert_eq!(SweepId::from_id("nope"), None);
+        let ids: Vec<&str> = SweepId::all().iter().map(|s| s.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "io_nodes",
+                "stripe_unit",
+                "disk_bandwidth",
+                "degraded_arrays",
+                "fault_intensity",
+                "mtbf",
+                "checkpoint_interval",
+                "checkpoint_interval_burst",
+                "checkpoint_interval_burst_crash",
+                "load_factor",
+                "staging_depth"
+            ]
+        );
+    }
+
+    #[test]
+    fn staging_depth_sweep_surfaces_the_stall_tradeoff() {
+        let cadence = PrismConfig::tiny(PrismVersion::C).stream_cadence();
+        let sweep = staging_depth_sweep(&cadence, &[16, 512, 0], &[50, 100]);
+        assert_eq!(sweep.points.len(), 6);
+        assert_eq!(sweep.parameter, "staging_depth");
+        // Tight depth at a slow consumer stalls; unbounded never does.
+        let point = |label: &str| {
+            sweep
+                .points
+                .iter()
+                .find(|p| p.label == label)
+                .unwrap_or_else(|| panic!("missing {label}: {}", sweep.render()))
+        };
+        assert!(point("depth=16K speed=50%").io_time > Time::ZERO);
+        assert_eq!(point("depth=unbounded speed=50%").io_time, Time::ZERO);
+        assert_eq!(point("depth=unbounded speed=100%").io_time, Time::ZERO);
+        // A faster consumer never stalls the producer more at the
+        // same depth.
+        assert!(
+            point("depth=16K speed=100%").io_time <= point("depth=16K speed=50%").io_time,
+            "{}",
+            sweep.render()
+        );
+        // Replay identity for the whole grid.
+        let again = staging_depth_sweep(&cadence, &[16, 512, 0], &[50, 100]);
+        for (a, b) in sweep.points.iter().zip(&again.points) {
+            assert_eq!(a.exec_time, b.exec_time);
+            assert_eq!(a.io_time, b.io_time);
+        }
+    }
+
+    #[test]
+    fn io_node_sweep_runs_and_orders_points() {
+        let w = EscatConfig::tiny(EscatVersion::C).build();
+        let sweep = io_node_sweep(&w, &[2, 8, 4]);
+        assert_eq!(sweep.points.len(), 3);
+        assert_eq!(sweep.points[0].value, 2);
+        assert_eq!(sweep.points[2].value, 8);
+        let text = sweep.render();
+        assert!(text.contains("io_nodes=4"));
+    }
+
+    #[test]
+    fn more_io_nodes_never_hurt_a_staging_workload() {
+        let w = EscatConfig::tiny(EscatVersion::B).build();
+        let sweep = io_node_sweep(&w, &[1, 2, 4, 8, 16]);
+        assert!(sweep.io_time_monotone_nonincreasing(), "{}", sweep.render());
+        assert!(sweep.best_io_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn stripe_sweep_runs() {
+        let w = PrismConfig::tiny(PrismVersion::B).build();
+        let sweep = stripe_sweep(&w, &[16 << 10, 64 << 10, 256 << 10]);
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.points.iter().all(|p| p.io_time > Time::ZERO));
+    }
+
+    #[test]
+    fn degraded_arrays_increase_io_time() {
+        let w = PrismConfig::tiny(PrismVersion::B).build();
+        let sweep = degraded_array_sweep(&w, &[0, 1, 2]);
+        let healthy = sweep.points.first().expect("points").io_time;
+        let worst = sweep.points.last().expect("points").io_time;
+        assert!(worst > healthy, "{}", sweep.render());
+        // Bounded: degradation is a constant factor, not a collapse.
+        assert!(worst < healthy.scale(3.0), "{}", sweep.render());
+    }
+
+    #[test]
+    fn fault_intensity_zero_matches_healthy_and_inflation_accumulates() {
+        let w = PrismConfig::tiny(PrismVersion::B).build();
+        let sweep = fault_intensity_sweep(&w, &[0, 3, 8], 0xF417);
+        assert_eq!(sweep.points.len(), 3);
+        let healthy = run(&w, PfsConfig::caltech(w.nodes, w.os), SimOptions::default()).unwrap();
+        assert_eq!(
+            sweep.points[0].exec_time, healthy.exec_time,
+            "intensity 0 is the fault-free run"
+        );
+        let first = sweep.points.first().expect("points").exec_time;
+        let last = sweep.points.last().expect("points").exec_time;
+        assert!(last > first, "{}", sweep.render());
+        assert!(
+            sweep.exec_time_monotone_nondecreasing(),
+            "{}",
+            sweep.render()
+        );
+    }
+
+    #[test]
+    fn mtbf_sweep_densities_nest_and_never_beat_the_baseline() {
+        let cfg = EscatConfig::tiny(EscatVersion::C);
+        let rec = cfg.recoverable(CheckpointPolicy::Fixed { interval: 1 });
+        let percents = [25, 75, 400];
+        let sweep = mtbf_sweep(&rec, &percents, 0x4EC0);
+        assert_eq!(sweep.parameter, "mtbf");
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.points.windows(2).all(|w| w[0].value < w[1].value));
+
+        // The crash schedules behind the points: for one seed, gaps
+        // scale linearly with the MTBF, so a shorter MTBF can only add
+        // crashes inside the fixed horizon.
+        let w = rec.workload();
+        let base_cfg = PfsConfig::caltech(w.nodes, w.os);
+        let baseline = run(w, base_cfg.clone(), SimOptions::default())
+            .unwrap()
+            .exec_time;
+        let horizon = baseline.scale(3.2);
+        let rework = baseline.scale(0.05).max(Time::from_secs(1));
+        let fgen = FaultGen::new(0x4EC0, horizon, base_cfg.machine.io_nodes);
+        let counts: Vec<usize> = percents
+            .iter()
+            .map(|&pct| {
+                fgen.compute_crash_schedule(baseline.scale(f64::from(pct) / 100.0), rework, w.nodes)
+                    .events
+                    .len()
+            })
+            .collect();
+        assert!(
+            counts.windows(2).all(|c| c[0] >= c[1]),
+            "crash counts must not grow with MTBF: {counts:?}"
+        );
+
+        for (p, &n) in sweep.points.iter().zip(&counts) {
+            assert!(
+                p.exec_time >= baseline,
+                "crashes never speed a run up: {}",
+                sweep.render()
+            );
+            if n == 0 {
+                assert_eq!(p.exec_time, baseline, "no crashes means no inflation");
+            }
+        }
+
+        // Same seed, same sweep — the whole chain is deterministic.
+        let again = mtbf_sweep(&rec, &percents, 0x4EC0);
+        for (a, b) in sweep.points.iter().zip(&again.points) {
+            assert_eq!(a.exec_time, b.exec_time);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn sparse_checkpoints_pay_more_rework_under_the_same_crash() {
+        use sioscope_faults::FaultKind;
+
+        let cfg = PrismConfig::tiny(PrismVersion::B);
+        let w = cfg.build();
+        let pfs = PfsConfig::caltech(w.nodes, w.os);
+
+        // Measure commit instants so the crash can be *placed*: just
+        // before the sparse policy's only commit, and after the dense
+        // policy's first. The sparse point then replays from scratch
+        // while the dense point replays ten steps — the U-curve's
+        // right arm by construction, not by seed luck.
+        let sparse = cfg.recoverable(CheckpointPolicy::Fixed { interval: 20 });
+        let dense = cfg.recoverable(CheckpointPolicy::Fixed { interval: 10 });
+        let sparse_commit = run(sparse.workload(), pfs.clone(), SimOptions::default())
+            .unwrap()
+            .checkpoint_commits[0]
+            .1;
+        let dense_commits = run(dense.workload(), pfs.clone(), SimOptions::default())
+            .unwrap()
+            .checkpoint_commits;
+        let dense_first = dense_commits[0].1;
+        let crash_at = sparse_commit.saturating_sub(Time::from_millis(1));
+        assert!(
+            dense_first < crash_at,
+            "ten steps of work must commit before the crash"
+        );
+
+        let mut crashes = FaultSchedule::empty();
+        crashes.push(
+            crash_at,
+            FaultKind::ComputeNodeCrash {
+                node: 0,
+                rework: Time::from_secs(1),
+            },
+        );
+        let sweep = checkpoint_interval_sweep_with(&cfg, &[10, 20], &crashes);
+        assert_eq!(sweep.parameter, "checkpoint_interval");
+        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(sweep.points[0].value, 10);
+        assert_eq!(sweep.points[1].value, 20);
+        let dense_tts = sweep.points[0].exec_time;
+        let sparse_tts = sweep.points[1].exec_time;
+        assert!(
+            sparse_tts > dense_tts,
+            "losing twenty steps must cost more than losing ten:\n{}",
+            sweep.render()
+        );
+        // Both points at least rode out the crash and the restart.
+        let floor = crash_at.saturating_add(Time::from_secs(1));
+        assert!(dense_tts >= floor, "{}", sweep.render());
+    }
+
+    #[test]
+    fn burst_buffer_flattens_the_checkpoint_u_curve() {
+        let cfg = PrismConfig::tiny(PrismVersion::B);
+        let intervals = [1, 2, 5, 10, 25];
+        let plain = checkpoint_interval_sweep(&cfg, &intervals, 0x0C7);
+        let burst = checkpoint_interval_sweep_burst(&cfg, &intervals, 0x0C7);
+        assert_eq!(burst.parameter, "checkpoint_interval_burst");
+        assert_eq!(plain.points.len(), burst.points.len());
+        let min_tts = |s: &Sweep| {
+            s.points
+                .iter()
+                .map(|p| p.exec_time)
+                .fold(Time::MAX, Time::min)
+        };
+        // The acceptance bar: with commits absorbed at log speed, the
+        // best burst interval beats the plain U-curve's minimum.
+        assert!(
+            min_tts(&burst) < min_tts(&plain),
+            "burst optimum must undercut the plain optimum:\nplain:\n{}\nburst:\n{}",
+            plain.render(),
+            burst.render()
+        );
+        // And point-by-point under the same crashes, absorbing the
+        // commit cost never makes an interval slower.
+        for (b, p) in burst.points.iter().zip(&plain.points) {
+            assert_eq!(b.value, p.value);
+            assert!(
+                b.exec_time <= p.exec_time,
+                "interval {}: {} vs {}",
+                b.value,
+                b.exec_time,
+                p.exec_time
+            );
+        }
+    }
+
+    #[test]
+    fn burst_faults_never_improve_the_flattened_u_curve() {
+        let cfg = PrismConfig::tiny(PrismVersion::B);
+        let intervals = [1, 5, 25];
+        let clean = checkpoint_interval_sweep_burst(&cfg, &intervals, 0x0C7);
+        let faulted = checkpoint_interval_sweep_burst_crash(&cfg, &intervals, 0x0C7);
+        assert_eq!(faulted.parameter, "checkpoint_interval_burst_crash");
+        assert_eq!(clean.points.len(), faulted.points.len());
+        for (f, c) in faulted.points.iter().zip(&clean.points) {
+            assert_eq!(f.value, c.value);
+            assert!(
+                f.exec_time >= c.exec_time,
+                "burst faults never speed recovery up at interval {}: {} vs {}",
+                f.value,
+                f.exec_time,
+                c.exec_time
+            );
+        }
+        // Deterministic: same seed, same curve.
+        let again = checkpoint_interval_sweep_burst_crash(&cfg, &intervals, 0x0C7);
+        for (a, b) in faulted.points.iter().zip(&again.points) {
+            assert_eq!(a.exec_time, b.exec_time);
+            assert_eq!(a.events, b.events);
+        }
+    }
+
+    #[test]
+    fn seeded_checkpoint_interval_sweep_snaps_and_dedups_intervals() {
+        let cfg = PrismConfig::tiny(PrismVersion::B);
+        // 3 snaps to divisor 2, 4 to itself; 5 and 6 both snap to 5.
+        let sweep = checkpoint_interval_sweep(&cfg, &[3, 4, 5, 6], 0x0C7);
+        let values: Vec<u64> = sweep.points.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![2, 4, 5]);
+        assert!(sweep.points.iter().all(|p| p.exec_time > Time::ZERO));
+        assert!(sweep.render().contains("every 5 steps"));
+    }
+
+    #[test]
+    fn load_inflates_io_bound_slowdown_fastest() {
+        let loads = [25, 100, 400];
+        let pts = load_factor_points(&loads, Scale::Smoke);
+        assert_eq!(pts.len(), 3);
+
+        // Mean bounded slowdown never improves as the load rises (2%
+        // slack for event-granularity wobble, matching the other
+        // monotone checks).
+        let mean = |p: &LoadFactorPoint| (p.io_bsld + p.cpu_bsld) / 2.0;
+        assert!(
+            pts.windows(2).all(|w| mean(&w[1]) >= mean(&w[0]) * 0.98),
+            "{pts:?}"
+        );
+
+        // The I/O-bound class degrades faster than the compute-bound
+        // class — the shared-ION story the scheduler exists to tell.
+        let io_growth = pts[2].io_bsld / pts[0].io_bsld;
+        let cpu_growth = pts[2].cpu_bsld / pts[0].cpu_bsld;
+        assert!(
+            io_growth > cpu_growth,
+            "io grew {io_growth:.3}x vs cpu {cpu_growth:.3}x\n{pts:?}"
+        );
+
+        // Superlinear for the I/O-bound class: quadrupling the load
+        // from the reference point more than quadruples the excess
+        // slowdown over 1.0. The compute-bound class degrades gently —
+        // even at peak load its excess is under a tenth of the
+        // I/O-bound class's.
+        let io_excess = |p: &LoadFactorPoint| p.io_bsld - 1.0;
+        let cpu_excess = |p: &LoadFactorPoint| p.cpu_bsld - 1.0;
+        assert!(io_excess(&pts[2]) > 4.0 * io_excess(&pts[1]), "{pts:?}");
+        assert!(cpu_excess(&pts[2]) < 0.1 * io_excess(&pts[2]), "{pts:?}");
+
+        // The whole chain is deterministic.
+        let again = load_factor_points(&loads, Scale::Smoke);
+        assert_eq!(pts, again);
+
+        // The Sweep wrapper carries the same data for the CLI.
+        let sweep = load_factor_sweep(&loads, Scale::Smoke);
+        assert_eq!(sweep.parameter, "load_factor");
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.render().contains("load=400%"));
+    }
+
+    #[test]
+    fn faster_disks_reduce_io_time() {
+        let w = PrismConfig::tiny(PrismVersion::A).build();
+        let sweep = disk_bandwidth_sweep(&w, &[2, 8, 32]);
+        let first = sweep.points.first().expect("points").io_time;
+        let last = sweep.points.last().expect("points").io_time;
+        assert!(last <= first, "{}", sweep.render());
+    }
+}

@@ -1,0 +1,90 @@
+//! Calibration notes and sanity checks.
+//!
+//! Absolute seconds on a 1996 Paragon cannot be recovered from the
+//! paper, so the machine model is calibrated to reproduce *relative*
+//! magnitudes the paper documents or that are well established for the
+//! platform:
+//!
+//! 1. PFS delivered high transfer rates only for requests that are
+//!    multiples of the 64 KB stripe unit (§6.2); small-request
+//!    performance was "quite low" (§6.2, footnote 5).
+//! 2. A 128 KB read (two stripe units) was the sweet spot the ESCAT
+//!    developers tuned to (§4.2).
+//! 3. Peak aggregate bandwidth scaled with the sixteen I/O nodes, but
+//!    delivered bandwidth was dominated by positioning for small
+//!    requests.
+//!
+//! [`CalibrationReport`] computes the model's delivered bandwidth at a
+//! few canonical request sizes so tests (and EXPERIMENTS.md) can
+//! assert the shape: ≥20× bandwidth advantage of 128 KB requests over
+//! 1 KB requests on a single array.
+
+use crate::config::MachineConfig;
+use crate::disk::DiskModel;
+use serde::{Deserialize, Serialize};
+
+/// Delivered single-array bandwidth at canonical request sizes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Bytes/second for random 1 KB requests.
+    pub bw_1k: f64,
+    /// Bytes/second for random 64 KB (one stripe unit) requests.
+    pub bw_64k: f64,
+    /// Bytes/second for random 128 KB (two stripe units) requests.
+    pub bw_128k: f64,
+    /// Bytes/second for random 1 MB requests.
+    pub bw_1m: f64,
+    /// Ratio `bw_128k / bw_1k` — the small-request penalty the paper's
+    /// developers tuned around.
+    pub large_over_small: f64,
+}
+
+impl CalibrationReport {
+    /// Evaluate the disk model of `config`.
+    pub fn for_machine(config: &MachineConfig) -> Self {
+        let disk = DiskModel::new(config.disk);
+        let bw_1k = disk.effective_bandwidth(1 << 10);
+        let bw_64k = disk.effective_bandwidth(64 << 10);
+        let bw_128k = disk.effective_bandwidth(128 << 10);
+        let bw_1m = disk.effective_bandwidth(1 << 20);
+        CalibrationReport {
+            bw_1k,
+            bw_64k,
+            bw_128k,
+            bw_1m,
+            large_over_small: if bw_1k > 0.0 { bw_128k / bw_1k } else { 0.0 },
+        }
+    }
+
+    /// `true` iff the model preserves the paper's qualitative
+    /// small-vs-large request behaviour.
+    pub fn shape_holds(&self) -> bool {
+        self.bw_1k < self.bw_64k
+            && self.bw_64k < self.bw_128k
+            && self.bw_128k <= self.bw_1m
+            && self.large_over_small >= 20.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_machine_is_calibrated() {
+        let report = CalibrationReport::for_machine(&MachineConfig::default());
+        assert!(
+            report.shape_holds(),
+            "calibration shape violated: {report:?}"
+        );
+    }
+
+    #[test]
+    fn large_over_small_is_substantial() {
+        let report = CalibrationReport::for_machine(&MachineConfig::default());
+        // The paper's developers saw order-of-magnitude gains from
+        // aggregating small requests into stripe-multiple requests.
+        assert!(report.large_over_small > 20.0);
+        assert!(report.large_over_small < 10_000.0, "implausibly extreme");
+    }
+}

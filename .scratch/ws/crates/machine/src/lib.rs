@@ -1,0 +1,21 @@
+//! # sioscope-machine
+//!
+//! A parametric model of the machine the paper measured on: the
+//! Caltech 512-node Intel Paragon XP/S, organized as a 16×32 mesh with
+//! sixteen I/O nodes, each hosting a 4.8 GB RAID-3 disk array.
+//!
+//! The model is *analytic*: it provides cost functions (message
+//! latency across the mesh, disk service time on a RAID-3 array) that
+//! the PFS layer composes into end-to-end I/O operation costs. The
+//! defaults in [`calibration`] are set from Paragon-era hardware
+//! characteristics and then calibrated so the paper's *relative*
+//! magnitudes reproduce; every constant documents its provenance.
+
+pub mod calibration;
+pub mod config;
+pub mod disk;
+pub mod mesh;
+
+pub use config::MachineConfig;
+pub use disk::{DiskDisturbance, DiskModel};
+pub use mesh::MeshModel;

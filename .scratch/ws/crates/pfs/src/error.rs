@@ -1,0 +1,103 @@
+//! PFS error type.
+
+use sioscope_sim::{FileId, Pid};
+use std::fmt;
+
+/// Misuse of the PFS API. In the real system these were runtime
+/// errors; in the simulation they indicate a malformed workload and
+/// abort the experiment rather than silently producing wrong traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// Operation on a file id that was never created.
+    NoSuchFile(FileId),
+    /// Data operation by a process that has not opened the file.
+    NotOpen { file: FileId, pid: Pid },
+    /// Open of a file the process already has open.
+    AlreadyOpen { file: FileId, pid: Pid },
+    /// M_RECORD operation whose size differs from the file's fixed
+    /// record size.
+    RecordSizeMismatch {
+        /// The offending file.
+        file: FileId,
+        /// Record size fixed at mode-set time.
+        expected: u64,
+        /// Size the caller attempted.
+        got: u64,
+    },
+    /// Collective operation issued with a declared group size that
+    /// does not match the file's current opener count.
+    GroupMismatch {
+        /// The offending file.
+        file: FileId,
+        /// Group size the op declared.
+        declared: u32,
+        /// Actual number of current openers.
+        openers: u32,
+    },
+    /// An I/O mode that does not exist in the configured OS release
+    /// (M_ASYNC before OSF/1 R1.3).
+    ModeUnavailable {
+        /// The requested mode name.
+        mode: &'static str,
+    },
+    /// Seek on a shared-pointer file (the shared pointer is advanced
+    /// collectively, not seekable per process).
+    SeekOnSharedPointer { file: FileId, pid: Pid },
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::NoSuchFile(id) => write!(f, "no such file: {id}"),
+            PfsError::NotOpen { file, pid } => {
+                write!(f, "{pid} performed I/O on {file} without opening it")
+            }
+            PfsError::AlreadyOpen { file, pid } => {
+                write!(f, "{pid} opened {file} twice")
+            }
+            PfsError::RecordSizeMismatch { file, expected, got } => write!(
+                f,
+                "{file}: M_RECORD request of {got} bytes, record size is {expected}"
+            ),
+            PfsError::GroupMismatch {
+                file,
+                declared,
+                openers,
+            } => write!(
+                f,
+                "{file}: collective op declared group {declared} but {openers} processes have it open"
+            ),
+            PfsError::ModeUnavailable { mode } => {
+                write!(f, "I/O mode {mode} is not available in this OS release")
+            }
+            PfsError::SeekOnSharedPointer { file, pid } => {
+                write!(f, "{pid} attempted seek on shared-pointer {file}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PfsError::NotOpen {
+            file: FileId(3),
+            pid: Pid(7),
+        };
+        assert!(e.to_string().contains("file3"));
+        assert!(e.to_string().contains("pid7"));
+        let e = PfsError::RecordSizeMismatch {
+            file: FileId(1),
+            expected: 65536,
+            got: 100,
+        };
+        assert!(e.to_string().contains("65536"));
+        let e = PfsError::ModeUnavailable { mode: "M_ASYNC" };
+        assert!(e.to_string().contains("M_ASYNC"));
+    }
+}

@@ -1,0 +1,124 @@
+//! File-system design-principle policies (§7 of the paper).
+//!
+//! The paper concludes that *"request aggregation, prefetching, and
+//! write behind are possible approaches"* to relieving applications of
+//! manual I/O tuning. The measured PFS had none of them at the client;
+//! [`PolicyConfig`] lets experiments switch each one on independently
+//! so the ablation benchmarks can quantify what the developers were
+//! compensating for by hand:
+//!
+//! * **read-ahead (prefetching)** — on a buffered read miss whose
+//!   access pattern is sequential, the client fetches the *next*
+//!   buffer block in the background; a later read that lands in the
+//!   prefetched block waits only for the remaining fetch time.
+//! * **write aggregation** — small sequential writes coalesce in a
+//!   client buffer and reach the I/O nodes as one large, stripe-
+//!   friendly request when the buffer fills (or on flush/close/
+//!   non-sequential write).
+//! * **write-behind** — the drain of the aggregation buffer is
+//!   asynchronous: the client's write call returns after the memory
+//!   copy, and only `flush`/`close` wait for outstanding drains.
+
+use serde::{Deserialize, Serialize};
+
+/// Client-side policy switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Prefetch the next buffer block on sequential read misses.
+    pub read_ahead: bool,
+    /// Coalesce small sequential writes into buffer-block-sized
+    /// requests.
+    pub write_aggregation: bool,
+    /// Drain the write buffer asynchronously (implies the client does
+    /// not wait for disk on individual writes). Only meaningful when
+    /// `write_aggregation` is on.
+    pub write_behind: bool,
+    /// Dynamically enable read-ahead and write aggregation per stream
+    /// when the on-line pattern detector classifies the stream as
+    /// sequential — the PPFS-style adaptive policy the paper points to
+    /// in §5.4.
+    pub adaptive: bool,
+}
+
+impl PolicyConfig {
+    /// The PFS as measured in the paper: no client-side policies.
+    pub fn measured_pfs() -> Self {
+        PolicyConfig {
+            read_ahead: false,
+            write_aggregation: false,
+            write_behind: false,
+            adaptive: false,
+        }
+    }
+
+    /// Adaptive policy selection: nothing is enabled statically; the
+    /// pattern detector turns read-ahead and write aggregation on per
+    /// stream.
+    pub fn adaptive() -> Self {
+        PolicyConfig {
+            adaptive: true,
+            ..Self::measured_pfs()
+        }
+    }
+
+    /// Everything on — the §7 recommendation.
+    pub fn recommended() -> Self {
+        PolicyConfig {
+            read_ahead: true,
+            write_aggregation: true,
+            write_behind: true,
+            adaptive: false,
+        }
+    }
+
+    /// Only prefetching.
+    pub fn prefetch_only() -> Self {
+        PolicyConfig {
+            read_ahead: true,
+            ..Self::measured_pfs()
+        }
+    }
+
+    /// Only write aggregation (synchronous drain).
+    pub fn aggregation_only() -> Self {
+        PolicyConfig {
+            write_aggregation: true,
+            ..Self::measured_pfs()
+        }
+    }
+
+    /// Aggregation with asynchronous (write-behind) drain.
+    pub fn write_behind_only() -> Self {
+        PolicyConfig {
+            write_aggregation: true,
+            write_behind: true,
+            ..Self::measured_pfs()
+        }
+    }
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig::measured_pfs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        assert_eq!(PolicyConfig::default(), PolicyConfig::measured_pfs());
+        let r = PolicyConfig::recommended();
+        assert!(r.read_ahead && r.write_aggregation && r.write_behind);
+        let p = PolicyConfig::prefetch_only();
+        assert!(p.read_ahead && !p.write_aggregation && !p.write_behind);
+        let a = PolicyConfig::aggregation_only();
+        assert!(!a.read_ahead && a.write_aggregation && !a.write_behind);
+        let wb = PolicyConfig::write_behind_only();
+        assert!(wb.write_aggregation && wb.write_behind);
+        let ad = PolicyConfig::adaptive();
+        assert!(ad.adaptive && !ad.read_ahead && !ad.write_aggregation);
+    }
+}

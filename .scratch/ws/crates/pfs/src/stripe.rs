@@ -1,0 +1,289 @@
+//! File striping across I/O nodes.
+//!
+//! PFS declusters every file across the machine's I/O nodes in
+//! fixed-size stripe units (64 KB by default on the Caltech machine).
+//! A request touching byte range `[offset, offset+len)` is decomposed
+//! into per-I/O-node segments; the segments transfer in parallel, so a
+//! stripe-aligned 128 KB request on a 16-array system keeps two arrays
+//! busy with one full stripe unit each, while a 200-byte request costs
+//! a full positioning delay on one array.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous piece of a request that lands on one I/O node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Index of the I/O node serving this piece.
+    pub ion: u32,
+    /// Byte offset within the file where the piece begins.
+    pub offset: u64,
+    /// Piece length in bytes.
+    pub len: u64,
+}
+
+/// Round-robin stripe layout.
+///
+/// ```
+/// use sioscope_pfs::StripeLayout;
+///
+/// let layout = StripeLayout::paragon_default(); // 64 KB over 16 I/O nodes
+/// // A 128 KB request starting at zero spans exactly two I/O nodes —
+/// // the configuration ESCAT's developers tuned their reads to.
+/// assert_eq!(layout.fanout(0, 128 * 1024), 2);
+/// assert!(layout.aligned(0, 128 * 1024));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLayout {
+    /// Stripe unit in bytes (PFS default: 64 KB).
+    pub unit: u64,
+    /// Number of I/O nodes the file is striped across.
+    pub io_nodes: u32,
+}
+
+impl StripeLayout {
+    /// The Caltech default: 64 KB units over 16 I/O nodes.
+    pub fn paragon_default() -> Self {
+        StripeLayout {
+            unit: 64 * 1024,
+            io_nodes: 16,
+        }
+    }
+
+    /// Construct a layout.
+    ///
+    /// # Panics
+    /// Panics if `unit` or `io_nodes` is zero.
+    pub fn new(unit: u64, io_nodes: u32) -> Self {
+        assert!(unit > 0, "stripe unit must be positive");
+        assert!(io_nodes > 0, "need at least one I/O node");
+        StripeLayout { unit, io_nodes }
+    }
+
+    /// The I/O node holding the stripe unit that contains `offset`.
+    pub fn ion_of(&self, offset: u64) -> u32 {
+        ((offset / self.unit) % u64::from(self.io_nodes)) as u32
+    }
+
+    /// Decompose `[offset, offset+len)` into per-I/O-node segments, in
+    /// file order. Adjacent stripe units on the same I/O node are *not*
+    /// merged: each unit is a separate disk request, matching how the
+    /// stripe directory dispatched transfers.
+    pub fn segments(&self, offset: u64, len: u64) -> Vec<Segment> {
+        self.segments_iter(offset, len).collect()
+    }
+
+    /// Iterator form of [`StripeLayout::segments`]: the same segments
+    /// in the same order, without allocating. The server's transfer
+    /// loop walks every request through this, so the per-request `Vec`
+    /// would otherwise be the hottest allocation in a run.
+    pub fn segments_iter(&self, offset: u64, len: u64) -> SegmentIter {
+        SegmentIter {
+            layout: *self,
+            cur: offset,
+            end: offset + len,
+        }
+    }
+
+    /// Number of *distinct* I/O nodes touched by a request — the
+    /// request's effective parallelism.
+    ///
+    /// Round-robin placement assigns consecutive stripe units to
+    /// consecutive I/O nodes, so the distinct-node count of a
+    /// contiguous range is simply `min(units touched, io_nodes)` — no
+    /// materialized segment list needed.
+    pub fn fanout(&self, offset: u64, len: u64) -> u32 {
+        if len == 0 {
+            return 0;
+        }
+        let first_unit = offset / self.unit;
+        let last_unit = (offset + len - 1) / self.unit;
+        (last_unit - first_unit + 1).min(u64::from(self.io_nodes)) as u32
+    }
+
+    /// Map a byte offset to its stripe coordinates: the I/O node
+    /// holding it, the block index within that node's local sequence
+    /// of stripe units, and the byte position within the unit.
+    /// [`StripeLayout::offset_of`] is the exact inverse.
+    pub fn locate(&self, offset: u64) -> (u32, u64, u64) {
+        let unit_index = offset / self.unit;
+        let ion = (unit_index % u64::from(self.io_nodes)) as u32;
+        let block = unit_index / u64::from(self.io_nodes);
+        (ion, block, offset % self.unit)
+    }
+
+    /// Reassemble a byte offset from stripe coordinates (inverse of
+    /// [`StripeLayout::locate`]).
+    ///
+    /// # Panics
+    /// Panics if `ion` or `within` is out of range for this layout.
+    pub fn offset_of(&self, ion: u32, block: u64, within: u64) -> u64 {
+        assert!(ion < self.io_nodes, "ion out of range");
+        assert!(within < self.unit, "within-unit offset out of range");
+        (block * u64::from(self.io_nodes) + u64::from(ion)) * self.unit + within
+    }
+
+    /// `true` iff a request of `len` bytes starting at `offset` is
+    /// stripe-aligned (starts on a unit boundary and is a whole number
+    /// of units) — the condition §4.2 says M_RECORD wants for good
+    /// performance.
+    pub fn aligned(&self, offset: u64, len: u64) -> bool {
+        offset.is_multiple_of(self.unit) && len.is_multiple_of(self.unit) && len > 0
+    }
+}
+
+/// Allocation-free segment walk (see [`StripeLayout::segments_iter`]).
+#[derive(Debug, Clone)]
+pub struct SegmentIter {
+    layout: StripeLayout,
+    cur: u64,
+    end: u64,
+}
+
+impl Iterator for SegmentIter {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let unit_end = (self.cur / self.layout.unit + 1) * self.layout.unit;
+        let seg_end = unit_end.min(self.end);
+        let seg = Segment {
+            ion: self.layout.ion_of(self.cur),
+            offset: self.cur,
+            len: seg_end - self.cur,
+        };
+        self.cur = seg_end;
+        Some(seg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_request_stays_on_one_ion() {
+        let l = StripeLayout::paragon_default();
+        let segs = l.segments(0, 2048);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].ion, 0);
+        assert_eq!(segs[0].len, 2048);
+        assert_eq!(l.fanout(0, 2048), 1);
+    }
+
+    #[test]
+    fn two_stripe_request_spans_two_ions() {
+        let l = StripeLayout::paragon_default();
+        let segs = l.segments(0, 128 * 1024);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].ion, 0);
+        assert_eq!(segs[1].ion, 1);
+        assert_eq!(l.fanout(0, 128 * 1024), 2);
+        assert!(l.aligned(0, 128 * 1024));
+    }
+
+    #[test]
+    fn unaligned_request_splits_at_boundaries() {
+        let l = StripeLayout::new(100, 4);
+        let segs = l.segments(50, 200);
+        // [50,100) on ion0, [100,200) on ion1, [200,250) on ion2.
+        assert_eq!(segs.len(), 3);
+        assert_eq!(
+            segs[0],
+            Segment {
+                ion: 0,
+                offset: 50,
+                len: 50
+            }
+        );
+        assert_eq!(
+            segs[1],
+            Segment {
+                ion: 1,
+                offset: 100,
+                len: 100
+            }
+        );
+        assert_eq!(
+            segs[2],
+            Segment {
+                ion: 2,
+                offset: 200,
+                len: 50
+            }
+        );
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let l = StripeLayout::new(10, 3);
+        assert_eq!(l.ion_of(0), 0);
+        assert_eq!(l.ion_of(10), 1);
+        assert_eq!(l.ion_of(20), 2);
+        assert_eq!(l.ion_of(30), 0);
+    }
+
+    #[test]
+    fn segments_conserve_bytes() {
+        let l = StripeLayout::new(64 * 1024, 16);
+        for (off, len) in [(0u64, 1u64), (63, 131072), (65536, 40), (1, 1_000_000)] {
+            let total: u64 = l.segments(off, len).iter().map(|s| s.len).sum();
+            assert_eq!(total, len, "offset {off} len {len}");
+        }
+    }
+
+    #[test]
+    fn zero_length_request_is_empty() {
+        let l = StripeLayout::paragon_default();
+        assert!(l.segments(123, 0).is_empty());
+        assert_eq!(l.fanout(123, 0), 0);
+        assert!(!l.aligned(0, 0));
+    }
+
+    #[test]
+    fn alignment_requires_boundary_and_multiple() {
+        let l = StripeLayout::paragon_default();
+        assert!(l.aligned(65536, 65536));
+        assert!(!l.aligned(1, 65536));
+        assert!(!l.aligned(0, 65537));
+    }
+
+    #[test]
+    fn iterator_matches_vec_form_and_fanout_matches_dedup() {
+        for (unit, ions) in [(100u64, 4u32), (64 << 10, 16), (1, 1), (7, 3)] {
+            let l = StripeLayout::new(unit, ions);
+            for (off, len) in [
+                (0u64, 1u64),
+                (50, 200),
+                (63, 131_072),
+                (unit - 1, 2 * unit + 3),
+            ] {
+                let from_iter: Vec<Segment> = l.segments_iter(off, len).collect();
+                assert_eq!(from_iter, l.segments(off, len), "unit {unit} off {off}");
+                // The arithmetic fanout equals the distinct-ion count
+                // of the materialized segments.
+                let mut ions_seen: Vec<u32> = from_iter.iter().map(|s| s.ion).collect();
+                ions_seen.sort_unstable();
+                ions_seen.dedup();
+                assert_eq!(l.fanout(off, len) as usize, ions_seen.len());
+            }
+        }
+    }
+
+    #[test]
+    fn locate_offset_round_trip() {
+        let l = StripeLayout::new(100, 4);
+        for offset in [0u64, 1, 99, 100, 399, 400, 12_345, u64::from(u32::MAX)] {
+            let (ion, block, within) = l.locate(offset);
+            assert_eq!(l.offset_of(ion, block, within), offset, "offset {offset}");
+            assert_eq!(ion, l.ion_of(offset));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe unit")]
+    fn zero_unit_panics() {
+        StripeLayout::new(0, 4);
+    }
+}

@@ -1,0 +1,352 @@
+//! Property tests for the modern storage tiers, each checked against
+//! a naive in-memory oracle:
+//!
+//! * the object store's PUT/GET round trip — read-your-writes,
+//!   last-writer-wins metadata, monotone object size, and exact
+//!   PUT/GET accounting;
+//! * the burst buffer's drain — the conservation law
+//!   `bytes_logged == bytes_drained + bytes_resident` at every
+//!   observation point, and FIFO drain progress matching an oracle
+//!   that replays the same entries in submission order (which implies
+//!   per-file write order is preserved);
+//! * the chaos properties the fault subsystem promises: the
+//!   four-term conservation law
+//!   `bytes_logged == bytes_drained + bytes_resident + bytes_lost`
+//!   under *any* seeded burst fault schedule, and PUT/GET semantic
+//!   equivalence under a degraded-service latency window.
+
+use proptest::prelude::*;
+use sioscope_faults::{FaultGen, FaultKind, FaultSchedule};
+use sioscope_pfs::{
+    BurstAbsorb, BurstBuffer, BurstBufferConfig, IoOp, ObjectStore, ObjectStoreConfig, PfsConfig,
+    StorageBackend,
+};
+use sioscope_sim::{FileId, Pid, Time};
+use std::collections::BTreeMap;
+
+/// One generated client action, interpreted against live open state.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Open,
+    Close,
+    Seek(u64),
+    Put(u64),
+    Get(u64),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        1 => Just(Action::Open),
+        1 => Just(Action::Close),
+        2 => (0u64..1 << 16).prop_map(Action::Seek),
+        4 => (1u64..1 << 16).prop_map(Action::Put),
+        4 => (1u64..1 << 16).prop_map(Action::Get),
+    ]
+}
+
+fn steps() -> impl Strategy<Value = Vec<(u8, u8, Action)>> {
+    proptest::collection::vec((0u8..3, 0u8..2, action()), 1..48)
+}
+
+/// The naive oracle: plain maps, no calendars, no timing.
+#[derive(Default)]
+struct NaiveStore {
+    sizes: BTreeMap<u32, u64>,
+    pointers: BTreeMap<(u32, u32), u64>,
+    last_writer: BTreeMap<u32, u32>,
+    puts: u64,
+    gets: u64,
+}
+
+proptest! {
+    #[test]
+    fn object_put_get_round_trip_matches_the_naive_oracle(steps in steps()) {
+        let mut store = ObjectStore::new(ObjectStoreConfig::modern(4));
+        let mut oracle = NaiveStore::default();
+        for fid in 0..2u32 {
+            store.create_file_with_size(&format!("obj-{fid}"), 0);
+            oracle.sizes.insert(fid, 0);
+        }
+        let mut open: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        let mut now = Time::ZERO;
+        let mut last_put: BTreeMap<u32, Time> = BTreeMap::new();
+
+        for &(pid, fid, act) in &steps {
+            let key = (fid.into(), pid.into());
+            let is_open = open.get(&key).copied().unwrap_or(false);
+            // Interpret the action against live state so every submit
+            // is legal; the oracle mirrors the interpretation.
+            let op = match act {
+                Action::Open if is_open => continue,
+                Action::Open => IoOp::Open,
+                Action::Close if !is_open => continue,
+                Action::Close => IoOp::Close,
+                _ if !is_open => continue,
+                Action::Seek(offset) => IoOp::Seek { offset },
+                Action::Put(size) => IoOp::Write { size },
+                Action::Get(size) => IoOp::Read { size },
+            };
+            let mut out = Vec::new();
+            store
+                .submit_into(now, Pid(pid.into()), FileId(fid.into()), &op, &mut out)
+                .expect("interpreted ops are always legal");
+            prop_assert_eq!(out.len(), 1);
+            let c = out[0];
+            prop_assert!(c.finish >= now, "completions never precede submission");
+            now = now.max(c.finish);
+
+            match op {
+                IoOp::Open => {
+                    open.insert(key, true);
+                    oracle.pointers.insert(key, 0);
+                }
+                IoOp::Close => {
+                    open.insert(key, false);
+                }
+                IoOp::Seek { offset } => {
+                    oracle.pointers.insert(key, offset);
+                }
+                IoOp::Write { size } => {
+                    let ptr = oracle.pointers[&key];
+                    let sz = oracle.sizes.get_mut(&u32::from(fid)).unwrap();
+                    // Monotone growth: a PUT never shrinks an object.
+                    *sz = (*sz).max(ptr + size);
+                    oracle.pointers.insert(key, ptr + size);
+                    oracle.last_writer.insert(fid.into(), pid.into());
+                    oracle.puts += 1;
+                    last_put.insert(fid.into(), c.finish);
+                    prop_assert_eq!(c.bytes, size);
+                    prop_assert_eq!(c.offset, ptr);
+                }
+                IoOp::Read { size } => {
+                    let ptr = oracle.pointers[&key];
+                    let avail = oracle.sizes[&u32::from(fid)].saturating_sub(ptr);
+                    let expect = size.min(avail);
+                    oracle.pointers.insert(key, ptr + expect);
+                    oracle.gets += 1;
+                    // Read-your-writes: a GET sees every byte any
+                    // completed PUT placed below the size watermark.
+                    prop_assert_eq!(c.bytes, expect, "GET truncates at object size");
+                    prop_assert_eq!(c.offset, ptr);
+                }
+                _ => unreachable!(),
+            }
+
+            for fid in 0..2u32 {
+                let meta = store.object_meta(FileId(fid)).unwrap();
+                prop_assert_eq!(meta.size, oracle.sizes[&fid]);
+                prop_assert_eq!(
+                    meta.last_writer.map(|p| p.0),
+                    oracle.last_writer.get(&fid).copied(),
+                    "last writer wins"
+                );
+                if let Some(&t) = last_put.get(&fid) {
+                    prop_assert_eq!(meta.mtime, t, "mtime is the last PUT's completion");
+                }
+            }
+        }
+        prop_assert_eq!(store.stats().puts, oracle.puts);
+        prop_assert_eq!(store.stats().gets, oracle.gets);
+    }
+
+    #[test]
+    fn burst_drain_conserves_bytes_and_is_fifo(
+        writes in proptest::collection::vec((0u8..3, 0u8..2, 1u64..1 << 22), 1..32),
+        probe_gap_ns in 0u64..3_000_000_000,
+    ) {
+        let mut cfg = BurstBufferConfig::over(PfsConfig::tiny());
+        cfg.absorb = BurstAbsorb::All;
+        let drain_bps = cfg.drain_bandwidth_bps;
+        let mut buffer = BurstBuffer::new(cfg);
+        for fid in 0..2u32 {
+            buffer.create_file_with_size(&format!("log-{fid}"), 0);
+        }
+        let mut now = Time::ZERO;
+        let mut opened: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        // The oracle replays the same entries strictly in submission
+        // order: (len, ready). Any reordering in the real drain shows
+        // up as a progress mismatch at some probe instant.
+        let mut entries: Vec<(u64, Time)> = Vec::new();
+        let mut logged = 0u64;
+
+        for &(pid, fid, size) in &writes {
+            let (p, f) = (Pid(pid.into()), FileId(fid.into()));
+            if !opened.get(&(fid.into(), pid.into())).copied().unwrap_or(false) {
+                let mut out = Vec::new();
+                buffer.submit_into(now, p, f, &IoOp::Open, &mut out).unwrap();
+                opened.insert((fid.into(), pid.into()), true);
+            }
+            let mut out = Vec::new();
+            buffer
+                .submit_into(now, p, f, &IoOp::Write { size }, &mut out)
+                .unwrap();
+            entries.push((size, out[0].finish));
+            logged += size;
+            let s = buffer.stats();
+            prop_assert!(s.conserves_bytes(), "conservation after every append: {s:?}");
+            prop_assert_eq!(s.bytes_logged, logged);
+            now = now + Time::from_nanos(probe_gap_ns / writes.len() as u64);
+        }
+
+        // Probe the lazy drain mid-flight: progress must match the
+        // FIFO oracle exactly at an arbitrary instant.
+        let probe = now + Time::from_nanos(probe_gap_ns);
+        let (pid0, fid0, _) = writes[0];
+        let mut out = Vec::new();
+        buffer
+            .submit_into(probe, Pid(pid0.into()), FileId(fid0.into()), &IoOp::Seek { offset: 0 }, &mut out)
+            .unwrap();
+        let oracle_drained_by = |t: Time| -> u64 {
+            let mut clock = Time::ZERO;
+            let mut drained = 0;
+            for &(len, ready) in &entries {
+                let finish = clock.max(ready)
+                    + Time::from_nanos(
+                        ((u128::from(len) * 1_000_000_000u128) / u128::from(drain_bps)) as u64,
+                    );
+                if finish > t {
+                    break;
+                }
+                clock = finish;
+                drained += len;
+            }
+            drained
+        };
+        let s = buffer.stats();
+        prop_assert!(s.conserves_bytes());
+        prop_assert_eq!(s.bytes_drained, oracle_drained_by(probe), "FIFO drain progress");
+
+        // Quiesce retires everything; the drain end matches the
+        // oracle's full replay.
+        let quiet = buffer.quiesce(probe);
+        let s = buffer.stats();
+        prop_assert!(s.conserves_bytes());
+        prop_assert_eq!(s.bytes_logged, logged);
+        prop_assert_eq!(s.bytes_drained, logged);
+        prop_assert_eq!(s.bytes_resident, 0);
+        prop_assert!(quiet >= probe);
+        prop_assert!(quiet >= s.drain_complete);
+    }
+
+    /// Chaos form of the conservation law: under *any* seeded burst
+    /// fault schedule (drain stalls, burst-node crashes), every
+    /// logged byte is drained, resident, or lost — at every
+    /// observation point and after quiesce — and only a crash may
+    /// populate the loss column.
+    #[test]
+    fn burst_conservation_holds_under_any_seeded_fault_schedule(
+        seed in any::<u64>(),
+        events in 1usize..6,
+        writes in proptest::collection::vec((0u8..3, 1u64..1 << 22), 1..24),
+    ) {
+        let mut cfg = BurstBufferConfig::over(PfsConfig::tiny());
+        cfg.absorb = BurstAbsorb::All;
+        let horizon = Time::from_secs(8);
+        let io_nodes = cfg.pfs.machine.io_nodes;
+        cfg.faults = FaultGen::new(seed, horizon, io_nodes)
+            .with_events(events)
+            .burst_schedule();
+        let crashes = cfg
+            .faults
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::BurstNodeCrash { .. }))
+            .count();
+        let mut buffer = BurstBuffer::new(cfg);
+        let fid = buffer.create_file_with_size("chaos-log", 0);
+        let step = horizon.scale(1.0 / (writes.len() as f64 + 1.0));
+        let mut now = Time::ZERO;
+        let mut opened = [false; 3];
+        for &(pid, size) in &writes {
+            let p = Pid(pid.into());
+            if !opened[pid as usize] {
+                let mut out = Vec::new();
+                buffer.submit_into(now, p, fid, &IoOp::Open, &mut out).unwrap();
+                opened[pid as usize] = true;
+            }
+            let mut out = Vec::new();
+            buffer
+                .submit_into(now, p, fid, &IoOp::Write { size }, &mut out)
+                .unwrap();
+            let s = buffer.stats();
+            prop_assert!(s.conserves_bytes(), "conservation after every append: {s:?}");
+            now = now + step;
+        }
+        let quiet = buffer.quiesce(now + horizon);
+        let s = buffer.stats();
+        prop_assert!(s.conserves_bytes(), "conservation after quiesce: {s:?}");
+        prop_assert_eq!(s.bytes_resident, 0, "a quiesced log holds nothing resident");
+        if crashes == 0 {
+            prop_assert_eq!(s.bytes_lost, 0, "only a burst-node crash loses bytes");
+        }
+        prop_assert!(quiet >= s.drain_complete);
+    }
+
+    /// A degraded-service window taxes PUT/GET latency but must not
+    /// change semantics: over any interpreted action sequence, the
+    /// degraded store returns the same sizes, offsets, metadata and
+    /// op counters as the fault-free store — only its clock runs
+    /// behind.
+    #[test]
+    fn object_put_get_semantics_survive_degraded_latency(steps in steps()) {
+        let mut slow_cfg = ObjectStoreConfig::modern(4);
+        slow_cfg.faults = FaultSchedule::empty();
+        slow_cfg.faults.push(
+            Time::ZERO,
+            FaultKind::DegradedService {
+                duration: Time::from_secs(1 << 20),
+                factor: 3.0,
+            },
+        );
+        let mut clean = ObjectStore::new(ObjectStoreConfig::modern(4));
+        let mut slow = ObjectStore::new(slow_cfg);
+        for fid in 0..2u32 {
+            clean.create_file_with_size(&format!("obj-{fid}"), 0);
+            slow.create_file_with_size(&format!("obj-{fid}"), 0);
+        }
+        let mut open: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        let (mut now_clean, mut now_slow) = (Time::ZERO, Time::ZERO);
+        for &(pid, fid, act) in &steps {
+            let key = (fid.into(), pid.into());
+            let is_open = open.get(&key).copied().unwrap_or(false);
+            let op = match act {
+                Action::Open if is_open => continue,
+                Action::Open => {
+                    open.insert(key, true);
+                    IoOp::Open
+                }
+                Action::Close if !is_open => continue,
+                Action::Close => {
+                    open.insert(key, false);
+                    IoOp::Close
+                }
+                _ if !is_open => continue,
+                Action::Seek(offset) => IoOp::Seek { offset },
+                Action::Put(size) => IoOp::Write { size },
+                Action::Get(size) => IoOp::Read { size },
+            };
+            let (p, f) = (Pid(pid.into()), FileId(fid.into()));
+            let mut a = Vec::new();
+            clean.submit_into(now_clean, p, f, &op, &mut a).unwrap();
+            let mut b = Vec::new();
+            slow.submit_into(now_slow, p, f, &op, &mut b).unwrap();
+            prop_assert_eq!(a[0].bytes, b[0].bytes, "degraded latency must not change sizes");
+            prop_assert_eq!(a[0].offset, b[0].offset, "degraded latency must not move pointers");
+            now_clean = now_clean.max(a[0].finish);
+            now_slow = now_slow.max(b[0].finish);
+        }
+        for fid in 0..2u32 {
+            let ca = clean.object_meta(FileId(fid)).unwrap();
+            let cb = slow.object_meta(FileId(fid)).unwrap();
+            prop_assert_eq!(ca.size, cb.size, "object sizes agree");
+            prop_assert_eq!(
+                ca.last_writer.map(|p| p.0),
+                cb.last_writer.map(|p| p.0),
+                "last-writer-wins agrees"
+            );
+        }
+        prop_assert_eq!(clean.stats().puts, slow.stats().puts);
+        prop_assert_eq!(clean.stats().gets, slow.stats().gets);
+        prop_assert!(now_slow >= now_clean, "the degraded clock never runs ahead");
+    }
+}

@@ -1,0 +1,262 @@
+//! Property-based tests of the PFS model.
+
+use proptest::prelude::*;
+use sioscope_pfs::{
+    AccessPattern, IoMode, IoOp, Outcome, PatternDetector, Pfs, PfsConfig, StripeLayout,
+};
+use sioscope_sim::{Pid, Time};
+
+proptest! {
+    /// Stripe decomposition conserves bytes, keeps every segment
+    /// within one stripe unit, maps segments to the round-robin I/O
+    /// node, and covers the range contiguously in order.
+    #[test]
+    fn stripe_segments_conserve_and_cover(
+        unit_k in 1u64..256,
+        ions in 1u32..64,
+        offset in 0u64..10_000_000,
+        len in 0u64..5_000_000,
+    ) {
+        let unit = unit_k * 1024;
+        let layout = StripeLayout::new(unit, ions);
+        let segs = layout.segments(offset, len);
+        let total: u64 = segs.iter().map(|s| s.len).sum();
+        prop_assert_eq!(total, len);
+        let mut cursor = offset;
+        for seg in &segs {
+            prop_assert_eq!(seg.offset, cursor, "gap or overlap");
+            prop_assert!(seg.len > 0);
+            // Never crosses a unit boundary.
+            prop_assert_eq!(seg.offset / unit, (seg.offset + seg.len - 1) / unit);
+            // Round-robin placement.
+            prop_assert_eq!(seg.ion, ((seg.offset / unit) % u64::from(ions)) as u32);
+            cursor += seg.len;
+        }
+        // Fanout never exceeds the I/O node count nor the segment count.
+        let fanout = layout.fanout(offset, len);
+        prop_assert!(fanout <= ions);
+        prop_assert!(fanout as usize <= segs.len().max(1));
+    }
+
+    /// Any single-process sequence of open/read/write/seek/close on
+    /// one file completes with nondecreasing completion times and
+    /// never errors.
+    #[test]
+    fn single_process_op_sequences_complete(
+        ops in prop::collection::vec(0u8..5, 1..60),
+        sizes in prop::collection::vec(1u64..300_000, 60),
+    ) {
+        let mut pfs = Pfs::new(PfsConfig::tiny());
+        let f = pfs.create_file_with_size("f", 8 << 20);
+        let pid = Pid(0);
+        let mut t = Time::ZERO;
+        let mut open = false;
+        for (i, &op) in ops.iter().enumerate() {
+            let size = sizes[i % sizes.len()];
+            let io = match op {
+                0 => {
+                    if open { continue; }
+                    open = true;
+                    IoOp::Open
+                }
+                1 => {
+                    if !open { continue; }
+                    IoOp::Read { size: size.min(1 << 20) }
+                }
+                2 => {
+                    if !open { continue; }
+                    IoOp::Write { size: size.min(1 << 20) }
+                }
+                3 => {
+                    if !open { continue; }
+                    IoOp::Seek { offset: size % (4 << 20) }
+                }
+                _ => {
+                    if !open { continue; }
+                    open = false;
+                    IoOp::Close
+                }
+            };
+            match pfs.submit(t, pid, f, &io) {
+                Ok(Outcome::Done(cs)) => {
+                    prop_assert_eq!(cs.len(), 1);
+                    prop_assert!(cs[0].finish >= t, "time went backwards");
+                    t = cs[0].finish;
+                }
+                Ok(Outcome::Blocked) => prop_assert!(false, "single process blocked"),
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+        }
+        prop_assert_eq!(pfs.forming_collectives(), 0);
+    }
+
+    /// The private file pointer advances by exactly the bytes read or
+    /// written, and seeks reposition it exactly.
+    #[test]
+    fn pointer_semantics(moves in prop::collection::vec((0u8..3, 1u64..100_000), 1..40)) {
+        let mut pfs = Pfs::new(PfsConfig::tiny());
+        let f = pfs.create_file_with_size("f", 32 << 20);
+        let pid = Pid(0);
+        let mut t = match pfs.submit(Time::ZERO, pid, f, &IoOp::Open).unwrap() {
+            Outcome::Done(cs) => cs[0].finish,
+            _ => unreachable!(),
+        };
+        let mut expected = 0u64;
+        for (kind, amount) in moves {
+            let io = match kind {
+                0 => { expected += amount; IoOp::Read { size: amount } }
+                1 => { expected += amount; IoOp::Write { size: amount } }
+                _ => { expected = amount; IoOp::Seek { offset: amount } }
+            };
+            if let Ok(Outcome::Done(cs)) = pfs.submit(t, pid, f, &io) {
+                t = cs[0].finish;
+            }
+            prop_assert_eq!(pfs.file(f).unwrap().private_ptr(pid), expected);
+        }
+    }
+
+    /// M_GLOBAL collective reads by any group size aggregate to one
+    /// transfer: shared pointer advances once per round, and everyone
+    /// finishes at the same instant.
+    #[test]
+    fn mglobal_rounds_aggregate(n in 2u32..12, rounds in 1u32..6, size in 1u64..100_000) {
+        let mut pfs = Pfs::new(PfsConfig::tiny());
+        let f = pfs.create_file_with_size("g", 64 << 20);
+        let gop = IoOp::Gopen { group: n, mode: IoMode::MGlobal, record_size: None };
+        let mut t = Time::ZERO;
+        for i in 0..n {
+            if let Ok(Outcome::Done(cs)) = pfs.submit(Time::ZERO, Pid(i), f, &gop) {
+                t = cs[0].finish;
+            }
+        }
+        for round in 1..=rounds {
+            let mut finishes = Vec::new();
+            for i in 0..n {
+                match pfs.submit(t, Pid(i), f, &IoOp::Read { size }).unwrap() {
+                    Outcome::Done(cs) => finishes.extend(cs.iter().map(|c| c.finish)),
+                    Outcome::Blocked => {}
+                }
+            }
+            prop_assert_eq!(finishes.len(), n as usize);
+            let first = finishes[0];
+            prop_assert!(finishes.iter().all(|&x| x == first), "synchronized release");
+            prop_assert_eq!(pfs.file(f).unwrap().shared_ptr, u64::from(round) * size);
+            t = first;
+        }
+    }
+
+    /// M_RECORD rounds give member `r` the offset `base + r*record`,
+    /// disjointly tiling the file.
+    #[test]
+    fn mrecord_tiles_disjointly(n in 2u32..10, rounds in 1u32..5, rec_k in 1u64..5) {
+        let record = rec_k * 64 * 1024;
+        let mut pfs = Pfs::new(PfsConfig::tiny());
+        let f = pfs.create_file("q");
+        let gop = IoOp::Gopen { group: n, mode: IoMode::MRecord, record_size: Some(record) };
+        let mut t = Time::ZERO;
+        for i in 0..n {
+            if let Ok(Outcome::Done(cs)) = pfs.submit(Time::ZERO, Pid(i), f, &gop) {
+                t = cs[0].finish;
+            }
+        }
+        let mut offsets = std::collections::HashSet::new();
+        for _ in 0..rounds {
+            let mut next_t = t;
+            for i in 0..n {
+                match pfs.submit(t, Pid(i), f, &IoOp::Write { size: record }).unwrap() {
+                    Outcome::Done(cs) => {
+                        for c in cs {
+                            prop_assert!(offsets.insert(c.offset), "offset reused");
+                            prop_assert_eq!(c.offset % record, 0);
+                            next_t = next_t.max(c.finish);
+                        }
+                    }
+                    Outcome::Blocked => {}
+                }
+            }
+            t = next_t;
+        }
+        prop_assert_eq!(offsets.len(), (n * rounds) as usize);
+        prop_assert_eq!(
+            pfs.file(f).unwrap().size,
+            u64::from(n) * u64::from(rounds) * record
+        );
+    }
+
+    /// Whatever the op mix, completions never precede their issue
+    /// time, and the file size equals the highest written byte.
+    #[test]
+    fn size_tracks_highest_write(writes in prop::collection::vec((0u64..1_000_000, 1u64..50_000), 1..30)) {
+        let mut pfs = Pfs::new(PfsConfig::tiny());
+        let f = pfs.create_file("w");
+        let pid = Pid(0);
+        let mut t = match pfs.submit(Time::ZERO, pid, f, &IoOp::Open).unwrap() {
+            Outcome::Done(cs) => cs[0].finish,
+            _ => unreachable!(),
+        };
+        let mut high = 0u64;
+        for (offset, len) in writes {
+            if let Ok(Outcome::Done(cs)) =
+                pfs.submit(t, pid, f, &IoOp::Seek { offset })
+            {
+                t = cs[0].finish;
+            }
+            if let Ok(Outcome::Done(cs)) = pfs.submit(t, pid, f, &IoOp::Write { size: len }) {
+                prop_assert!(cs[0].finish >= t);
+                t = cs[0].finish;
+            }
+            high = high.max(offset + len);
+        }
+        // Close drains any write-behind buffer before we check size.
+        pfs.submit(t, pid, f, &IoOp::Close).unwrap();
+        prop_assert_eq!(pfs.file(f).unwrap().size, high);
+    }
+}
+
+proptest! {
+    /// Any strictly sequential stream of length >= confidence + 2 is
+    /// classified sequential, from any starting offset and with any
+    /// (positive) request sizes.
+    #[test]
+    fn detector_finds_sequential_runs(
+        start in 0u64..1_000_000,
+        lens in prop::collection::vec(1u64..100_000, 6..40),
+    ) {
+        let mut d = PatternDetector::new();
+        let mut off = start;
+        for &len in &lens {
+            d.observe(off, len);
+            off += len;
+        }
+        prop_assert_eq!(d.pattern(3), AccessPattern::Sequential);
+        prop_assert_eq!(d.sequential_run() as usize, lens.len() - 1);
+    }
+
+    /// Constant-stride streams are classified strided, never
+    /// sequential.
+    #[test]
+    fn detector_finds_strides(
+        start in 0u64..1_000_000,
+        len in 1u64..1_000,
+        stride in 1_001u64..50_000,
+        n in 6usize..40,
+    ) {
+        let mut d = PatternDetector::new();
+        for i in 0..n as u64 {
+            d.observe(start + i * stride, len);
+        }
+        prop_assert_eq!(d.pattern(3), AccessPattern::Strided);
+    }
+
+    /// The detector never reports a run longer than the number of
+    /// observations.
+    #[test]
+    fn detector_run_bounded(offsets in prop::collection::vec((0u64..1_000_000, 1u64..10_000), 0..60)) {
+        let mut d = PatternDetector::new();
+        for &(off, len) in &offsets {
+            d.observe(off, len);
+        }
+        prop_assert_eq!(d.observations() as usize, offsets.len());
+        prop_assert!((d.sequential_run() as usize) < offsets.len().max(1));
+    }
+}

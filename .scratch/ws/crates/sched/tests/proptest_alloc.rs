@@ -1,0 +1,206 @@
+//! Property-based tests of the 2-D partition allocator.
+//!
+//! The allocator underpins every multi-job schedule: if two live
+//! partitions ever share a cell, two jobs' compute phases would
+//! interleave on one node and the contention results would be
+//! garbage. These properties drive random alloc/free churn against
+//! both policies and check, after every step:
+//!
+//! * live partitions never overlap and never leave the compute
+//!   complement;
+//! * `allocate` is complete — it finds a placement exactly when a
+//!   naive exhaustive scan over anchors says one exists;
+//! * freeing everything restores a pristine allocator;
+//! * identical op sequences place identically (determinism).
+
+use proptest::prelude::*;
+use sioscope_sched::{AllocPolicy, Partition, PartitionAllocator};
+use std::collections::HashSet;
+
+fn policy_strategy() -> impl Strategy<Value = AllocPolicy> {
+    prop_oneof![Just(AllocPolicy::FirstFit), Just(AllocPolicy::BestFit)]
+}
+
+/// A mesh small enough to exhaust quickly but large enough to
+/// fragment: `rows × cols` with a possibly-partial compute complement.
+fn mesh() -> impl Strategy<Value = (u32, u32, u32)> {
+    (1u32..=8, 1u32..=16).prop_flat_map(|(rows, cols)| (Just(rows), Just(cols), 1u32..=rows * cols))
+}
+
+/// Reference feasibility oracle: an `n`-node request fits iff some
+/// anchor places the canonical shape entirely on free compute cells.
+/// Deliberately re-derived from the shape rule in the module docs, not
+/// from the allocator's own `fits_at`.
+fn reference_fits(
+    rows: u32,
+    cols: u32,
+    compute: u32,
+    occupied: &HashSet<(u32, u32)>,
+    n: u32,
+) -> bool {
+    let w = n.clamp(1, cols);
+    let h = n.div_ceil(w);
+    if h > rows || n > compute {
+        return false;
+    }
+    for y in 0..=(rows - h) {
+        'anchor: for x in 0..=(cols - w) {
+            for p in 0..n {
+                let (cx, cy) = (x + p % w, y + p / w);
+                if cy * cols + cx >= compute || occupied.contains(&(cx, cy)) {
+                    continue 'anchor;
+                }
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Run one alloc/free churn sequence, returning every partition ever
+/// granted (in grant order) and the final live set.
+fn churn(
+    rows: u32,
+    cols: u32,
+    compute: u32,
+    policy: AllocPolicy,
+    ops: &[(bool, u64, u32)],
+) -> (Vec<Partition>, Vec<Partition>, PartitionAllocator) {
+    let mut alloc = PartitionAllocator::new(rows, cols, compute, policy);
+    let mut live: Vec<Partition> = Vec::new();
+    let mut granted: Vec<Partition> = Vec::new();
+    for &(free_first, pick, n) in ops {
+        if free_first && !live.is_empty() {
+            let victim = live.swap_remove((pick % live.len() as u64) as usize);
+            alloc.free(&victim);
+        }
+        if let Some(p) = alloc.allocate(n) {
+            granted.push(p);
+            live.push(p);
+        }
+    }
+    (granted, live, alloc)
+}
+
+proptest! {
+    /// After every churn step: no two live partitions share a cell,
+    /// every cell is a real compute node, the free count balances, and
+    /// `allocate` succeeds exactly when the reference oracle says a
+    /// placement exists.
+    #[test]
+    fn live_partitions_disjoint_in_bounds_and_complete(
+        (rows, cols, compute) in mesh(),
+        policy in policy_strategy(),
+        ops in prop::collection::vec((any::<bool>(), any::<u64>(), 1u32..=20), 1..60),
+    ) {
+        let mut alloc = PartitionAllocator::new(rows, cols, compute, policy);
+        let mut live: Vec<Partition> = Vec::new();
+        for &(free_first, pick, n) in &ops {
+            if free_first && !live.is_empty() {
+                let victim = live.swap_remove((pick % live.len() as u64) as usize);
+                alloc.free(&victim);
+            }
+            let occupied: HashSet<(u32, u32)> =
+                live.iter().flat_map(|p| p.cells()).collect();
+            let feasible = reference_fits(rows, cols, compute, &occupied, n);
+            match alloc.allocate(n) {
+                Some(p) => {
+                    prop_assert!(feasible, "allocator placed an infeasible {n}-node request");
+                    prop_assert_eq!(p.nodes, n);
+                    prop_assert_eq!(p.w, n.clamp(1, cols), "shape width rule violated");
+                    prop_assert_eq!(p.h, n.div_ceil(n.clamp(1, cols)));
+                    live.push(p);
+                }
+                None => {
+                    prop_assert!(!feasible, "allocator missed a feasible {n}-node placement");
+                }
+            }
+            let mut seen: HashSet<(u32, u32)> = HashSet::new();
+            let mut busy = 0u32;
+            for p in &live {
+                for (x, y) in p.cells() {
+                    prop_assert!(x < cols && y < rows, "cell ({x},{y}) off the mesh");
+                    prop_assert!(
+                        y * cols + x < compute,
+                        "cell ({x},{y}) is not a compute node"
+                    );
+                    prop_assert!(seen.insert((x, y)), "cell ({x},{y}) double-booked");
+                    busy += 1;
+                }
+            }
+            prop_assert_eq!(alloc.free_nodes(), compute - busy, "free-node accounting drifted");
+        }
+    }
+
+    /// Freeing every live partition — in arbitrary order — restores a
+    /// pristine allocator: empty, full free count, and able to grant
+    /// the whole compute complement as one partition again.
+    #[test]
+    fn alloc_free_round_trips_to_empty(
+        (rows, cols, compute) in mesh(),
+        policy in policy_strategy(),
+        sizes in prop::collection::vec(1u32..=20, 1..40),
+        picks in prop::collection::vec(any::<u64>(), 40),
+    ) {
+        let mut alloc = PartitionAllocator::new(rows, cols, compute, policy);
+        let mut live: Vec<Partition> = Vec::new();
+        for &n in &sizes {
+            if let Some(p) = alloc.allocate(n) {
+                live.push(p);
+            }
+        }
+        let mut pick = picks.iter().copied().cycle();
+        while !live.is_empty() {
+            let victim =
+                live.swap_remove((pick.next().unwrap() % live.len() as u64) as usize);
+            alloc.free(&victim);
+        }
+        prop_assert!(alloc.is_empty(), "cells leaked after freeing everything");
+        prop_assert_eq!(alloc.free_nodes(), alloc.capacity());
+        prop_assert_eq!(alloc.capacity(), compute);
+        // The coalesced grid grants the whole machine in one request,
+        // anchored at the origin like a dedicated run.
+        let p = alloc.allocate(compute);
+        prop_assert!(p.is_some(), "full-machine request failed on an empty grid");
+        let p = p.unwrap();
+        prop_assert_eq!((p.x, p.y), (0, 0));
+        prop_assert_eq!(p.nodes, compute);
+    }
+
+    /// `contains_machine_node` agrees with the cell iterator: the set
+    /// of machine node ids a partition claims is exactly its cells'
+    /// row-major ids.
+    #[test]
+    fn machine_node_membership_matches_cells(
+        (rows, cols, compute) in mesh(),
+        policy in policy_strategy(),
+        sizes in prop::collection::vec(1u32..=20, 1..20),
+    ) {
+        let mut alloc = PartitionAllocator::new(rows, cols, compute, policy);
+        for &n in &sizes {
+            if let Some(p) = alloc.allocate(n) {
+                let from_cells: HashSet<u32> =
+                    p.cells().map(|(x, y)| y * cols + x).collect();
+                let from_contains: HashSet<u32> = (0..rows * cols)
+                    .filter(|&id| p.contains_machine_node(id, cols))
+                    .collect();
+                prop_assert_eq!(from_cells, from_contains);
+            }
+        }
+    }
+
+    /// The allocator is a pure function of its op sequence: replaying
+    /// the same churn yields bit-identical placements under either
+    /// policy (best-fit ties are broken row-major, not arbitrarily).
+    #[test]
+    fn identical_op_sequences_place_identically(
+        (rows, cols, compute) in mesh(),
+        policy in policy_strategy(),
+        ops in prop::collection::vec((any::<bool>(), any::<u64>(), 1u32..=20), 1..60),
+    ) {
+        let (granted_a, live_a, _) = churn(rows, cols, compute, policy, &ops);
+        let (granted_b, live_b, _) = churn(rows, cols, compute, policy, &ops);
+        prop_assert_eq!(granted_a, granted_b, "placement depends on more than the op sequence");
+        prop_assert_eq!(live_a, live_b);
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic element of a workload (compute-time jitter, record
+//! counts drawn from a distribution) pulls from a [`DetRng`] seeded
+//! from the experiment configuration, so re-running an experiment
+//! reproduces its trace exactly. Streams can be forked per node with
+//! [`DetRng::fork`] so that adding a draw on one node never perturbs
+//! another node's stream.
+
+use crate::time::Time;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded deterministic random-number source.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Seed a new stream.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent stream for substream `tag` (e.g. a node
+    /// index). The derivation uses SplitMix64 mixing so adjacent tags
+    /// yield well-separated seeds.
+    pub fn fork(&self, tag: u64) -> DetRng {
+        // SplitMix64 finalizer over (base draw ^ tag).
+        let mut z = self.base() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        DetRng::new(z)
+    }
+
+    fn base(&self) -> u64 {
+        // Clone so forking is a pure function of the current state.
+        let mut c = self.inner.clone();
+        c.gen()
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive: lo > hi");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// A duration jittered multiplicatively: `base * (1 ± frac)`,
+    /// uniform. `frac` is clamped to `[0, 1)`.
+    pub fn jitter(&mut self, base: Time, frac: f64) -> Time {
+        let frac = frac.clamp(0.0, 0.999_999);
+        if frac == 0.0 || base.is_zero() {
+            return base;
+        }
+        let factor = 1.0 + frac * (2.0 * self.unit() - 1.0);
+        base.scale(factor)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.range_inclusive(0, 1_000_000),
+                b.range_inclusive(0, 1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let va: Vec<u64> = (0..16)
+            .map(|_| a.range_inclusive(0, u64::MAX - 1))
+            .collect();
+        let vb: Vec<u64> = (0..16)
+            .map(|_| b.range_inclusive(0, u64::MAX - 1))
+            .collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_pure_and_distinct() {
+        let root = DetRng::new(7);
+        let mut f1 = root.fork(3);
+        let mut f1b = root.fork(3);
+        let mut f2 = root.fork(4);
+        let a: Vec<u64> = (0..8)
+            .map(|_| f1.range_inclusive(0, u64::MAX - 1))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| f1b.range_inclusive(0, u64::MAX - 1))
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map(|_| f2.range_inclusive(0, u64::MAX - 1))
+            .collect();
+        assert_eq!(a, b, "fork must be deterministic");
+        assert_ne!(a, c, "different tags must produce different streams");
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut r = DetRng::new(9);
+        let base = Time::from_secs(10);
+        for _ in 0..1000 {
+            let t = r.jitter(base, 0.2);
+            assert!(t >= Time::from_secs_f64(8.0 - 1e-6));
+            assert!(t <= Time::from_secs_f64(12.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn jitter_zero_frac_is_identity() {
+        let mut r = DetRng::new(9);
+        assert_eq!(r.jitter(Time::from_secs(5), 0.0), Time::from_secs(5));
+        assert_eq!(r.jitter(Time::ZERO, 0.5), Time::ZERO);
+    }
+
+    #[test]
+    fn unit_in_range_and_chance_extremes() {
+        let mut r = DetRng::new(11);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the discrete-event kernel.
+
+use proptest::prelude::*;
+use sioscope_sim::{Calendar, DetRng, EventQueue, Pid, RendezvousOutcome, RendezvousTable, Time};
+
+proptest! {
+    /// Events pop in nondecreasing time order, and equal-time events
+    /// pop in insertion order.
+    #[test]
+    fn event_queue_orders_and_is_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Time::from_nanos(t), i);
+        }
+        let mut popped: Vec<(Time, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.time, e.payload));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for pair in popped.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// The clock equals the last popped event's time and never goes
+    /// backwards, even with interleaved scheduling.
+    #[test]
+    fn event_queue_clock_monotone(
+        seed_times in prop::collection::vec(0u64..1_000, 1..50),
+        extra in prop::collection::vec(0u64..1_000, 0..50),
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &seed_times {
+            q.schedule(Time::from_nanos(t), ());
+        }
+        let mut last = Time::ZERO;
+        let mut extra_iter = extra.iter();
+        while let Some(e) = q.pop() {
+            prop_assert!(e.time >= last);
+            last = e.time;
+            prop_assert_eq!(q.now(), last);
+            // Occasionally schedule a follow-up relative to now.
+            if let Some(&d) = extra_iter.next() {
+                q.schedule_after(Time::from_nanos(d), ());
+            }
+        }
+    }
+
+    /// Calendar reservations never overlap, start no earlier than the
+    /// arrival, and total busy time equals the sum of service demands.
+    #[test]
+    fn calendar_reservations_disjoint_and_conserving(
+        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)
+    ) {
+        let mut cal = Calendar::new();
+        let mut sorted = reqs.clone();
+        sorted.sort();
+        let mut prev_finish = Time::ZERO;
+        let mut service_sum = Time::ZERO;
+        for (arrival, service) in sorted {
+            let a = Time::from_nanos(arrival);
+            let s = Time::from_nanos(service);
+            let r = cal.reserve(a, s);
+            prop_assert!(r.start >= a, "service before arrival");
+            prop_assert!(r.start >= prev_finish, "overlapping reservations");
+            prop_assert_eq!(r.finish - r.start, s);
+            prev_finish = r.finish;
+            service_sum += s;
+        }
+        prop_assert_eq!(cal.busy_time(), service_sum);
+        prop_assert_eq!(cal.free_at(), prev_finish);
+    }
+
+    /// A rendezvous of n members completes exactly on the n-th
+    /// arrival, releasing at the maximum arrival time.
+    #[test]
+    fn rendezvous_completes_on_last_arrival(
+        arrivals in prop::collection::vec(0u64..1_000, 1..64)
+    ) {
+        let n = arrivals.len();
+        let mut table = RendezvousTable::new();
+        let mut max_t = Time::ZERO;
+        for (i, &t) in arrivals.iter().enumerate() {
+            let at = Time::from_nanos(t);
+            max_t = max_t.max(at);
+            match table.arrive(7, Pid(i as u32), at, n) {
+                RendezvousOutcome::Waiting => prop_assert!(i + 1 < n),
+                RendezvousOutcome::Complete { arrivals: got, release } => {
+                    prop_assert_eq!(i + 1, n, "completed early");
+                    prop_assert_eq!(got.len(), n);
+                    prop_assert_eq!(release, max_t);
+                }
+            }
+        }
+        prop_assert_eq!(table.forming(), 0);
+    }
+
+    /// Deterministic RNG streams are reproducible and jitter stays in
+    /// its band.
+    #[test]
+    fn rng_jitter_band(seed in any::<u64>(), base_ms in 1u64..10_000, frac in 0.0f64..0.9) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        let base = Time::from_millis(base_ms);
+        for _ in 0..10 {
+            let ja = a.jitter(base, frac);
+            let jb = b.jitter(base, frac);
+            prop_assert_eq!(ja, jb);
+            let lo = base.as_secs_f64() * (1.0 - frac) - 1e-9;
+            let hi = base.as_secs_f64() * (1.0 + frac) + 1e-9;
+            prop_assert!(ja.as_secs_f64() >= lo && ja.as_secs_f64() <= hi);
+        }
+    }
+
+    /// Time arithmetic: scale by reciprocal factors round-trips within
+    /// rounding error.
+    #[test]
+    fn time_scale_round_trip(ns in 1u64..1_000_000_000_000, factor in 0.01f64..100.0) {
+        let t = Time::from_nanos(ns);
+        let scaled = t.scale(factor);
+        let back = scaled.scale(1.0 / factor);
+        let err = back.as_nanos().abs_diff(ns);
+        // Two roundings at most: bounded relative + absolute error.
+        prop_assert!(
+            err <= 2 + (ns as f64 * 1e-9) as u64 + (1.0 / factor).ceil() as u64,
+            "ns={ns} factor={factor} err={err}"
+        );
+    }
+}

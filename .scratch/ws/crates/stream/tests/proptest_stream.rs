@@ -1,0 +1,118 @@
+//! Property tests for the bounded staging queue: byte conservation,
+//! FIFO delivery, same-seed replay identity, and the equivalence of a
+//! depth-unbounded channel with an effectively infinite depth.
+
+use proptest::prelude::*;
+use sioscope_sim::Time;
+use sioscope_stream::{ChannelStats, PushReceipt, StagingConfig, StreamChannel, TakeReceipt};
+
+/// Receipts, the occupancy ledger, and the final channel statistics
+/// from one driven run.
+type DriveOutcome = (
+    Vec<(PushReceipt, TakeReceipt)>,
+    Vec<(Time, u64)>,
+    ChannelStats,
+);
+
+/// One driven run: push each chunk (producer clock advances to
+/// `send_done` plus its gap), then take it as soon as both the chunk
+/// and the consumer are ready (consumer busy for `busy_ns` per take).
+fn drive(
+    depth: u64,
+    chunks: &[(u64, u64)], // (bytes, producer gap ns)
+    busy_ns: u64,
+) -> DriveOutcome {
+    let mut cfg = StagingConfig::paragon(depth);
+    cfg.ingest_bw = 1_000_000;
+    cfg.egress_bw = 1_000_000;
+    let mut c = StreamChannel::new(cfg);
+    let mut now = Time::ZERO;
+    let mut free = Time::ZERO;
+    let mut receipts = Vec::with_capacity(chunks.len());
+    for &(bytes, gap) in chunks {
+        let p = c.push(now, bytes);
+        now = p.send_done + Time::from_nanos(gap);
+        let t = c.take(free.max(p.ready_at));
+        free = t.egress_done + Time::from_nanos(busy_ns);
+        receipts.push((p, t));
+        assert!(c.conserves(), "mid-run ledger must conserve");
+    }
+    (receipts, c.occupancy_timeline(), c.stats().clone())
+}
+
+fn chunk_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((1u64..=4096, 0u64..200_000), 1..48)
+}
+
+proptest! {
+    #[test]
+    fn bytes_are_conserved_and_fully_delivered(
+        chunks in chunk_strategy(),
+        depth_chunks in 1u64..8,
+        busy in 0u64..2_000_000,
+    ) {
+        let depth = depth_chunks * 4096; // always >= the largest chunk
+        let (receipts, _, stats) = drive(depth, &chunks, busy);
+        let pushed: u64 = chunks.iter().map(|&(b, _)| b).sum();
+        prop_assert_eq!(stats.ingested_bytes, pushed);
+        prop_assert_eq!(stats.egressed_bytes, pushed);
+        prop_assert_eq!(stats.ingested_chunks, chunks.len() as u64);
+        prop_assert_eq!(stats.egressed_chunks, chunks.len() as u64);
+        prop_assert!(stats.conserves(0, 0));
+        // Every take starts no earlier than its chunk's visibility.
+        for (p, t) in &receipts {
+            prop_assert!(t.start >= p.ready_at);
+            prop_assert!(t.egress_done >= t.start);
+        }
+    }
+
+    #[test]
+    fn delivery_is_fifo_in_push_order(
+        chunks in chunk_strategy(),
+        busy in 0u64..2_000_000,
+    ) {
+        let (receipts, _, _) = drive(0, &chunks, busy);
+        for (i, (p, t)) in receipts.iter().enumerate() {
+            prop_assert_eq!(p.seq, i as u64);
+            prop_assert_eq!(t.seq, i as u64);
+            prop_assert_eq!(t.bytes, chunks[i].0);
+        }
+        // Consumer drain starts never reorder.
+        for w in receipts.windows(2) {
+            prop_assert!(w[0].1.start <= w[1].1.start);
+        }
+    }
+
+    #[test]
+    fn same_inputs_replay_bit_identically(
+        chunks in chunk_strategy(),
+        depth_chunks in 0u64..6,
+        busy in 0u64..2_000_000,
+    ) {
+        let depth = depth_chunks * 4096;
+        let a = drive(depth, &chunks, busy);
+        let b = drive(depth, &chunks, busy);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unbounded_equals_effectively_infinite_depth(
+        chunks in chunk_strategy(),
+        busy in 0u64..2_000_000,
+    ) {
+        let unbounded = drive(0, &chunks, busy);
+        let huge = drive(u64::MAX / 2, &chunks, busy);
+        prop_assert_eq!(&unbounded, &huge);
+        prop_assert_eq!(unbounded.2.producer_stall, Time::ZERO);
+    }
+
+    #[test]
+    fn tighter_depth_never_reduces_stall(
+        chunks in chunk_strategy(),
+        busy in 0u64..2_000_000,
+    ) {
+        let tight = drive(4096, &chunks, busy);
+        let loose = drive(8 * 4096, &chunks, busy);
+        prop_assert!(tight.2.producer_stall >= loose.2.producer_stall);
+    }
+}

@@ -1,0 +1,119 @@
+//! The raw trace record.
+
+use serde::{Deserialize, Serialize};
+use sioscope_pfs::{IoMode, OpKind};
+use sioscope_sim::{FileId, Pid, Time};
+
+/// One I/O operation as observed at the client — Pablo's "detailed I/O
+/// event trace" record: time, duration, size, and other parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoEvent {
+    /// The process (= compute node, in the paper's workloads) that
+    /// issued the operation.
+    pub pid: Pid,
+    /// The file operated on.
+    pub file: FileId,
+    /// Operation category.
+    pub kind: OpKind,
+    /// When the client issued the call.
+    pub start: Time,
+    /// Client-observed wall-clock duration of the call, including any
+    /// synchronization and queueing delay.
+    pub duration: Time,
+    /// Bytes transferred (zero for control operations).
+    pub bytes: u64,
+    /// File offset touched (zero for control operations; the seek
+    /// target for seeks).
+    pub offset: u64,
+    /// Access mode of the file at completion time — the paper's third
+    /// characterization dimension (§6).
+    pub mode: IoMode,
+}
+
+impl IoEvent {
+    /// The completion instant.
+    pub fn end(&self) -> Time {
+        self.start + self.duration
+    }
+
+    /// Does this event move data?
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, OpKind::Read | OpKind::Write)
+    }
+
+    /// Does the event's byte range `[offset, offset+bytes)` intersect
+    /// `[lo, hi)`? The end offset saturates: an event whose range runs
+    /// off the end of the offset space is clamped to `u64::MAX` rather
+    /// than wrapping (which would panic in debug builds and silently
+    /// miss intersections in release).
+    pub fn touches_region(&self, lo: u64, hi: u64) -> bool {
+        self.is_data()
+            && self.bytes > 0
+            && self.offset < hi
+            && self.offset.saturating_add(self.bytes) > lo
+    }
+
+    /// Does the event's `[start, end)` interval intersect the window
+    /// `[t0, t1)`?
+    pub fn in_window(&self, t0: Time, t1: Time) -> bool {
+        self.start < t1 && self.end() > t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: OpKind, start_s: u64, dur_s: u64, bytes: u64, offset: u64) -> IoEvent {
+        IoEvent {
+            pid: Pid(0),
+            file: FileId(0),
+            kind,
+            start: Time::from_secs(start_s),
+            duration: Time::from_secs(dur_s),
+            bytes,
+            offset,
+            mode: IoMode::MUnix,
+        }
+    }
+
+    #[test]
+    fn end_and_data_classification() {
+        let e = ev(OpKind::Read, 5, 2, 100, 0);
+        assert_eq!(e.end(), Time::from_secs(7));
+        assert!(e.is_data());
+        assert!(!ev(OpKind::Open, 0, 1, 0, 0).is_data());
+        assert!(!ev(OpKind::Seek, 0, 1, 0, 0).is_data());
+    }
+
+    #[test]
+    fn region_intersection() {
+        let e = ev(OpKind::Write, 0, 1, 100, 50); // [50,150)
+        assert!(e.touches_region(0, 60));
+        assert!(e.touches_region(149, 200));
+        assert!(!e.touches_region(150, 200));
+        assert!(!e.touches_region(0, 50));
+        // Control ops never touch regions.
+        assert!(!ev(OpKind::Open, 0, 1, 0, 0).touches_region(0, u64::MAX));
+    }
+
+    #[test]
+    fn region_intersection_saturates_at_offset_max() {
+        // offset + bytes would overflow u64; the saturating end offset
+        // must neither panic nor wrap around to a tiny value.
+        let e = ev(OpKind::Read, 0, 1, 10, u64::MAX);
+        assert!(!e.touches_region(0, u64::MAX)); // offset < hi fails
+        let near = ev(OpKind::Write, 0, 1, u64::MAX, u64::MAX - 5); // clamps to MAX
+        assert!(near.touches_region(u64::MAX - 1, u64::MAX));
+        assert!(!near.touches_region(0, u64::MAX - 5));
+    }
+
+    #[test]
+    fn window_intersection() {
+        let e = ev(OpKind::Read, 5, 2, 1, 0); // [5,7)
+        assert!(e.in_window(Time::from_secs(6), Time::from_secs(10)));
+        assert!(e.in_window(Time::from_secs(0), Time::from_secs(6)));
+        assert!(!e.in_window(Time::from_secs(7), Time::from_secs(8)));
+        assert!(!e.in_window(Time::from_secs(0), Time::from_secs(5)));
+    }
+}

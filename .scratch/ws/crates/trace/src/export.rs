@@ -1,0 +1,89 @@
+//! Trace serialization — the stand-in for Pablo's SDDF
+//! (self-describing data format). Traces round-trip through JSON so
+//! they can be archived, diffed across experiment versions, and
+//! post-processed outside the simulator.
+
+use crate::recorder::TraceRecorder;
+use std::io;
+use std::path::Path;
+
+/// Serialize a trace to a JSON string.
+pub fn to_json(trace: &TraceRecorder) -> serde_json::Result<String> {
+    serde_json::to_string(trace)
+}
+
+/// Deserialize a trace from a JSON string.
+pub fn from_json(s: &str) -> serde_json::Result<TraceRecorder> {
+    serde_json::from_str(s)
+}
+
+/// Write a trace to a file as JSON.
+pub fn write_file(trace: &TraceRecorder, path: &Path) -> io::Result<()> {
+    let json = to_json(trace).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Read a trace back from a JSON file.
+pub fn read_file(path: &Path) -> io::Result<TraceRecorder> {
+    let s = std::fs::read_to_string(path)?;
+    from_json(&s).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::IoEvent;
+    use sioscope_pfs::OpKind;
+    use sioscope_sim::{FileId, Pid, Time};
+
+    fn sample() -> TraceRecorder {
+        let mut t = TraceRecorder::new();
+        for i in 0..10 {
+            t.record(IoEvent {
+                pid: Pid(i % 3),
+                file: FileId(i % 2),
+                kind: if i % 2 == 0 {
+                    OpKind::Read
+                } else {
+                    OpKind::Write
+                },
+                start: Time::from_millis(u64::from(i) * 10),
+                duration: Time::from_micros(u64::from(i) + 1),
+                bytes: u64::from(i) * 100,
+                offset: u64::from(i) * 1000,
+                mode: if i % 3 == 0 {
+                    sioscope_pfs::IoMode::MAsync
+                } else {
+                    sioscope_pfs::IoMode::MUnix
+                },
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let t = sample();
+        let json = to_json(&t).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("sioscope_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let t = sample();
+        write_file(&t, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.events(), t.events());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{\"events\": 3}").is_err());
+    }
+}

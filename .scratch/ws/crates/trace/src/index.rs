@@ -1,0 +1,1119 @@
+//! The columnar trace analytics index — built in one O(n log n) pass,
+//! after which every summary and analysis query runs in logarithmic or
+//! postings time instead of re-scanning the event vector.
+//!
+//! [`TraceIndex`] mirrors the event stream into struct-of-arrays
+//! columns sorted by the canonical `(start, pid, file, offset)` key —
+//! the same key, under the same stable sort, that
+//! [`TraceRecorder::sort`](crate::TraceRecorder::sort) uses, so on a
+//! simulator-produced (pre-sorted) trace the index order *is* the
+//! event order. On top of the columns it keeps:
+//!
+//! * **postings lists** per kind, per file and per pid, with
+//!   pre-aggregated totals — lifetime summaries, `duration_by_kind`
+//!   and friends become lookups;
+//! * **prefix sums** over `duration` and `bytes` per kind, both in
+//!   start order and in completion order — a time-window summary is
+//!   two binary searches and a prefix-sum subtraction;
+//! * per `(file, kind)` offset-sorted prefix sums over the data
+//!   operations — file-region summaries likewise;
+//! * a **time-bucketed offset table** over the start column, so
+//!   seeking to a window boundary binary-searches one bucket instead
+//!   of the whole column.
+//!
+//! Construction parallelizes the canonical sort and the per-group
+//! sub-index builds via rayon. Every parallel step is either a stable
+//! sort by a total key or an order-independent integer reduction, so
+//! the parallel build is byte-identical to the sequential one.
+//!
+//! ## Exactness of the window algebra
+//!
+//! For each kind, the events intersecting a window `[t0, t1)` are
+//! `W = {start < t1 ∧ end > t0}`. With `A = {start < t1}` (a prefix of
+//! the start-sorted column) and `B' = {end ≤ t0}` (a prefix of the
+//! end-sorted column),
+//!
+//! ```text
+//! |W| = |A| − |B'| + |C|,   C = {end ≤ t0 ∧ start ≥ t1}
+//! ```
+//!
+//! and the same identity holds for the duration and byte sums. Since
+//! `end ≥ start` always, `C` is empty whenever `t1 > t0`; for the
+//! degenerate window `t0 == t1 == t` it is exactly the zero-duration
+//! events starting at `t`, which the query re-counts from the (small)
+//! equal-start run in the start column. Durations never need the
+//! correction — every event in `C` contributes zero duration.
+//!
+//! Region queries need no correction at all: the per-`(file, kind)`
+//! region lists hold only data events with `bytes > 0` and
+//! `offset < offset ⊕ bytes` (saturating), so
+//! `{end_off ≤ lo ∧ off ≥ hi}` would require `off < end_off ≤ lo ≤ hi
+//! ≤ off` — a contradiction. The excluded saturated events (only
+//! possible at `offset == u64::MAX`) can never satisfy `offset < hi`
+//! and therefore never touch any region, matching
+//! [`IoEvent::touches_region`].
+//!
+//! All internal accumulation is done in `u128`, so intermediate prefix
+//! totals cannot overflow; results are cast back to the oracle's
+//! types, which is exact wherever the naive scan itself is defined.
+
+use crate::event::IoEvent;
+use crate::jobmap::JobMap;
+use crate::summary::OpStats;
+use rayon::prelude::*;
+use sioscope_pfs::{IoMode, OpKind};
+use sioscope_sim::{FileId, JobId, Pid, Time};
+use std::collections::BTreeMap;
+
+/// Below this many events everything is built single-threaded; rayon's
+/// fork/join overhead only pays for itself on large traces.
+const PAR_THRESHOLD: usize = 4096;
+
+/// Target events per bucket of the start-time offset table.
+const BUCKET_TARGET: usize = 64;
+
+/// Upper bound on the bucket count, keeping the offset table small
+/// even for enormous traces.
+const BUCKET_MAX: usize = 65_536;
+
+/// Per-kind sub-index: the kind's postings plus the start- and
+/// end-ordered prefix sums that answer window queries.
+#[derive(Debug, Clone, Default)]
+struct KindIndex {
+    /// Positions into the canonical columns, ascending.
+    idxs: Vec<u32>,
+    /// Start instants in canonical (ascending) order.
+    starts: Vec<Time>,
+    /// Durations aligned with `starts`.
+    durs: Vec<Time>,
+    /// Request sizes aligned with `starts`.
+    bytes: Vec<u64>,
+    /// `pref_dur[i]` = sum of the first `i` durations (nanoseconds).
+    pref_dur: Vec<u128>,
+    /// `pref_bytes[i]` = sum of the first `i` byte counts.
+    pref_bytes: Vec<u128>,
+    /// Completion instants, ascending.
+    ends_sorted: Vec<Time>,
+    /// Prefix duration sums in completion order.
+    pref_dur_by_end: Vec<u128>,
+    /// Prefix byte sums in completion order.
+    pref_bytes_by_end: Vec<u128>,
+    /// Request sizes, ascending — pre-sorted CDF input.
+    sizes_sorted: Vec<u64>,
+    /// Total duration (nanoseconds).
+    total_dur: u128,
+    /// Total bytes.
+    total_bytes: u128,
+}
+
+impl KindIndex {
+    fn build(starts: &[Time], durs: &[Time], bytes: &[u64], ends: &[Time], idxs: Vec<u32>) -> Self {
+        let n = idxs.len();
+        let k_starts: Vec<Time> = idxs.iter().map(|&i| starts[i as usize]).collect();
+        let k_durs: Vec<Time> = idxs.iter().map(|&i| durs[i as usize]).collect();
+        let k_bytes: Vec<u64> = idxs.iter().map(|&i| bytes[i as usize]).collect();
+
+        let mut pref_dur = Vec::with_capacity(n + 1);
+        let mut pref_bytes = Vec::with_capacity(n + 1);
+        let (mut d_acc, mut b_acc) = (0u128, 0u128);
+        pref_dur.push(0);
+        pref_bytes.push(0);
+        for i in 0..n {
+            d_acc += u128::from(k_durs[i].as_nanos());
+            b_acc += u128::from(k_bytes[i]);
+            pref_dur.push(d_acc);
+            pref_bytes.push(b_acc);
+        }
+
+        // Completion-ordered view. Only the end instant participates in
+        // binary searches, and searches always land on boundaries
+        // between distinct end values, so the relative order of
+        // equal-end rows cannot affect any query result.
+        let mut end_rows: Vec<(Time, Time, u64)> = idxs
+            .iter()
+            .map(|&i| (ends[i as usize], durs[i as usize], bytes[i as usize]))
+            .collect();
+        end_rows.sort_unstable_by_key(|r| r.0);
+        let mut ends_sorted = Vec::with_capacity(n);
+        let mut pref_dur_by_end = Vec::with_capacity(n + 1);
+        let mut pref_bytes_by_end = Vec::with_capacity(n + 1);
+        let (mut d_acc, mut b_acc) = (0u128, 0u128);
+        pref_dur_by_end.push(0);
+        pref_bytes_by_end.push(0);
+        for &(e, d, b) in &end_rows {
+            ends_sorted.push(e);
+            d_acc += u128::from(d.as_nanos());
+            b_acc += u128::from(b);
+            pref_dur_by_end.push(d_acc);
+            pref_bytes_by_end.push(b_acc);
+        }
+
+        let mut sizes_sorted = k_bytes.clone();
+        sizes_sorted.sort_unstable();
+
+        let total_dur = *pref_dur.last().expect("prefix array non-empty");
+        let total_bytes = *pref_bytes.last().expect("prefix array non-empty");
+        KindIndex {
+            idxs,
+            starts: k_starts,
+            durs: k_durs,
+            bytes: k_bytes,
+            pref_dur,
+            pref_bytes,
+            ends_sorted,
+            pref_dur_by_end,
+            pref_bytes_by_end,
+            sizes_sorted,
+            total_dur,
+            total_bytes,
+        }
+    }
+
+    /// Statistics over this kind's events intersecting `[t0, t1)`.
+    fn window_stats(&self, t0: Time, t1: Time) -> OpStats {
+        let a = self.starts.partition_point(|&s| s < t1);
+        let b = self.ends_sorted.partition_point(|&e| e <= t0);
+        // Degenerate-window correction (see the module docs): for
+        // t0 == t1 == t, re-add the zero-duration events starting at t,
+        // which `b` subtracts but `a` never counted.
+        let (mut c_count, mut c_bytes) = (0u64, 0u128);
+        if t0 == t1 {
+            let lo = self.starts.partition_point(|&s| s < t0);
+            let hi = self.starts.partition_point(|&s| s <= t0);
+            for i in lo..hi {
+                if self.durs[i].is_zero() {
+                    c_count += 1;
+                    c_bytes += u128::from(self.bytes[i]);
+                }
+            }
+        }
+        // Add before subtracting: the multiset identity guarantees
+        // a + c ≥ b, but not a ≥ b alone.
+        let count = (a as u64 + c_count) - b as u64;
+        let dur = self.pref_dur[a] - self.pref_dur_by_end[b];
+        let bytes = (self.pref_bytes[a] + c_bytes) - self.pref_bytes_by_end[b];
+        OpStats {
+            count,
+            total_duration: Time::from_nanos(dur as u64),
+            bytes: bytes as u64,
+        }
+    }
+}
+
+/// Offset-sorted prefix sums over one `(file, kind)`'s data events —
+/// the spatial analog of [`KindIndex`]'s window machinery.
+#[derive(Debug, Clone, Default)]
+struct RegionIndex {
+    /// Start offsets, ascending.
+    offs: Vec<u64>,
+    /// Prefix duration sums in start-offset order.
+    pref_dur: Vec<u128>,
+    /// Prefix byte sums in start-offset order.
+    pref_bytes: Vec<u128>,
+    /// Exclusive end offsets (`offset ⊕ bytes`, saturating), ascending.
+    end_offs: Vec<u64>,
+    /// Prefix duration sums in end-offset order.
+    pref_dur_by_end: Vec<u128>,
+    /// Prefix byte sums in end-offset order.
+    pref_bytes_by_end: Vec<u128>,
+}
+
+impl RegionIndex {
+    /// `rows` are `(offset, end_offset, duration, bytes)` tuples of the
+    /// region-relevant events, in any order.
+    fn build(mut rows: Vec<(u64, u64, Time, u64)>) -> Self {
+        let n = rows.len();
+        rows.sort_unstable_by_key(|r| r.0);
+        let mut offs = Vec::with_capacity(n);
+        let mut pref_dur = Vec::with_capacity(n + 1);
+        let mut pref_bytes = Vec::with_capacity(n + 1);
+        let (mut d_acc, mut b_acc) = (0u128, 0u128);
+        pref_dur.push(0);
+        pref_bytes.push(0);
+        for &(o, _, d, b) in &rows {
+            offs.push(o);
+            d_acc += u128::from(d.as_nanos());
+            b_acc += u128::from(b);
+            pref_dur.push(d_acc);
+            pref_bytes.push(b_acc);
+        }
+        rows.sort_unstable_by_key(|r| r.1);
+        let mut end_offs = Vec::with_capacity(n);
+        let mut pref_dur_by_end = Vec::with_capacity(n + 1);
+        let mut pref_bytes_by_end = Vec::with_capacity(n + 1);
+        let (mut d_acc, mut b_acc) = (0u128, 0u128);
+        pref_dur_by_end.push(0);
+        pref_bytes_by_end.push(0);
+        for &(_, e, d, b) in &rows {
+            end_offs.push(e);
+            d_acc += u128::from(d.as_nanos());
+            b_acc += u128::from(b);
+            pref_dur_by_end.push(d_acc);
+            pref_bytes_by_end.push(b_acc);
+        }
+        RegionIndex {
+            offs,
+            pref_dur,
+            pref_bytes,
+            end_offs,
+            pref_dur_by_end,
+            pref_bytes_by_end,
+        }
+    }
+
+    /// Statistics over the events touching `[lo, hi)`. Exact with no
+    /// correction term (see the module docs).
+    fn region_stats(&self, lo: u64, hi: u64) -> OpStats {
+        let a = self.offs.partition_point(|&o| o < hi);
+        let b = self.end_offs.partition_point(|&e| e <= lo);
+        OpStats {
+            count: a as u64 - b as u64,
+            total_duration: Time::from_nanos((self.pref_dur[a] - self.pref_dur_by_end[b]) as u64),
+            bytes: (self.pref_bytes[a] - self.pref_bytes_by_end[b]) as u64,
+        }
+    }
+}
+
+/// Per-file sub-index: postings, pre-aggregated lifetime statistics
+/// and the per-kind region indexes.
+#[derive(Debug, Clone, Default)]
+struct FileIndex {
+    /// Positions into the canonical columns, ascending.
+    idxs: Vec<u32>,
+    /// Lifetime statistics per kind — exactly the naive
+    /// `LifetimeSummary` aggregation, precomputed.
+    per_kind: BTreeMap<OpKind, OpStats>,
+    /// Earliest `Open`/`Gopen` start.
+    first_open: Option<Time>,
+    /// Latest `Close` completion.
+    last_close: Option<Time>,
+    /// Offset-sorted region machinery for `Read` and `Write`.
+    regions: BTreeMap<OpKind, RegionIndex>,
+}
+
+impl FileIndex {
+    fn build(events: &TraceIndex, idxs: Vec<u32>) -> Self {
+        let mut per_kind: BTreeMap<OpKind, OpStats> = BTreeMap::new();
+        let mut first_open: Option<Time> = None;
+        let mut last_close: Option<Time> = None;
+        let mut region_rows: BTreeMap<OpKind, Vec<(u64, u64, Time, u64)>> = BTreeMap::new();
+        for &i in &idxs {
+            let i = i as usize;
+            let kind = events.kinds[i];
+            let s = per_kind.entry(kind).or_default();
+            s.count += 1;
+            s.total_duration += events.durs[i];
+            s.bytes += events.bytes[i];
+            match kind {
+                OpKind::Open | OpKind::Gopen => {
+                    let start = events.starts[i];
+                    first_open = Some(first_open.map_or(start, |t| t.min(start)));
+                }
+                OpKind::Close => {
+                    let end = events.ends[i];
+                    last_close = Some(last_close.map_or(end, |t| t.max(end)));
+                }
+                OpKind::Read | OpKind::Write => {
+                    let (off, b) = (events.offsets[i], events.bytes[i]);
+                    let end_off = off.saturating_add(b);
+                    // Only events that can ever touch a region: data,
+                    // bytes > 0, and a non-degenerate byte interval
+                    // (end_off == off only at off == u64::MAX, which
+                    // never satisfies `off < hi`).
+                    if b > 0 && end_off > off {
+                        region_rows.entry(kind).or_default().push((
+                            off,
+                            end_off,
+                            events.durs[i],
+                            b,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let regions = region_rows
+            .into_iter()
+            .map(|(k, rows)| (k, RegionIndex::build(rows)))
+            .collect();
+        FileIndex {
+            idxs,
+            per_kind,
+            first_open,
+            last_close,
+            regions,
+        }
+    }
+}
+
+/// Per-pid sub-index: postings and per-kind duration totals.
+#[derive(Debug, Clone, Default)]
+struct PidIndex {
+    /// Positions into the canonical columns, ascending.
+    idxs: Vec<u32>,
+    /// Total duration over all of the pid's events (nanoseconds).
+    total_dur: u128,
+    /// `(count, duration_ns)` per kind.
+    by_kind: BTreeMap<OpKind, (u64, u128)>,
+}
+
+impl PidIndex {
+    fn build(kinds: &[OpKind], durs: &[Time], idxs: Vec<u32>) -> Self {
+        let mut total_dur = 0u128;
+        let mut by_kind: BTreeMap<OpKind, (u64, u128)> = BTreeMap::new();
+        for &i in &idxs {
+            let i = i as usize;
+            let d = u128::from(durs[i].as_nanos());
+            total_dur += d;
+            let e = by_kind.entry(kinds[i]).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += d;
+        }
+        PidIndex {
+            idxs,
+            total_dur,
+            by_kind,
+        }
+    }
+}
+
+/// The one-pass columnar index over a trace. Build once per trace
+/// (or let [`TraceRecorder::index`](crate::TraceRecorder::index) cache
+/// it), then share it across every summary and analysis query.
+#[derive(Debug, Clone, Default)]
+pub struct TraceIndex {
+    // Canonical columns, stably sorted by (start, pid, file, offset).
+    pids: Vec<Pid>,
+    files: Vec<FileId>,
+    kinds: Vec<OpKind>,
+    starts: Vec<Time>,
+    durs: Vec<Time>,
+    bytes: Vec<u64>,
+    offsets: Vec<u64>,
+    modes: Vec<IoMode>,
+    /// Completion instants aligned with the canonical columns.
+    ends: Vec<Time>,
+    /// All completion instants, ascending.
+    ends_sorted: Vec<Time>,
+    by_kind: BTreeMap<OpKind, KindIndex>,
+    by_file: BTreeMap<FileId, FileIndex>,
+    by_pid: BTreeMap<Pid, PidIndex>,
+    /// Per-job sub-indexes, present only when the index was built with
+    /// a [`JobMap`] (multi-tenant traces). Mirrors `by_pid`.
+    by_job: BTreeMap<JobId, PidIndex>,
+    /// Time-bucketed offset table over `starts`: `bucket_first[b]` is
+    /// the first column position with `start ≥ t_min + b·width`.
+    bucket_first: Vec<u32>,
+    bucket_width: u64,
+    t_min: Time,
+    t_max: Time,
+}
+
+impl TraceIndex {
+    /// Build the index from raw events, in any order. One stable
+    /// O(n log n) sort plus linear aggregation passes; parallelized
+    /// with rayon above a size threshold, with identical results.
+    pub fn build(events: &[IoEvent]) -> Self {
+        let n = events.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let key = |e: &IoEvent| (e.start, e.pid, e.file, e.offset);
+        // Stable sorts over an initially ascending permutation are
+        // equivalent to stably sorting the events themselves;
+        // `par_sort_by_key` is rayon's *stable* parallel sort.
+        if n >= PAR_THRESHOLD {
+            perm.par_sort_by_key(|&i| key(&events[i as usize]));
+        } else {
+            perm.sort_by_key(|&i| key(&events[i as usize]));
+        }
+
+        let mut index = TraceIndex {
+            pids: Vec::with_capacity(n),
+            files: Vec::with_capacity(n),
+            kinds: Vec::with_capacity(n),
+            starts: Vec::with_capacity(n),
+            durs: Vec::with_capacity(n),
+            bytes: Vec::with_capacity(n),
+            offsets: Vec::with_capacity(n),
+            modes: Vec::with_capacity(n),
+            ends: Vec::with_capacity(n),
+            ..TraceIndex::default()
+        };
+        let mut kind_postings: BTreeMap<OpKind, Vec<u32>> = BTreeMap::new();
+        let mut file_postings: BTreeMap<FileId, Vec<u32>> = BTreeMap::new();
+        let mut pid_postings: BTreeMap<Pid, Vec<u32>> = BTreeMap::new();
+        for (pos, &i) in perm.iter().enumerate() {
+            let e = &events[i as usize];
+            index.pids.push(e.pid);
+            index.files.push(e.file);
+            index.kinds.push(e.kind);
+            index.starts.push(e.start);
+            index.durs.push(e.duration);
+            index.bytes.push(e.bytes);
+            index.offsets.push(e.offset);
+            index.modes.push(e.mode);
+            index.ends.push(e.end());
+            kind_postings.entry(e.kind).or_default().push(pos as u32);
+            file_postings.entry(e.file).or_default().push(pos as u32);
+            pid_postings.entry(e.pid).or_default().push(pos as u32);
+        }
+
+        index.ends_sorted = index.ends.clone();
+        if n >= PAR_THRESHOLD {
+            index.ends_sorted.par_sort_unstable();
+        } else {
+            index.ends_sorted.sort_unstable();
+        }
+
+        // Sub-indexes: independent per group, so they build in
+        // parallel; collecting into BTreeMaps re-establishes the
+        // deterministic key order regardless of completion order.
+        let kind_groups: Vec<(OpKind, Vec<u32>)> = kind_postings.into_iter().collect();
+        index.by_kind = if n >= PAR_THRESHOLD {
+            kind_groups
+                .into_par_iter()
+                .map(|(k, idxs)| {
+                    (
+                        k,
+                        KindIndex::build(
+                            &index.starts,
+                            &index.durs,
+                            &index.bytes,
+                            &index.ends,
+                            idxs,
+                        ),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .collect()
+        } else {
+            kind_groups
+                .into_iter()
+                .map(|(k, idxs)| {
+                    (
+                        k,
+                        KindIndex::build(
+                            &index.starts,
+                            &index.durs,
+                            &index.bytes,
+                            &index.ends,
+                            idxs,
+                        ),
+                    )
+                })
+                .collect()
+        };
+
+        let file_groups: Vec<(FileId, Vec<u32>)> = file_postings.into_iter().collect();
+        index.by_file = if n >= PAR_THRESHOLD {
+            file_groups
+                .into_par_iter()
+                .map(|(f, idxs)| (f, FileIndex::build(&index, idxs)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .collect()
+        } else {
+            file_groups
+                .into_iter()
+                .map(|(f, idxs)| (f, FileIndex::build(&index, idxs)))
+                .collect()
+        };
+
+        index.by_pid = pid_postings
+            .into_iter()
+            .map(|(p, idxs)| (p, PidIndex::build(&index.kinds, &index.durs, idxs)))
+            .collect();
+
+        index.build_bucket_table();
+        index
+    }
+
+    /// Build the index and additionally attribute events to jobs via
+    /// `map`, populating the per-job sub-indexes. Events whose pid lies
+    /// outside every range of `map` stay unattributed (they remain in
+    /// every other view of the index).
+    pub fn build_with_jobs(events: &[IoEvent], map: &JobMap) -> Self {
+        let mut index = TraceIndex::build(events);
+        let mut job_postings: BTreeMap<JobId, Vec<u32>> = BTreeMap::new();
+        for (pos, &pid) in index.pids.iter().enumerate() {
+            if let Some(job) = map.job_of(pid) {
+                job_postings.entry(job).or_default().push(pos as u32);
+            }
+        }
+        index.by_job = job_postings
+            .into_iter()
+            .map(|(j, idxs)| (j, PidIndex::build(&index.kinds, &index.durs, idxs)))
+            .collect();
+        index
+    }
+
+    fn build_bucket_table(&mut self) {
+        let n = self.starts.len();
+        if n == 0 {
+            self.bucket_first = vec![0, 0];
+            self.bucket_width = 1;
+            self.t_min = Time::ZERO;
+            self.t_max = Time::ZERO;
+            return;
+        }
+        self.t_min = self.starts[0];
+        self.t_max = self.starts[n - 1];
+        let nb = (n / BUCKET_TARGET).clamp(1, BUCKET_MAX);
+        let span = self.t_max.as_nanos() - self.t_min.as_nanos();
+        // width · nb > span, so every start ≤ t_max falls in a bucket.
+        let width = span / nb as u64 + 1;
+        let mut bucket_first = Vec::with_capacity(nb + 1);
+        for b in 0..=nb {
+            let boundary = u128::from(self.t_min.as_nanos()) + u128::from(width) * b as u128;
+            let pos = if boundary > u128::from(u64::MAX) {
+                n
+            } else {
+                self.starts
+                    .partition_point(|s| u128::from(s.as_nanos()) < boundary)
+            };
+            bucket_first.push(pos as u32);
+        }
+        self.bucket_first = bucket_first;
+        self.bucket_width = width;
+    }
+
+    /// Number of indexed events.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// `true` iff the trace was empty.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Reconstruct the event at canonical position `i`.
+    pub fn event(&self, i: usize) -> IoEvent {
+        IoEvent {
+            pid: self.pids[i],
+            file: self.files[i],
+            kind: self.kinds[i],
+            start: self.starts[i],
+            duration: self.durs[i],
+            bytes: self.bytes[i],
+            offset: self.offsets[i],
+            mode: self.modes[i],
+        }
+    }
+
+    /// All events in canonical `(start, pid, file, offset)` order.
+    pub fn iter(&self) -> impl Iterator<Item = IoEvent> + '_ {
+        (0..self.len()).map(move |i| self.event(i))
+    }
+
+    /// Start instants in canonical (ascending) order.
+    pub fn starts(&self) -> &[Time] {
+        &self.starts
+    }
+
+    /// Completion instants, ascending.
+    pub fn ends_sorted(&self) -> &[Time] {
+        &self.ends_sorted
+    }
+
+    /// The kinds present in the trace, ascending.
+    pub fn kinds_present(&self) -> impl Iterator<Item = OpKind> + '_ {
+        self.by_kind.keys().copied()
+    }
+
+    /// Number of events of `kind`.
+    pub fn count_of(&self, kind: OpKind) -> u64 {
+        self.by_kind.get(&kind).map_or(0, |k| k.idxs.len() as u64)
+    }
+
+    /// Total duration of events of `kind`.
+    pub fn duration_of(&self, kind: OpKind) -> Time {
+        let total = self.by_kind.get(&kind).map_or(0, |k| k.total_dur);
+        debug_assert!(total <= u128::from(u64::MAX), "duration sum overflows u64");
+        Time::from_nanos(total as u64)
+    }
+
+    /// Total bytes of events of `kind`.
+    pub fn bytes_of(&self, kind: OpKind) -> u64 {
+        let total = self.by_kind.get(&kind).map_or(0, |k| k.total_bytes);
+        debug_assert!(total <= u128::from(u64::MAX), "byte sum overflows u64");
+        total as u64
+    }
+
+    /// Sum of durations per kind — the indexed
+    /// [`TraceRecorder::duration_by_kind`](crate::TraceRecorder::duration_by_kind).
+    pub fn duration_by_kind(&self) -> BTreeMap<OpKind, Time> {
+        self.by_kind
+            .keys()
+            .map(|&k| (k, self.duration_of(k)))
+            .collect()
+    }
+
+    /// Bytes per data kind — the indexed
+    /// [`TraceRecorder::bytes_by_kind`](crate::TraceRecorder::bytes_by_kind).
+    pub fn bytes_by_kind(&self) -> BTreeMap<OpKind, u64> {
+        [OpKind::Read, OpKind::Write]
+            .into_iter()
+            .filter(|k| self.by_kind.contains_key(k))
+            .map(|k| (k, self.bytes_of(k)))
+            .collect()
+    }
+
+    /// Total client-observed I/O time over the whole trace.
+    pub fn total_io_time(&self) -> Time {
+        let total: u128 = self.by_kind.values().map(|k| k.total_dur).sum();
+        debug_assert!(total <= u128::from(u64::MAX), "duration sum overflows u64");
+        Time::from_nanos(total as u64)
+    }
+
+    /// Completion time of the last event (zero for an empty trace).
+    pub fn last_completion(&self) -> Time {
+        self.ends_sorted.last().copied().unwrap_or(Time::ZERO)
+    }
+
+    /// Request sizes of every event of `kind`, in canonical order.
+    pub fn sizes_of(&self, kind: OpKind) -> Vec<u64> {
+        self.by_kind
+            .get(&kind)
+            .map_or_else(Vec::new, |k| k.bytes.clone())
+    }
+
+    /// Request sizes of every event of `kind`, ascending — a CDF can
+    /// consume this without re-sorting.
+    pub fn sizes_sorted_of(&self, kind: OpKind) -> &[u64] {
+        self.by_kind.get(&kind).map_or(&[], |k| &k.sizes_sorted)
+    }
+
+    /// `(start, bytes)` pairs of every event of `kind`, in canonical
+    /// order.
+    pub fn timeline_of(&self, kind: OpKind) -> Vec<(Time, u64)> {
+        self.by_kind.get(&kind).map_or_else(Vec::new, |k| {
+            k.starts
+                .iter()
+                .copied()
+                .zip(k.bytes.iter().copied())
+                .collect()
+        })
+    }
+
+    /// `(start, duration)` pairs of every event of `kind`, in canonical
+    /// order.
+    pub fn duration_timeline_of(&self, kind: OpKind) -> Vec<(Time, Time)> {
+        self.by_kind.get(&kind).map_or_else(Vec::new, |k| {
+            k.starts
+                .iter()
+                .copied()
+                .zip(k.durs.iter().copied())
+                .collect()
+        })
+    }
+
+    /// `(end, bytes)` pairs of every event of `kind`, ascending by
+    /// completion instant — bandwidth series consume this directly.
+    pub fn end_bytes_of(&self, kind: OpKind) -> impl Iterator<Item = (Time, u64)> + '_ {
+        let k = self.by_kind.get(&kind);
+        let n = k.map_or(0, |k| k.ends_sorted.len());
+        (0..n).map(move |i| {
+            let k = k.expect("non-empty range implies kind present");
+            (
+                k.ends_sorted[i],
+                (k.pref_bytes_by_end[i + 1] - k.pref_bytes_by_end[i]) as u64,
+            )
+        })
+    }
+
+    /// The latest completion instant among events of `kind`.
+    pub fn last_end_of(&self, kind: OpKind) -> Option<Time> {
+        self.by_kind
+            .get(&kind)
+            .and_then(|k| k.ends_sorted.last().copied())
+    }
+
+    /// Statistics over events of `kind` intersecting `[t0, t1)` —
+    /// two binary searches and a prefix-sum subtraction.
+    pub fn window_stats_of(&self, kind: OpKind, t0: Time, t1: Time) -> OpStats {
+        self.by_kind
+            .get(&kind)
+            .map_or_else(OpStats::default, |k| k.window_stats(t0, t1))
+    }
+
+    /// Per-kind statistics over all events intersecting `[t0, t1)` —
+    /// the indexed body of a time-window summary. Kinds with no
+    /// intersecting event are omitted, matching the naive scan.
+    pub fn window_stats(&self, t0: Time, t1: Time) -> BTreeMap<OpKind, OpStats> {
+        self.by_kind
+            .iter()
+            .map(|(&k, ki)| (k, ki.window_stats(t0, t1)))
+            .filter(|(_, s)| s.count > 0)
+            .collect()
+    }
+
+    /// The files present in the trace, ascending.
+    pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.by_file.keys().copied()
+    }
+
+    /// Pre-aggregated lifetime statistics of `file`, per kind.
+    pub fn file_per_kind(&self, file: FileId) -> Option<&BTreeMap<OpKind, OpStats>> {
+        self.by_file.get(&file).map(|f| &f.per_kind)
+    }
+
+    /// Earliest `Open`/`Gopen` start on `file`.
+    pub fn file_first_open(&self, file: FileId) -> Option<Time> {
+        self.by_file.get(&file).and_then(|f| f.first_open)
+    }
+
+    /// Latest `Close` completion on `file`.
+    pub fn file_last_close(&self, file: FileId) -> Option<Time> {
+        self.by_file.get(&file).and_then(|f| f.last_close)
+    }
+
+    /// Number of events touching `file`.
+    pub fn file_event_count(&self, file: FileId) -> usize {
+        self.by_file.get(&file).map_or(0, |f| f.idxs.len())
+    }
+
+    /// Per-kind statistics over data operations on `file` touching the
+    /// byte range `[lo, hi)` — the indexed body of a file-region
+    /// summary. Kinds with no touching event are omitted.
+    pub fn region_stats(&self, file: FileId, lo: u64, hi: u64) -> BTreeMap<OpKind, OpStats> {
+        let Some(f) = self.by_file.get(&file) else {
+            return BTreeMap::new();
+        };
+        f.regions
+            .iter()
+            .map(|(&k, r)| (k, r.region_stats(lo, hi)))
+            .filter(|(_, s)| s.count > 0)
+            .collect()
+    }
+
+    /// The pids present in the trace, ascending.
+    pub fn pids(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.by_pid.keys().copied()
+    }
+
+    /// Start instants of every event issued by `pid`, ascending.
+    pub fn starts_of_pid(&self, pid: Pid) -> Vec<Time> {
+        self.by_pid.get(&pid).map_or_else(Vec::new, |p| {
+            p.idxs.iter().map(|&i| self.starts[i as usize]).collect()
+        })
+    }
+
+    /// Total duration of every event issued by `pid`.
+    pub fn pid_total_duration(&self, pid: Pid) -> Time {
+        let total = self.by_pid.get(&pid).map_or(0, |p| p.total_dur);
+        debug_assert!(total <= u128::from(u64::MAX), "duration sum overflows u64");
+        Time::from_nanos(total as u64)
+    }
+
+    /// `(count, total_duration)` of `pid`'s events of `kind`.
+    pub fn pid_duration_of(&self, pid: Pid, kind: OpKind) -> Option<(u64, Time)> {
+        self.by_pid
+            .get(&pid)
+            .and_then(|p| p.by_kind.get(&kind))
+            .map(|&(count, dur)| (count, Time::from_nanos(dur as u64)))
+    }
+
+    /// The jobs present in the trace, ascending — empty unless the
+    /// index was built with [`TraceIndex::build_with_jobs`].
+    pub fn jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.by_job.keys().copied()
+    }
+
+    /// Number of events attributed to `job`.
+    pub fn job_event_count(&self, job: JobId) -> usize {
+        self.by_job.get(&job).map_or(0, |j| j.idxs.len())
+    }
+
+    /// Total client-observed I/O time of `job`'s events.
+    pub fn job_total_duration(&self, job: JobId) -> Time {
+        let total = self.by_job.get(&job).map_or(0, |j| j.total_dur);
+        debug_assert!(total <= u128::from(u64::MAX), "duration sum overflows u64");
+        Time::from_nanos(total as u64)
+    }
+
+    /// `(count, total_duration)` of `job`'s events of `kind`.
+    pub fn job_duration_of(&self, job: JobId, kind: OpKind) -> Option<(u64, Time)> {
+        self.by_job
+            .get(&job)
+            .and_then(|j| j.by_kind.get(&kind))
+            .map(|&(count, dur)| (count, Time::from_nanos(dur as u64)))
+    }
+
+    /// `job`'s events in canonical order.
+    pub fn events_of_job(&self, job: JobId) -> impl Iterator<Item = IoEvent> + '_ {
+        self.by_job
+            .get(&job)
+            .map(|j| j.idxs.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&i| self.event(i as usize))
+    }
+
+    /// First canonical position with `start ≥ t`: a bucket lookup in
+    /// the time-offset table plus a binary search within one bucket.
+    pub fn first_at_or_after(&self, t: Time) -> usize {
+        let n = self.len();
+        if n == 0 || t <= self.t_min {
+            return 0;
+        }
+        if t > self.t_max {
+            return n;
+        }
+        let b = ((t.as_nanos() - self.t_min.as_nanos()) / self.bucket_width) as usize;
+        let b = b.min(self.bucket_first.len() - 2);
+        let lo = self.bucket_first[b] as usize;
+        let hi = self.bucket_first[b + 1] as usize;
+        lo + self.starts[lo..hi].partition_point(|&s| s < t)
+    }
+
+    /// Events whose start lies in `[t0, t1)`, in canonical order.
+    pub fn starting_in(&self, t0: Time, t1: Time) -> impl Iterator<Item = IoEvent> + '_ {
+        let lo = self.first_at_or_after(t0);
+        let hi = self.first_at_or_after(t1).max(lo);
+        (lo..hi).map(move |i| self.event(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        pid: u32,
+        file: u32,
+        kind: OpKind,
+        start_s: u64,
+        dur_s: u64,
+        bytes: u64,
+        offset: u64,
+    ) -> IoEvent {
+        IoEvent {
+            pid: Pid(pid),
+            file: FileId(file),
+            kind,
+            start: Time::from_secs(start_s),
+            duration: Time::from_secs(dur_s),
+            bytes,
+            offset,
+            mode: IoMode::MUnix,
+        }
+    }
+
+    fn sample() -> Vec<IoEvent> {
+        vec![
+            ev(0, 0, OpKind::Open, 0, 1, 0, 0),
+            ev(0, 0, OpKind::Read, 1, 2, 100, 0),
+            ev(1, 1, OpKind::Read, 2, 4, 999, 0),
+            ev(0, 0, OpKind::Read, 3, 2, 100, 100),
+            ev(0, 0, OpKind::Write, 5, 1, 50, 200),
+            ev(0, 0, OpKind::Close, 10, 1, 0, 0),
+        ]
+    }
+
+    #[test]
+    fn canonical_order_is_stable_sort_by_key() {
+        let mut events = sample();
+        events.swap(0, 3);
+        events.swap(1, 5);
+        let idx = TraceIndex::build(&events);
+        let starts: Vec<Time> = idx.iter().map(|e| e.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort();
+        assert_eq!(starts, sorted);
+        assert_eq!(idx.len(), events.len());
+    }
+
+    #[test]
+    fn kind_aggregates_match_hand_counts() {
+        let idx = TraceIndex::build(&sample());
+        assert_eq!(idx.count_of(OpKind::Read), 3);
+        assert_eq!(idx.duration_of(OpKind::Read), Time::from_secs(8));
+        assert_eq!(idx.bytes_of(OpKind::Read), 1199);
+        assert_eq!(idx.total_io_time(), Time::from_secs(11));
+        assert_eq!(idx.last_completion(), Time::from_secs(11));
+        assert_eq!(idx.duration_by_kind()[&OpKind::Write], Time::from_secs(1));
+        assert_eq!(idx.bytes_by_kind()[&OpKind::Write], 50);
+        assert!(!idx.bytes_by_kind().contains_key(&OpKind::Open));
+    }
+
+    #[test]
+    fn window_stats_match_the_scan() {
+        let events = sample();
+        let idx = TraceIndex::build(&events);
+        // Window [2, 4): Read@1 ([1,3)), Read@2 ([2,6)), Read@3 ([3,5)).
+        let w = idx.window_stats(Time::from_secs(2), Time::from_secs(4));
+        assert_eq!(w[&OpKind::Read].count, 3);
+        assert_eq!(w[&OpKind::Read].total_duration, Time::from_secs(8));
+        assert_eq!(w[&OpKind::Read].bytes, 1199);
+        assert!(!w.contains_key(&OpKind::Write));
+        // Empty window far in the future.
+        assert!(idx
+            .window_stats(Time::from_secs(100), Time::from_secs(200))
+            .is_empty());
+    }
+
+    #[test]
+    fn degenerate_window_counts_zero_duration_starts() {
+        let events = vec![
+            ev(0, 0, OpKind::Read, 5, 0, 10, 0), // [5,5): in [5,5) iff never
+            ev(0, 0, OpKind::Read, 3, 2, 20, 0), // [3,5): end == 5, excluded
+            ev(0, 0, OpKind::Read, 4, 2, 30, 0), // [4,6): intersects
+        ];
+        let idx = TraceIndex::build(&events);
+        let t = Time::from_secs(5);
+        let w = idx.window_stats_of(OpKind::Read, t, t);
+        // Oracle: e.start < 5 && e.end() > 5 — only [4,6).
+        assert_eq!(w.count, 1);
+        assert_eq!(w.bytes, 30);
+        assert_eq!(w.total_duration, Time::from_secs(2));
+    }
+
+    #[test]
+    fn region_stats_match_the_scan() {
+        let events = sample();
+        let idx = TraceIndex::build(&events);
+        let r = idx.region_stats(FileId(0), 100, 250);
+        assert_eq!(r[&OpKind::Read].count, 1);
+        assert_eq!(r[&OpKind::Write].count, 1);
+        assert_eq!(r[&OpKind::Write].bytes, 50);
+        assert!(!r.contains_key(&OpKind::Open));
+        // Saturated offsets never touch any region.
+        let sat = vec![ev(0, 0, OpKind::Write, 0, 1, 10, u64::MAX)];
+        let sidx = TraceIndex::build(&sat);
+        assert!(sidx.region_stats(FileId(0), 0, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn lifetime_lookups_match_the_scan() {
+        let idx = TraceIndex::build(&sample());
+        let pk = idx.file_per_kind(FileId(0)).expect("file 0 present");
+        assert_eq!(pk[&OpKind::Read].count, 2);
+        assert_eq!(pk[&OpKind::Read].bytes, 200);
+        assert_eq!(idx.file_first_open(FileId(0)), Some(Time::ZERO));
+        assert_eq!(idx.file_last_close(FileId(0)), Some(Time::from_secs(11)));
+        assert_eq!(idx.file_first_open(FileId(1)), None);
+        assert!(idx.file_per_kind(FileId(9)).is_none());
+    }
+
+    #[test]
+    fn pid_lookups() {
+        let idx = TraceIndex::build(&sample());
+        assert_eq!(idx.pids().count(), 2);
+        assert_eq!(idx.pid_total_duration(Pid(1)), Time::from_secs(4));
+        assert_eq!(
+            idx.pid_duration_of(Pid(0), OpKind::Read),
+            Some((2, Time::from_secs(4)))
+        );
+        assert_eq!(idx.pid_duration_of(Pid(1), OpKind::Write), None);
+        assert_eq!(
+            idx.starts_of_pid(Pid(0)),
+            vec![
+                Time::ZERO,
+                Time::from_secs(1),
+                Time::from_secs(3),
+                Time::from_secs(5),
+                Time::from_secs(10)
+            ]
+        );
+    }
+
+    #[test]
+    fn bucket_table_lower_bound_agrees_with_partition_point() {
+        let events: Vec<IoEvent> = (0..500)
+            .map(|i| ev(0, 0, OpKind::Read, (i * 7) % 97, 1, 1, 0))
+            .collect();
+        let idx = TraceIndex::build(&events);
+        for t in 0..100u64 {
+            let t = Time::from_secs(t);
+            let expect = idx.starts().partition_point(|&s| s < t);
+            assert_eq!(idx.first_at_or_after(t), expect, "at {t}");
+        }
+        assert_eq!(idx.first_at_or_after(Time::MAX), idx.len());
+        let in_window: Vec<IoEvent> = idx
+            .starting_in(Time::from_secs(10), Time::from_secs(20))
+            .collect();
+        assert!(in_window
+            .iter()
+            .all(|e| e.start >= Time::from_secs(10) && e.start < Time::from_secs(20)));
+    }
+
+    #[test]
+    fn empty_trace_answers_everything_with_zeros() {
+        let idx = TraceIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.total_io_time(), Time::ZERO);
+        assert_eq!(idx.last_completion(), Time::ZERO);
+        assert!(idx.duration_by_kind().is_empty());
+        assert!(idx.bytes_by_kind().is_empty());
+        assert!(idx.window_stats(Time::ZERO, Time::MAX).is_empty());
+        assert!(idx.region_stats(FileId(0), 0, u64::MAX).is_empty());
+        assert_eq!(idx.first_at_or_after(Time::from_secs(5)), 0);
+        assert_eq!(idx.sizes_of(OpKind::Read), Vec::<u64>::new());
+        assert_eq!(idx.starting_in(Time::ZERO, Time::MAX).count(), 0);
+    }
+
+    #[test]
+    fn job_sub_index_mirrors_per_pid_attribution() {
+        let mut map = JobMap::new();
+        map.insert(0, 1, JobId(0)); // pid 0
+        map.insert(1, 2, JobId(1)); // pid 1
+        let idx = TraceIndex::build_with_jobs(&sample(), &map);
+        assert_eq!(idx.jobs().collect::<Vec<_>>(), vec![JobId(0), JobId(1)]);
+        assert_eq!(idx.job_event_count(JobId(0)), 5);
+        assert_eq!(idx.job_event_count(JobId(1)), 1);
+        assert_eq!(idx.job_total_duration(JobId(0)), Time::from_secs(7));
+        assert_eq!(idx.job_total_duration(JobId(1)), Time::from_secs(4));
+        assert_eq!(
+            idx.job_duration_of(JobId(0), OpKind::Read),
+            Some((2, Time::from_secs(4)))
+        );
+        assert_eq!(idx.job_duration_of(JobId(1), OpKind::Write), None);
+        assert!(idx
+            .events_of_job(JobId(1))
+            .all(|e| e.pid == Pid(1) && e.bytes == 999));
+        // Unmapped pids stay unattributed; plain build has no jobs.
+        assert_eq!(idx.job_event_count(JobId(9)), 0);
+        assert_eq!(TraceIndex::build(&sample()).jobs().count(), 0);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        // Straddle PAR_THRESHOLD: the parallel path must produce the
+        // same canonical order and the same aggregates.
+        let events: Vec<IoEvent> = (0..(PAR_THRESHOLD as u64 + 100))
+            .map(|i| {
+                let kind = match i % 5 {
+                    0 => OpKind::Open,
+                    1 | 2 => OpKind::Read,
+                    3 => OpKind::Write,
+                    _ => OpKind::Close,
+                };
+                ev(
+                    (i % 16) as u32,
+                    (i % 3) as u32,
+                    kind,
+                    (i * 37) % 1000,
+                    i % 7,
+                    (i * 13) % 4096,
+                    (i * 17) % 100_000,
+                )
+            })
+            .collect();
+        let whole = TraceIndex::build(&events);
+        let small = TraceIndex::build(&events[..1000]);
+        // Spot-check the parallel build against per-event folds.
+        let naive_dur: u64 = events.iter().map(|e| e.duration.as_nanos()).sum();
+        assert_eq!(whole.total_io_time(), Time::from_nanos(naive_dur));
+        let naive_read_bytes: u64 = events
+            .iter()
+            .filter(|e| e.kind == OpKind::Read)
+            .map(|e| e.bytes)
+            .sum();
+        assert_eq!(whole.bytes_of(OpKind::Read), naive_read_bytes);
+        let small_dur: u64 = events[..1000].iter().map(|e| e.duration.as_nanos()).sum();
+        assert_eq!(small.total_io_time(), Time::from_nanos(small_dur));
+        // Canonical order is sorted by start in both.
+        assert!(whole.starts().windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,276 @@
+//! Property-based tests of the columnar trace index: every indexed
+//! query — lifetime, window, region, and by-kind aggregates — must
+//! equal the naive-scan oracle on arbitrary event vectors, including
+//! empty traces, zero-duration events, and offsets at the edge of the
+//! u64 range.
+
+use proptest::prelude::*;
+use sioscope_pfs::{IoMode, OpKind};
+use sioscope_sim::{DetRng, FileId, Pid, Time};
+use sioscope_trace::{
+    FileRegionSummary, IoEvent, LifetimeSummary, TimeWindowSummary, TraceIndex, TraceRecorder,
+};
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Open),
+        Just(OpKind::Gopen),
+        Just(OpKind::Read),
+        Just(OpKind::Seek),
+        Just(OpKind::Write),
+        Just(OpKind::Iomode),
+        Just(OpKind::Flush),
+        Just(OpKind::Close),
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = IoMode> {
+    prop_oneof![
+        Just(IoMode::MUnix),
+        Just(IoMode::MRecord),
+        Just(IoMode::MAsync),
+        Just(IoMode::MGlobal),
+        Just(IoMode::MSync),
+        Just(IoMode::MLog),
+    ]
+}
+
+/// Events with deliberately nasty shapes: frequent zero durations
+/// (degenerate intervals), shared start instants, and offsets at the
+/// saturation edge of the u64 range.
+fn arb_event() -> impl Strategy<Value = IoEvent> {
+    (
+        0u32..8,
+        0u32..4,
+        arb_kind(),
+        prop_oneof![Just(0u64), 0u64..1_000_000],
+        prop_oneof![Just(0u64), 0u64..10_000],
+        0u64..100_000,
+        prop_oneof![
+            3 => 0u64..1_000_000,
+            1 => Just(u64::MAX),
+            1 => Just(u64::MAX - 10),
+        ],
+        arb_mode(),
+    )
+        .prop_map(
+            |(pid, file, kind, start, dur, bytes, offset, mode)| IoEvent {
+                pid: Pid(pid),
+                file: FileId(file),
+                kind,
+                start: Time::from_nanos(start),
+                duration: Time::from_nanos(dur),
+                bytes: if matches!(kind, OpKind::Read | OpKind::Write) {
+                    bytes
+                } else {
+                    0
+                },
+                offset,
+                mode,
+            },
+        )
+}
+
+fn recorder(events: &[IoEvent]) -> TraceRecorder {
+    let mut t = TraceRecorder::new();
+    for e in events {
+        t.record(*e);
+    }
+    t
+}
+
+proptest! {
+    /// Lifetime summaries via the index equal the scan for every file
+    /// (including files absent from the trace).
+    #[test]
+    fn lifetime_indexed_matches_oracle(events in prop::collection::vec(arb_event(), 0..250)) {
+        let idx = TraceIndex::build(&events);
+        for f in 0..5u32 {
+            prop_assert_eq!(
+                LifetimeSummary::from_index(&idx, FileId(f)),
+                LifetimeSummary::build(&events, FileId(f))
+            );
+        }
+    }
+
+    /// Window summaries via the prefix-sum algebra equal the scan for
+    /// arbitrary windows, including degenerate `t0 == t1` windows at
+    /// instants where zero-duration events start.
+    #[test]
+    fn window_indexed_matches_oracle(
+        events in prop::collection::vec(arb_event(), 0..250),
+        a in 0u64..1_100_000,
+        b in 0u64..1_100_000,
+    ) {
+        let idx = TraceIndex::build(&events);
+        let (t0, t1) = (Time::from_nanos(a.min(b)), Time::from_nanos(a.max(b)));
+        prop_assert_eq!(
+            TimeWindowSummary::from_index(&idx, t0, t1),
+            TimeWindowSummary::build(&events, t0, t1)
+        );
+        // Degenerate window at `a` — exercises the correction term.
+        let t = Time::from_nanos(a);
+        prop_assert_eq!(
+            TimeWindowSummary::from_index(&idx, t, t),
+            TimeWindowSummary::build(&events, t, t)
+        );
+        // Degenerate window pinned to an actual event start, where
+        // zero-duration events are guaranteed to sit when present.
+        if let Some(e) = events.first() {
+            prop_assert_eq!(
+                TimeWindowSummary::from_index(&idx, e.start, e.start),
+                TimeWindowSummary::build(&events, e.start, e.start)
+            );
+        }
+    }
+
+    /// Region summaries via the offset-sorted prefix sums equal the
+    /// scan for arbitrary regions, including regions reaching
+    /// `u64::MAX` against events whose byte ranges saturate.
+    #[test]
+    fn region_indexed_matches_oracle(
+        events in prop::collection::vec(arb_event(), 0..250),
+        file in 0u32..4,
+        a in prop_oneof![Just(0u64), Just(u64::MAX), 0u64..2_000_000],
+        b in prop_oneof![Just(0u64), Just(u64::MAX), 0u64..2_000_000],
+    ) {
+        let idx = TraceIndex::build(&events);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert_eq!(
+            FileRegionSummary::from_index(&idx, FileId(file), lo, hi),
+            FileRegionSummary::build(&events, FileId(file), lo, hi)
+        );
+    }
+
+    /// The recorder's routed aggregates equal naive per-event folds.
+    #[test]
+    fn recorder_aggregates_match_naive_folds(events in prop::collection::vec(arb_event(), 0..250)) {
+        let mut t = recorder(&events);
+        t.sort(); // canonical order: routed extractions == filtered scans
+        let sorted = t.events().to_vec();
+
+        let by_kind = t.duration_by_kind();
+        for (&k, &d) in &by_kind {
+            let manual: u64 = sorted.iter().filter(|e| e.kind == k).map(|e| e.duration.as_nanos()).sum();
+            prop_assert_eq!(d.as_nanos(), manual);
+        }
+        prop_assert_eq!(by_kind.len(), {
+            let mut kinds: Vec<OpKind> = sorted.iter().map(|e| e.kind).collect();
+            kinds.sort_unstable();
+            kinds.dedup();
+            kinds.len()
+        });
+
+        let bytes = t.bytes_by_kind();
+        for k in [OpKind::Read, OpKind::Write] {
+            let manual: u64 = sorted.iter().filter(|e| e.kind == k).map(|e| e.bytes).sum();
+            prop_assert_eq!(bytes.get(&k).copied().unwrap_or(0), manual);
+            let manual_sizes: Vec<u64> =
+                sorted.iter().filter(|e| e.kind == k).map(|e| e.bytes).collect();
+            prop_assert_eq!(t.sizes_of(k), manual_sizes);
+            let manual_tl: Vec<(Time, u64)> =
+                sorted.iter().filter(|e| e.kind == k).map(|e| (e.start, e.bytes)).collect();
+            prop_assert_eq!(t.timeline_of(k), manual_tl);
+            let manual_dtl: Vec<(Time, Time)> =
+                sorted.iter().filter(|e| e.kind == k).map(|e| (e.start, e.duration)).collect();
+            prop_assert_eq!(t.duration_timeline_of(k), manual_dtl);
+        }
+
+        let manual_total: u64 = sorted.iter().map(|e| e.duration.as_nanos()).sum();
+        prop_assert_eq!(t.total_io_time().as_nanos(), manual_total);
+        let manual_last = sorted.iter().map(|e| e.end()).fold(Time::ZERO, Time::max);
+        prop_assert_eq!(t.last_completion(), manual_last);
+        // And the same two answers once the index is warm.
+        let _ = t.index();
+        prop_assert_eq!(t.total_io_time().as_nanos(), manual_total);
+        prop_assert_eq!(t.last_completion(), manual_last);
+    }
+
+    /// The index's canonical event order is exactly the recorder's
+    /// stable `(start, pid, file, offset)` sort.
+    #[test]
+    fn index_order_is_the_canonical_sort(events in prop::collection::vec(arb_event(), 0..250)) {
+        let idx = TraceIndex::build(&events);
+        let mut t = recorder(&events);
+        t.sort();
+        let indexed: Vec<IoEvent> = idx.iter().collect();
+        prop_assert_eq!(indexed, t.events().to_vec());
+    }
+
+    /// `starting_in` (bucket-table lookups) equals the filtered scan
+    /// over the sorted trace.
+    #[test]
+    fn starting_in_matches_filtered_scan(
+        events in prop::collection::vec(arb_event(), 0..250),
+        a in 0u64..1_100_000,
+        b in 0u64..1_100_000,
+    ) {
+        let idx = TraceIndex::build(&events);
+        let mut t = recorder(&events);
+        t.sort();
+        let (t0, t1) = (Time::from_nanos(a.min(b)), Time::from_nanos(a.max(b)));
+        let via_index: Vec<IoEvent> = idx.starting_in(t0, t1).collect();
+        let via_scan: Vec<IoEvent> = t
+            .events()
+            .iter()
+            .filter(|e| e.start >= t0 && e.start < t1)
+            .copied()
+            .collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+}
+
+/// Deterministic large-trace check crossing the parallel-build
+/// threshold: the rayon path must agree with the oracle scans exactly.
+#[test]
+fn large_parallel_build_matches_oracles() {
+    let mut rng = DetRng::new(0x1DEC5);
+    let mut events = Vec::with_capacity(6000);
+    for _ in 0..6000 {
+        let kind = match rng.range_inclusive(0, 7) {
+            0 => OpKind::Open,
+            1 => OpKind::Gopen,
+            2 | 3 => OpKind::Read,
+            4 => OpKind::Seek,
+            5 => OpKind::Write,
+            6 => OpKind::Flush,
+            _ => OpKind::Close,
+        };
+        let data = matches!(kind, OpKind::Read | OpKind::Write);
+        events.push(IoEvent {
+            pid: Pid(rng.range_inclusive(0, 31) as u32),
+            file: FileId(rng.range_inclusive(0, 5) as u32),
+            kind,
+            start: Time::from_nanos(rng.range_inclusive(0, 10_000_000)),
+            duration: Time::from_nanos(rng.range_inclusive(0, 50_000)),
+            bytes: if data {
+                rng.range_inclusive(0, 65_536)
+            } else {
+                0
+            },
+            offset: rng.range_inclusive(0, 1 << 30),
+            mode: IoMode::MUnix,
+        });
+    }
+    let idx = TraceIndex::build(&events);
+    assert_eq!(idx.len(), events.len());
+    for f in 0..6u32 {
+        assert_eq!(
+            LifetimeSummary::from_index(&idx, FileId(f)),
+            LifetimeSummary::build(&events, FileId(f))
+        );
+    }
+    for (a, b) in [(0, 10_000_000), (1_000_000, 2_000_000), (5_000, 5_000)] {
+        let (t0, t1) = (Time::from_nanos(a), Time::from_nanos(b));
+        assert_eq!(
+            TimeWindowSummary::from_index(&idx, t0, t1),
+            TimeWindowSummary::build(&events, t0, t1)
+        );
+    }
+    for (lo, hi) in [(0u64, 1 << 29), (1 << 20, 1 << 21), (0, u64::MAX)] {
+        assert_eq!(
+            FileRegionSummary::from_index(&idx, FileId(2), lo, hi),
+            FileRegionSummary::build(&events, FileId(2), lo, hi)
+        );
+    }
+}

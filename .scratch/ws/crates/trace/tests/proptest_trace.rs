@@ -1,0 +1,166 @@
+//! Property-based tests of the tracing layer: summaries are exact
+//! aggregations of the raw events, and export round-trips.
+
+use proptest::prelude::*;
+use sioscope_pfs::{IoMode, OpKind};
+use sioscope_sim::{FileId, Pid, Time};
+use sioscope_trace::{export, IoEvent, LifetimeSummary, TimeWindowSummary, TraceRecorder};
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Open),
+        Just(OpKind::Gopen),
+        Just(OpKind::Read),
+        Just(OpKind::Seek),
+        Just(OpKind::Write),
+        Just(OpKind::Iomode),
+        Just(OpKind::Flush),
+        Just(OpKind::Close),
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = IoMode> {
+    prop_oneof![
+        Just(IoMode::MUnix),
+        Just(IoMode::MRecord),
+        Just(IoMode::MAsync),
+        Just(IoMode::MGlobal),
+        Just(IoMode::MSync),
+        Just(IoMode::MLog),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = IoEvent> {
+    (
+        0u32..8,
+        0u32..4,
+        arb_kind(),
+        0u64..1_000_000,
+        0u64..10_000,
+        0u64..100_000,
+        0u64..1_000_000,
+        arb_mode(),
+    )
+        .prop_map(
+            |(pid, file, kind, start, dur, bytes, offset, mode)| IoEvent {
+                pid: Pid(pid),
+                file: FileId(file),
+                kind,
+                start: Time::from_nanos(start),
+                duration: Time::from_nanos(dur),
+                bytes: if matches!(kind, OpKind::Read | OpKind::Write) {
+                    bytes
+                } else {
+                    0
+                },
+                offset,
+                mode,
+            },
+        )
+}
+
+proptest! {
+    /// duration_by_kind sums exactly to total_io_time, and bytes are
+    /// partitioned by kind.
+    #[test]
+    fn aggregates_are_exact(events in prop::collection::vec(arb_event(), 0..200)) {
+        let mut t = TraceRecorder::new();
+        for e in &events {
+            t.record(*e);
+        }
+        let by_kind = t.duration_by_kind();
+        let total: Time = by_kind.values().copied().sum();
+        prop_assert_eq!(total, t.total_io_time());
+        let manual: u64 = events.iter().map(|e| e.duration.as_nanos()).sum();
+        prop_assert_eq!(total.as_nanos(), manual);
+
+        let bytes = t.bytes_by_kind();
+        let manual_read: u64 = events.iter().filter(|e| e.kind == OpKind::Read).map(|e| e.bytes).sum();
+        prop_assert_eq!(bytes.get(&OpKind::Read).copied().unwrap_or(0), manual_read);
+    }
+
+    /// Lifetime summaries over every file partition the trace.
+    #[test]
+    fn lifetime_summaries_partition(events in prop::collection::vec(arb_event(), 0..200)) {
+        let mut t = TraceRecorder::new();
+        for e in &events {
+            t.record(*e);
+        }
+        let mut count = 0u64;
+        let mut duration = Time::ZERO;
+        for f in 0..4u32 {
+            let s = LifetimeSummary::build(t.events(), FileId(f));
+            for stats in s.per_kind.values() {
+                count += stats.count;
+                duration += stats.total_duration;
+            }
+        }
+        prop_assert_eq!(count, t.len() as u64);
+        prop_assert_eq!(duration, t.total_io_time());
+    }
+
+    /// A window covering all time equals the whole trace; an empty
+    /// window is empty.
+    #[test]
+    fn window_extremes(events in prop::collection::vec(arb_event(), 0..150)) {
+        let mut t = TraceRecorder::new();
+        for e in &events {
+            t.record(*e);
+        }
+        let all = TimeWindowSummary::build(t.events(), Time::ZERO, Time::MAX);
+        let count: u64 = all.per_kind.values().map(|s| s.count).sum();
+        // Zero-duration events starting at t=0 still intersect [0, MAX).
+        prop_assert!(count >= t.events().iter().filter(|e| e.duration > Time::ZERO).count() as u64);
+        let none = TimeWindowSummary::build(t.events(), Time::MAX, Time::MAX);
+        prop_assert_eq!(none.per_kind.len(), 0);
+    }
+
+    /// JSON export round-trips every event exactly.
+    #[test]
+    fn export_round_trip(events in prop::collection::vec(arb_event(), 0..100)) {
+        let mut t = TraceRecorder::new();
+        for e in &events {
+            t.record(*e);
+        }
+        let json = export::to_json(&t).expect("serialize");
+        let back = export::from_json(&json).expect("deserialize");
+        prop_assert_eq!(back.events(), t.events());
+    }
+
+    /// Binary export round-trips every event exactly and is smaller
+    /// than JSON for non-trivial traces.
+    #[test]
+    fn binary_round_trip(events in prop::collection::vec(arb_event(), 0..100)) {
+        let mut t = TraceRecorder::new();
+        for e in &events {
+            t.record(*e);
+        }
+        let bin = sioscope_trace::binary::encode(&t);
+        let back = sioscope_trace::binary::decode(&bin).expect("decode");
+        prop_assert_eq!(back.events(), t.events());
+        if t.len() > 4 {
+            let json = export::to_json(&t).expect("json");
+            prop_assert!(bin.len() < json.len());
+        }
+    }
+
+    /// Sorting is stable with respect to content: same multiset of
+    /// events before and after.
+    #[test]
+    fn sort_preserves_content(events in prop::collection::vec(arb_event(), 0..150)) {
+        let mut t = TraceRecorder::new();
+        for e in &events {
+            t.record(*e);
+        }
+        let mut before: Vec<IoEvent> = t.events().to_vec();
+        t.sort();
+        let mut after: Vec<IoEvent> = t.events().to_vec();
+        let key = |e: &IoEvent| (e.start, e.pid, e.file, e.offset, e.kind as u8, e.bytes, e.duration);
+        before.sort_by_key(key);
+        after.sort_by_key(key);
+        prop_assert_eq!(before, after);
+        for pair in t.events().windows(2) {
+            prop_assert!(pair[0].start <= pair[1].start);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Trace-driven workload replay.
+//!
+//! Characterization studies like the paper's produce *traces*; the
+//! natural next step (and the basis of the benchmark-derivation plan
+//! of §7) is replaying a captured trace against a different file
+//! system or machine configuration. [`from_trace`] reconstructs a
+//! runnable [`Workload`] from a Pablo-style event trace:
+//!
+//! * each process's operation sequence is replayed in order, with the
+//!   inter-operation gaps reproduced as compute time (the
+//!   "think time" the application spent between calls);
+//! * collective operations (`gopen`, `setiomode`, and the collective
+//!   data modes) are re-grouped by their completion instant — members
+//!   of one collective round all finish at related times in the
+//!   original trace;
+//! * seeks replay to their recorded offsets, reads/writes to their
+//!   recorded sizes.
+//!
+//! ## Fidelity limits
+//!
+//! The trace records *what the file system did*, not every piece of
+//! client state: buffering toggles (`SetBuffering`) are recorded as
+//! `iomode` events indistinguishable from `setiomode`; singleton
+//! `iomode` rounds (which is what a buffering toggle looks like) are
+//! therefore dropped rather than replayed as a mis-sized collective.
+//! M_RECORD record sizes are inferred from the data requests that
+//! follow. Replays reproduce the request stream exactly and the
+//! timing approximately.
+
+use crate::program::{FileSpec, Stmt, Workload};
+use sioscope_pfs::mode::OsRelease;
+use sioscope_pfs::{IoMode, IoOp, OpKind};
+use sioscope_sim::Time;
+use sioscope_trace::IoEvent;
+use std::collections::{BTreeMap, HashMap};
+
+/// Reconstruction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The trace is empty.
+    EmptyTrace,
+    /// An M_RECORD round had no data request to infer the record size
+    /// from.
+    NoRecordSize {
+        /// The file whose record size could not be inferred.
+        file: u32,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::EmptyTrace => write!(f, "cannot replay an empty trace"),
+            ReplayError::NoRecordSize { file } => {
+                write!(f, "file {file}: M_RECORD round with no data request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Reconstruct a workload from a trace. `file_sizes` supplies the
+/// initial size of each pre-existing file (index = file id); missing
+/// entries are derived from the highest offset read before the first
+/// write.
+pub fn from_trace(
+    events: &[IoEvent],
+    file_sizes: &BTreeMap<u32, u64>,
+) -> Result<Workload, ReplayError> {
+    if events.is_empty() {
+        return Err(ReplayError::EmptyTrace);
+    }
+    let nodes = events.iter().map(|e| e.pid.0).max().expect("non-empty") + 1;
+    let n_files = events.iter().map(|e| e.file.0).max().expect("non-empty") + 1;
+
+    // Group collective opens/mode-changes by (file, kind, finish):
+    // all members of one round complete at the same instant.
+    let mut group_sizes: HashMap<(u32, u8, u64), u32> = HashMap::new();
+    for e in events {
+        if matches!(e.kind, OpKind::Gopen | OpKind::Iomode) {
+            *group_sizes
+                .entry((e.file.0, e.kind as u8, e.end().as_nanos()))
+                .or_insert(0) += 1;
+        }
+    }
+
+    // Infer M_RECORD record sizes per file: the size of data requests
+    // made under M_RECORD.
+    let mut record_sizes: HashMap<u32, u64> = HashMap::new();
+    for e in events {
+        if e.mode == IoMode::MRecord && e.is_data() && e.bytes > 0 {
+            record_sizes.entry(e.file.0).or_insert(e.bytes);
+        }
+    }
+
+    // Derive input-file sizes where not supplied: bytes visible to
+    // reads (max offset + len over read events).
+    let mut derived_sizes: BTreeMap<u32, u64> = file_sizes.clone();
+    for e in events {
+        if e.kind == OpKind::Read && e.bytes > 0 {
+            let end = e.offset + e.bytes;
+            let entry = derived_sizes.entry(e.file.0).or_insert(0);
+            *entry = (*entry).max(end);
+        }
+    }
+
+    // Per-pid event sequences, trace order.
+    let mut per_pid: Vec<Vec<&IoEvent>> = vec![Vec::new(); nodes as usize];
+    for e in events {
+        per_pid[e.pid.index()].push(e);
+    }
+    for seq in &mut per_pid {
+        seq.sort_by_key(|e| (e.start, e.end()));
+    }
+
+    let mut programs = Vec::with_capacity(nodes as usize);
+    for seq in &per_pid {
+        let mut prog = Vec::with_capacity(seq.len() * 2);
+        let mut cursor = Time::ZERO;
+        for e in seq {
+            // Reproduce the application's think time between calls.
+            if e.start > cursor {
+                prog.push(Stmt::Compute(e.start - cursor));
+            }
+            let op = match e.kind {
+                OpKind::Open => IoOp::Open,
+                OpKind::Gopen => IoOp::Gopen {
+                    group: group_sizes[&(e.file.0, e.kind as u8, e.end().as_nanos())],
+                    mode: e.mode,
+                    record_size: if e.mode == IoMode::MRecord {
+                        Some(
+                            record_sizes
+                                .get(&e.file.0)
+                                .copied()
+                                .ok_or(ReplayError::NoRecordSize { file: e.file.0 })?,
+                        )
+                    } else {
+                        None
+                    },
+                },
+                OpKind::Iomode => {
+                    let group = group_sizes[&(e.file.0, e.kind as u8, e.end().as_nanos())];
+                    if group <= 1 {
+                        // A buffering toggle (or a degenerate
+                        // single-member setiomode): not replayable as
+                        // a collective — skip, keeping the think-time
+                        // cursor faithful.
+                        cursor = e.end();
+                        continue;
+                    }
+                    IoOp::SetIoMode {
+                        group,
+                        mode: e.mode,
+                        record_size: if e.mode == IoMode::MRecord {
+                            Some(
+                                record_sizes
+                                    .get(&e.file.0)
+                                    .copied()
+                                    .ok_or(ReplayError::NoRecordSize { file: e.file.0 })?,
+                            )
+                        } else {
+                            None
+                        },
+                    }
+                }
+                OpKind::Read => IoOp::Read { size: e.bytes },
+                OpKind::Write => IoOp::Write { size: e.bytes },
+                OpKind::Seek => IoOp::Seek { offset: e.offset },
+                OpKind::Flush => IoOp::Flush,
+                OpKind::Close => IoOp::Close,
+            };
+            prog.push(Stmt::Io { file: e.file.0, op });
+            // The replayed call re-executes under the target
+            // configuration; advancing the cursor to the original end
+            // keeps gap reconstruction faithful to the source trace.
+            cursor = e.end();
+        }
+        programs.push(prog);
+    }
+
+    let files = (0..n_files)
+        .map(|i| FileSpec {
+            name: format!("replay/file{i}"),
+            initial_size: derived_sizes.get(&i).copied().unwrap_or(0),
+        })
+        .collect();
+
+    Ok(Workload {
+        name: "replay".into(),
+        version: "replay".into(),
+        os: OsRelease::Osf13,
+        nodes,
+        files,
+        programs,
+        phases: vec![],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sioscope_sim::{FileId, Pid};
+
+    #[allow(clippy::too_many_arguments)]
+    fn ev(
+        pid: u32,
+        file: u32,
+        kind: OpKind,
+        mode: IoMode,
+        start_ms: u64,
+        dur_ms: u64,
+        bytes: u64,
+        offset: u64,
+    ) -> IoEvent {
+        IoEvent {
+            pid: Pid(pid),
+            file: FileId(file),
+            kind,
+            start: Time::from_millis(start_ms),
+            duration: Time::from_millis(dur_ms),
+            bytes,
+            offset,
+            mode,
+        }
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert_eq!(
+            from_trace(&[], &BTreeMap::new()).unwrap_err(),
+            ReplayError::EmptyTrace
+        );
+    }
+
+    #[test]
+    fn single_process_sequence_reconstructed() {
+        let events = vec![
+            ev(0, 0, OpKind::Open, IoMode::MUnix, 0, 10, 0, 0),
+            ev(0, 0, OpKind::Read, IoMode::MUnix, 20, 5, 4096, 0),
+            ev(0, 0, OpKind::Close, IoMode::MUnix, 30, 1, 0, 0),
+        ];
+        let w = from_trace(&events, &BTreeMap::new()).expect("replays");
+        assert_eq!(w.nodes, 1);
+        assert!(w.validate().is_empty());
+        // Open, think-gap, read, think-gap, close.
+        let ops: Vec<&Stmt> = w.programs[0].iter().collect();
+        assert!(matches!(ops[0], Stmt::Io { op: IoOp::Open, .. }));
+        assert!(matches!(ops[1], Stmt::Compute(t) if *t == Time::from_millis(10)));
+        assert!(matches!(
+            ops[2],
+            Stmt::Io {
+                op: IoOp::Read { size: 4096 },
+                ..
+            }
+        ));
+        // Derived input size covers the read.
+        assert_eq!(w.files[0].initial_size, 4096);
+    }
+
+    #[test]
+    fn collective_groups_recovered_by_finish_time() {
+        // Two pids gopen the same file, completing together.
+        let events = vec![
+            ev(0, 0, OpKind::Gopen, IoMode::MAsync, 0, 30, 0, 0),
+            ev(1, 0, OpKind::Gopen, IoMode::MAsync, 10, 20, 0, 0),
+        ];
+        let w = from_trace(&events, &BTreeMap::new()).expect("replays");
+        assert_eq!(w.nodes, 2);
+        for prog in &w.programs {
+            let gopen = prog.iter().find_map(|s| match s {
+                Stmt::Io {
+                    op: IoOp::Gopen { group, mode, .. },
+                    ..
+                } => Some((*group, *mode)),
+                _ => None,
+            });
+            assert_eq!(gopen, Some((2, IoMode::MAsync)));
+        }
+    }
+
+    #[test]
+    fn record_size_inferred_from_data_requests() {
+        let events = vec![
+            ev(0, 0, OpKind::Gopen, IoMode::MRecord, 0, 10, 0, 0),
+            ev(0, 0, OpKind::Read, IoMode::MRecord, 20, 5, 131072, 0),
+        ];
+        let w = from_trace(&events, &BTreeMap::new()).expect("replays");
+        let rec = w.programs[0].iter().find_map(|s| match s {
+            Stmt::Io {
+                op: IoOp::Gopen { record_size, .. },
+                ..
+            } => *record_size,
+            _ => None,
+        });
+        assert_eq!(rec, Some(131072));
+    }
+
+    #[test]
+    fn record_mode_without_data_is_an_error() {
+        let events = vec![ev(0, 0, OpKind::Gopen, IoMode::MRecord, 0, 10, 0, 0)];
+        assert_eq!(
+            from_trace(&events, &BTreeMap::new()).unwrap_err(),
+            ReplayError::NoRecordSize { file: 0 }
+        );
+    }
+
+    #[test]
+    fn singleton_iomode_rounds_are_dropped() {
+        let events = vec![
+            ev(0, 0, OpKind::Open, IoMode::MUnix, 0, 5, 0, 0),
+            // A buffering toggle: a lone iomode event.
+            ev(0, 0, OpKind::Iomode, IoMode::MUnix, 10, 1, 0, 0),
+            ev(0, 0, OpKind::Read, IoMode::MUnix, 20, 5, 64, 0),
+        ];
+        let w = from_trace(&events, &BTreeMap::new()).expect("replays");
+        let has_iomode = w.programs[0].iter().any(|s| {
+            matches!(
+                s,
+                Stmt::Io {
+                    op: IoOp::SetIoMode { .. },
+                    ..
+                }
+            )
+        });
+        assert!(!has_iomode, "singleton iomode must be dropped");
+        // The read survives.
+        assert!(w.programs[0].iter().any(|s| matches!(
+            s,
+            Stmt::Io {
+                op: IoOp::Read { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn supplied_file_sizes_take_precedence() {
+        let events = vec![ev(0, 0, OpKind::Read, IoMode::MUnix, 0, 1, 100, 0)];
+        let mut sizes = BTreeMap::new();
+        sizes.insert(0u32, 1 << 20);
+        let w = from_trace(&events, &sizes).expect("replays");
+        assert_eq!(w.files[0].initial_size, 1 << 20);
+    }
+}

@@ -1,0 +1,200 @@
+//! Golden-run regression suite: bit-exact snapshots of every registry
+//! experiment, plus the raw per-run numbers they are derived from.
+//!
+//! Each experiment's rendered artifact and shape-check verdicts are
+//! serialized to `tests/golden/<id>.json`; the underlying `RunResult`s
+//! (exact nanosecond times, event counts, per-node finish times and a
+//! digest of the full I/O trace) go to `tests/golden/runs-escat.json`
+//! and `tests/golden/runs-prism.json`. The comparison is **string
+//! equality on the serialized JSON** — one nanosecond of drift anywhere
+//! fails the suite, which is exactly the guarantee an optimization pass
+//! needs: the refactored simulator must be *bit-identical*, not merely
+//! "still passes the shape checks".
+//!
+//! Workflow:
+//!
+//! * First run in a fresh checkout (no golden file yet): the snapshot
+//!   is **bootstrapped** — written to disk and reported, so the suite
+//!   self-seeds from whatever commit it first runs on. Run it once
+//!   *before* an optimization lands and the optimized tree is verified
+//!   against pre-change outputs.
+//! * Subsequent runs: bit-exact comparison; any mismatch fails with the
+//!   first differing line.
+//! * `UPDATE_GOLDEN=1 cargo test --test golden_experiments` regenerates
+//!   every snapshot. Legitimate only when outputs *intentionally*
+//!   changed (new experiment, model fix); never to make an
+//!   "optimization" pass.
+//!
+//! Snapshots are captured at smoke scale so the suite stays cheap
+//! enough to run on every commit.
+
+use sioscope::experiments::{run_experiment, Experiment, Scale};
+use sioscope::simulator::RunResult;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn update_requested() -> bool {
+    matches!(
+        std::env::var("UPDATE_GOLDEN").as_deref(),
+        Ok("1") | Ok("true")
+    )
+}
+
+/// FNV-1a over the canonical JSON of each trace event: a cheap,
+/// dependency-free digest that pins the *entire* I/O trace (every pid,
+/// offset, start and duration) without committing megabytes of JSON.
+fn trace_digest(r: &RunResult) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for ev in r.trace.events() {
+        let line = serde_json::to_string(ev).expect("serialize trace event");
+        for b in line.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+fn run_summary(r: &RunResult) -> serde_json::Value {
+    serde_json::json!({
+        "name": r.name,
+        "version": r.version,
+        "exec_time_ns": r.exec_time,
+        "events": r.events,
+        "total_io_time_ns": r.total_io_time(),
+        "node_finish_ns": r.node_finish,
+        "trace_events": r.trace.len(),
+        "trace_digest": trace_digest(r),
+        "duration_by_kind_ns": r.trace.duration_by_kind(),
+        "bytes_by_kind": r.trace.bytes_by_kind(),
+        "resilience": r.resilience,
+        "fault_transitions": r.fault_transitions,
+    })
+}
+
+/// Compare `produced` against the snapshot at `path`. Returns an error
+/// string on mismatch; bootstraps the file if it does not exist yet.
+fn check_snapshot(path: &Path, produced: &str, failures: &mut Vec<String>) {
+    if update_requested() || !path.exists() {
+        let verb = if path.exists() {
+            "updated"
+        } else {
+            "bootstrapped"
+        };
+        std::fs::write(path, produced).expect("write golden snapshot");
+        eprintln!("golden: {verb} {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect("read golden snapshot");
+    if expected == produced {
+        return;
+    }
+    let diff_line = expected
+        .lines()
+        .zip(produced.lines())
+        .enumerate()
+        .find(|(_, (e, p))| e != p)
+        .map(|(i, (e, p))| format!("line {}: golden `{}` vs produced `{}`", i + 1, e, p))
+        .unwrap_or_else(|| {
+            format!(
+                "line counts differ: golden {} vs produced {}",
+                expected.lines().count(),
+                produced.lines().count()
+            )
+        });
+    failures.push(format!(
+        "{}: snapshot mismatch ({diff_line}); if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    ));
+}
+
+fn pretty(value: &serde_json::Value) -> String {
+    let mut s = serde_json::to_string_pretty(value).expect("serialize golden");
+    s.push('\n');
+    s
+}
+
+#[test]
+fn registry_experiments_match_goldens_bit_exact() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    let mut failures = Vec::new();
+    for e in Experiment::all() {
+        let out = run_experiment(e, Scale::Smoke);
+        let value = serde_json::json!({
+            "id": e.id(),
+            "title": e.title(),
+            "rendered": out.rendered,
+            "checks": out
+                .checks
+                .iter()
+                .map(|c| {
+                    serde_json::json!({
+                        "name": c.name,
+                        "pass": c.pass,
+                        "detail": c.detail,
+                    })
+                })
+                .collect::<Vec<_>>(),
+        });
+        check_snapshot(
+            &dir.join(format!("{}.json", e.id())),
+            &pretty(&value),
+            &mut failures,
+        );
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn escat_run_results_match_goldens_bit_exact() {
+    use sioscope::experiments::escat::run_version;
+    use sioscope_workloads::{EscatDataset, EscatVersion};
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    let mut runs = serde_json::Map::new();
+    for v in EscatVersion::progressions() {
+        for dataset in [EscatDataset::Ethylene, EscatDataset::CarbonMonoxide] {
+            let r = run_version(v, dataset, Scale::Smoke);
+            runs.insert(
+                format!("escat-{v:?}-{dataset:?}").to_lowercase(),
+                run_summary(&r),
+            );
+        }
+    }
+    let mut failures = Vec::new();
+    check_snapshot(
+        &dir.join("runs-escat.json"),
+        &pretty(&serde_json::Value::Object(runs)),
+        &mut failures,
+    );
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn prism_run_results_match_goldens_bit_exact() {
+    use sioscope::experiments::prism::run_version;
+    use sioscope_workloads::PrismVersion;
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    let mut runs = serde_json::Map::new();
+    for v in PrismVersion::all() {
+        let r = run_version(v, Scale::Smoke);
+        runs.insert(format!("prism-{v:?}").to_lowercase(), run_summary(&r));
+    }
+    let mut failures = Vec::new();
+    check_snapshot(
+        &dir.join("runs-prism.json"),
+        &pretty(&serde_json::Value::Object(runs)),
+        &mut failures,
+    );
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}

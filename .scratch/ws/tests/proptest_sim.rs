@@ -1,0 +1,117 @@
+//! Property-based tests for the simulation kernel's ordering
+//! invariants: the event calendar's deterministic pop order and the
+//! stripe map's coordinate round-trip. These are the two algebraic
+//! facts the hot-path optimizations (indexed heap, batched transfers)
+//! lean on, so they get adversarial random coverage on top of the unit
+//! tests in their home crates.
+
+use proptest::prelude::*;
+use sioscope_pfs::StripeLayout;
+use sioscope_sim::{EventQueue, Time};
+
+/// One step of an interleaved calendar workout: push an event at
+/// `now + delta`, or pop the earliest pending event.
+#[derive(Debug, Clone)]
+enum CalStep {
+    Push { delta: u64 },
+    Pop,
+}
+
+fn arb_cal_steps() -> impl Strategy<Value = Vec<CalStep>> {
+    prop::collection::vec(
+        prop_oneof![
+            // Biased toward pushes so the queue stays non-trivially
+            // full; small deltas force plenty of exact-time ties.
+            3 => (0u64..50).prop_map(|delta| CalStep::Push { delta }),
+            2 => Just(CalStep::Pop),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any interleaving of pushes and pops, pops come out in
+    /// non-decreasing time order, exact-time ties break FIFO (by
+    /// insertion sequence), and draining the queue yields exactly the
+    /// sorted (time, seq) sequence of everything pushed.
+    #[test]
+    fn event_queue_pops_sorted_with_fifo_ties(steps in arb_cal_steps()) {
+        let mut q = EventQueue::new();
+        let mut pushed: Vec<(u64, u64)> = Vec::new();
+        let mut popped: Vec<(u64, u64)> = Vec::new();
+        for step in &steps {
+            match *step {
+                CalStep::Push { delta } => {
+                    let t = q.now() + Time::from_nanos(delta);
+                    let seq = q.schedule(t, ());
+                    pushed.push((t.as_nanos(), seq));
+                }
+                CalStep::Pop => {
+                    if let Some(e) = q.pop() {
+                        popped.push((e.time.as_nanos(), e.seq));
+                    }
+                }
+            }
+        }
+        while let Some(e) = q.pop() {
+            popped.push((e.time.as_nanos(), e.seq));
+        }
+        // Pairwise: time never decreases, and equal times pop in
+        // strictly increasing insertion order.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {w:?}");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated: {w:?}");
+            }
+        }
+        // Globally: the drain is a permutation-free sort of the pushes.
+        pushed.sort_unstable();
+        prop_assert_eq!(popped, pushed);
+        prop_assert!(q.is_empty());
+    }
+
+    /// `locate` and `offset_of` are exact inverses for every offset on
+    /// every layout: offset → (ion, block, within) → offset is the
+    /// identity, and the ion agrees with `ion_of`.
+    #[test]
+    fn stripe_locate_offset_round_trip(
+        unit in 1u64..1 << 20,
+        io_nodes in 1u32..64,
+        offset in 0u64..1 << 45,
+    ) {
+        let l = StripeLayout::new(unit, io_nodes);
+        let (ion, block, within) = l.locate(offset);
+        prop_assert!(ion < io_nodes);
+        prop_assert!(within < unit);
+        prop_assert_eq!(l.offset_of(ion, block, within), offset);
+        prop_assert_eq!(ion, l.ion_of(offset));
+    }
+
+    /// Segment decomposition conserves bytes, stays in file order, and
+    /// each segment's coordinates agree with `locate` — so the batched
+    /// transfer path that walks `segments_iter` sees exactly the
+    /// request's bytes, once each, in order.
+    #[test]
+    fn stripe_segments_partition_the_request(
+        unit in 1u64..1 << 16,
+        io_nodes in 1u32..32,
+        offset in 0u64..1 << 30,
+        len in 1u64..1 << 20,
+    ) {
+        let l = StripeLayout::new(unit, io_nodes);
+        let mut cur = offset;
+        let mut total = 0u64;
+        for seg in l.segments_iter(offset, len) {
+            prop_assert_eq!(seg.offset, cur, "segments must be contiguous");
+            prop_assert!(seg.len > 0 && seg.len <= unit);
+            prop_assert_eq!(seg.ion, l.ion_of(seg.offset));
+            // A segment never crosses a unit boundary.
+            prop_assert_eq!(seg.offset / unit, (seg.offset + seg.len - 1) / unit);
+            cur += seg.len;
+            total += seg.len;
+        }
+        prop_assert_eq!(total, len);
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end guarantees of the checkpoint/restart recovery engine:
+//! same-seed runs are bit-identical, recovery never beats the
+//! fault-free baseline, and malformed crash schedules are rejected
+//! before any simulation happens.
+
+use proptest::prelude::*;
+use sioscope::simulator::{run, SimError, SimOptions};
+use sioscope::{run_with_recovery, RunResult};
+use sioscope_faults::{FaultGen, FaultKind, FaultSchedule};
+use sioscope_pfs::PfsConfig;
+use sioscope_sim::Time;
+use sioscope_workloads::{
+    CheckpointPolicy, EscatConfig, EscatVersion, PrismConfig, PrismVersion, Recoverable,
+};
+
+fn pfs_for(rec: &Recoverable) -> PfsConfig {
+    let w = rec.workload();
+    PfsConfig::caltech(w.nodes, w.os)
+}
+
+fn baseline_of(rec: &Recoverable) -> Time {
+    run(rec.workload(), pfs_for(rec), SimOptions::default())
+        .expect("baseline runs")
+        .exec_time
+}
+
+fn crash_at(at: Time, rework: Time) -> FaultSchedule {
+    let mut s = FaultSchedule::empty();
+    s.push(at, FaultKind::ComputeNodeCrash { node: 0, rework });
+    s
+}
+
+fn recover(rec: &Recoverable, crashes: &FaultSchedule) -> RunResult {
+    run_with_recovery(rec, crashes, pfs_for(rec), SimOptions::default()).expect("recovery runs")
+}
+
+#[test]
+fn escat_recovery_is_bit_identical_across_reruns() {
+    let rec =
+        EscatConfig::tiny(EscatVersion::C).recoverable(CheckpointPolicy::Fixed { interval: 1 });
+    let crashes = crash_at(baseline_of(&rec).scale(0.6), Time::from_secs(2));
+    let a = recover(&rec, &crashes);
+    let b = recover(&rec, &crashes);
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.recovery.time_to_solution, b.recovery.time_to_solution);
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.trace.events(), b.trace.events());
+    assert!(a.recovery.crashes >= 1, "the placed crash must engage");
+}
+
+#[test]
+fn prism_recovery_is_bit_identical_across_reruns() {
+    let cfg = PrismConfig::tiny(PrismVersion::B);
+    let rec = cfg.recoverable(CheckpointPolicy::Fixed {
+        interval: cfg.checkpoint_every,
+    });
+    // PRISM's tiny run is dominated by setup I/O, so commit times
+    // cluster late; place the crash between the first two measured
+    // commits rather than at a fixed fraction of the baseline.
+    let base = run(rec.workload(), pfs_for(&rec), SimOptions::default()).expect("baseline runs");
+    let (first, second) = (base.checkpoint_commits[0].1, base.checkpoint_commits[1].1);
+    let crashes = crash_at(first.saturating_add(second) / 2, Time::from_secs(2));
+    let a = recover(&rec, &crashes);
+    let b = recover(&rec, &crashes);
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.trace.events(), b.trace.events());
+    assert!(
+        a.recovery.checkpoint_read_bytes > 0,
+        "a replay from PRISM's restart file re-reads it through the PFS"
+    );
+}
+
+#[test]
+fn seeded_crash_generation_feeds_recovery_deterministically() {
+    let rec =
+        EscatConfig::tiny(EscatVersion::C).recoverable(CheckpointPolicy::Fixed { interval: 1 });
+    let baseline = baseline_of(&rec);
+    let w = rec.workload();
+    let fgen = FaultGen::new(0xD00D, baseline.scale(2.0), 8);
+    let crashes = fgen.compute_crash_schedule(baseline.scale(0.5), Time::from_secs(1), w.nodes);
+    assert_eq!(
+        crashes,
+        fgen.compute_crash_schedule(baseline.scale(0.5), Time::from_secs(1), w.nodes),
+        "the crash stream is a pure function of its seed"
+    );
+    let a = recover(&rec, &crashes);
+    let b = recover(&rec, &crashes);
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.trace.events(), b.trace.events());
+}
+
+#[test]
+fn crash_on_missing_node_is_rejected_before_simulation() {
+    let rec = EscatConfig::tiny(EscatVersion::C).recoverable(CheckpointPolicy::None);
+    let mut s = FaultSchedule::empty();
+    s.push(
+        Time::from_secs(1),
+        FaultKind::ComputeNodeCrash {
+            node: 1000,
+            rework: Time::from_secs(1),
+        },
+    );
+    match run_with_recovery(&rec, &s, pfs_for(&rec), SimOptions::default()) {
+        Err(SimError::InvalidFaults(problems)) => {
+            assert!(
+                problems.iter().any(|p| p.contains("compute-crash")),
+                "{problems:?}"
+            );
+        }
+        other => panic!("expected InvalidFaults, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_rework_crash_is_rejected() {
+    let rec = EscatConfig::tiny(EscatVersion::C).recoverable(CheckpointPolicy::None);
+    let s = crash_at(Time::from_secs(1), Time::ZERO);
+    assert!(matches!(
+        run_with_recovery(&rec, &s, pfs_for(&rec), SimOptions::default()),
+        Err(SimError::InvalidFaults(_))
+    ));
+}
+
+fn arb_policy() -> impl Strategy<Value = CheckpointPolicy> {
+    prop_oneof![
+        Just(CheckpointPolicy::None),
+        (1u32..=4).prop_map(|interval| CheckpointPolicy::Fixed { interval }),
+        (1u64..=8, 4u64..=64).prop_map(|(cost, mtbf)| CheckpointPolicy::Young {
+            checkpoint_cost: Time::from_secs(cost),
+            mtbf: Time::from_secs(mtbf),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the checkpoint policy and wherever a single crash
+    /// lands, time-to-solution is never better than the fault-free run
+    /// of the same annotated workload — recovery can only add time.
+    #[test]
+    fn recovery_never_beats_the_fault_free_baseline(
+        policy in arb_policy(),
+        frac in 0.05f64..1.2,
+        reboot_secs in 1u64..4,
+    ) {
+        let rec = EscatConfig::tiny(EscatVersion::C).recoverable(policy);
+        let baseline = baseline_of(&rec);
+        let crashes = crash_at(baseline.scale(frac), Time::from_secs(reboot_secs));
+        let r = recover(&rec, &crashes);
+        prop_assert!(
+            r.recovery.time_to_solution >= baseline,
+            "policy {policy:?}, crash at {frac:.2}x: TTS {} < baseline {}",
+            r.recovery.time_to_solution,
+            baseline
+        );
+        prop_assert_eq!(r.recovery.attempts, r.recovery.crashes + 1);
+    }
+
+    /// Seeded multi-crash scenarios always run to completion, with
+    /// every crash either surviving into the accounting or absorbed by
+    /// an earlier crash's reboot window.
+    #[test]
+    fn seeded_scenarios_always_reach_a_solution(
+        seed in 0u64..1000,
+        mtbf_frac in 0.3f64..3.0,
+    ) {
+        let rec = EscatConfig::tiny(EscatVersion::C)
+            .recoverable(CheckpointPolicy::Fixed { interval: 1 });
+        let baseline = baseline_of(&rec);
+        let crashes = FaultGen::new(seed, baseline.scale(2.0), 8)
+            .compute_crash_schedule(baseline.scale(mtbf_frac), Time::from_secs(1), rec.workload().nodes);
+        let r = recover(&rec, &crashes);
+        prop_assert!(r.recovery.time_to_solution >= baseline);
+        prop_assert!(u64::from(r.recovery.crashes) <= crashes.events.len() as u64);
+        prop_assert_eq!(r.recovery.attempts, r.recovery.crashes + 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end checks of the streaming subsystem: the coupled
+//! producer–consumer driver, its differential against the
+//! checkpoint-file hand-off, and the per-job trace attribution.
+//!
+//! These are the acceptance properties the tentpole promises: at an
+//! adequate staging depth the in-transit pipeline beats the file
+//! baseline on end-to-end latency with a stall-free producer, while
+//! an undersized queue or a crashed consumer surfaces as nonzero
+//! producer stall — and every fault-free coupled run replays
+//! bit-identically from the same seed.
+
+use sioscope::{run_coupled, FileRoute, Route};
+use sioscope_faults::{FaultKind, FaultSchedule};
+use sioscope_sim::{JobId, Time};
+use sioscope_stream::StagingConfig;
+use sioscope_trace::TraceIndex;
+use sioscope_workloads::{PrismConfig, PrismVersion, StreamCadence};
+
+fn cadence() -> StreamCadence {
+    PrismConfig::tiny(PrismVersion::C).stream_cadence()
+}
+
+fn stream_route(depth: u64) -> Route {
+    Route::Stream(StagingConfig::paragon(depth))
+}
+
+#[test]
+fn streaming_beats_the_file_handoff_at_adequate_depth() {
+    let c = cadence();
+    let depth = 2 * c.bursts[0].bytes();
+    let stream = run_coupled(&c, &stream_route(depth), 100, &FaultSchedule::empty()).unwrap();
+    let file = run_coupled(
+        &c,
+        &Route::File(FileRoute::caltech_class()),
+        100,
+        &FaultSchedule::empty(),
+    )
+    .unwrap();
+    assert!(
+        stream.pipeline_latency < file.pipeline_latency,
+        "stream {} must beat file {}",
+        stream.pipeline_latency,
+        file.pipeline_latency
+    );
+    assert_eq!(stream.producer_stall, Time::ZERO);
+    assert_eq!(stream.bytes, c.total_bytes());
+    assert_eq!(file.bytes, c.total_bytes());
+    assert!(stream.conserves && file.conserves);
+}
+
+#[test]
+fn undersized_depth_and_consumer_crash_both_stall_the_producer() {
+    let c = cadence();
+    let tight = run_coupled(
+        &c,
+        &stream_route(c.max_chunk()),
+        100,
+        &FaultSchedule::empty(),
+    )
+    .unwrap();
+    assert!(
+        tight.producer_stall > Time::ZERO,
+        "a queue one chunk deep must backpressure the producer"
+    );
+
+    let roomy_depth = 2 * c.bursts[0].bytes();
+    let clean = run_coupled(&c, &stream_route(roomy_depth), 100, &FaultSchedule::empty()).unwrap();
+    assert_eq!(clean.producer_stall, Time::ZERO);
+    let mut faults = FaultSchedule::empty();
+    faults.push(
+        Time::ZERO,
+        FaultKind::ConsumerCrash {
+            stall: clean.pipeline_latency.max(Time::from_millis(1)),
+        },
+    );
+    let crashed = run_coupled(&c, &stream_route(roomy_depth), 100, &faults).unwrap();
+    assert!(
+        crashed.producer_stall > Time::ZERO,
+        "the outage must reach the producer through backpressure"
+    );
+    assert!(crashed.pipeline_latency > clean.pipeline_latency);
+    assert_eq!(crashed.bytes, c.total_bytes(), "no bytes lost to the crash");
+}
+
+#[test]
+fn fault_free_coupled_runs_replay_bit_identically() {
+    let c = cadence();
+    let depth = c.bursts[0].bytes();
+    for route in [stream_route(depth), Route::File(FileRoute::caltech_class())] {
+        let a = run_coupled(&c, &route, 100, &FaultSchedule::empty()).unwrap();
+        let b = run_coupled(&c, &route, 100, &FaultSchedule::empty()).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "{route:?}");
+        assert_eq!(a.trace.events(), b.trace.events(), "{route:?}");
+        assert_eq!(a.occupancy, b.occupancy, "{route:?}");
+    }
+    // A rebuilt cadence from the same config is the same world too.
+    let again = cadence();
+    let a = run_coupled(&c, &stream_route(depth), 100, &FaultSchedule::empty()).unwrap();
+    let b = run_coupled(&again, &stream_route(depth), 100, &FaultSchedule::empty()).unwrap();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn per_job_trace_views_attribute_producer_and_consumer() {
+    let c = cadence();
+    let o = run_coupled(
+        &c,
+        &stream_route(2 * c.bursts[0].bytes()),
+        100,
+        &FaultSchedule::empty(),
+    )
+    .unwrap();
+    let index = TraceIndex::build_with_jobs(o.trace.events(), &o.jobs);
+    // Job 0 is the producer (every chunk written), job 1 the consumer
+    // (every chunk read back): the coupled trace splits exactly in two.
+    assert_eq!(index.job_event_count(JobId(0)) as u64, o.chunks);
+    assert_eq!(index.job_event_count(JobId(1)) as u64, o.chunks);
+    assert_eq!(o.trace.len() as u64, 2 * o.chunks);
+    assert_eq!(o.bytes, c.total_bytes());
+}
+
+#[test]
+fn invalid_coupled_inputs_error_instead_of_panicking() {
+    let c = cadence();
+    // Depth smaller than one chunk can never admit it.
+    let err = run_coupled(
+        &c,
+        &stream_route(c.max_chunk() - 1),
+        100,
+        &FaultSchedule::empty(),
+    )
+    .unwrap_err();
+    assert!(err.contains("depth"), "{err}");
+    // Cross-tier fault schedules are rejected with the tier named.
+    let mut faults = FaultSchedule::empty();
+    faults.push(
+        Time::from_secs(1),
+        FaultKind::DrainStall {
+            duration: Time::from_secs(1),
+        },
+    );
+    let err = run_coupled(&c, &stream_route(0), 100, &faults).unwrap_err();
+    assert!(err.contains("stream"), "{err}");
+}
